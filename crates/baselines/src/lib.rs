@@ -1,0 +1,26 @@
+//! # Simulated baseline frameworks
+//!
+//! Stand-ins for the systems the paper compares against, running on the
+//! *same* machine models (see DESIGN.md, substitution 3):
+//!
+//! * [`torch_sim`] — a vendor-library baseline ("PyTorch"): hand-scheduled
+//!   kernels (expert schedules) plus framework dispatch overhead, padding
+//!   penalties on shapes that don't align with the hardware vector/warp
+//!   granularity, and a platform-maturity factor (x86 libraries are mature;
+//!   Arm/GH200 builds are not — the effect behind Fig. 1b's 6.65×).
+//! * [`tvm_sim`] — a sketch-constrained auto-scheduler ("TVM/Ansor"):
+//!   template search without PerfDojo's fusion/privatization moves, a
+//!   bounded tuning budget, and the paper's reported failure modes (no
+//!   valid schedule for fused multi-reduction kernels like BatchNorm and
+//!   SwiGLU → falls back to the default schedule).
+//! * [`handwritten`] — Snitch expert implementations (Fig. 8): hand-written
+//!   assembly (SSR/FREP enabled, latency-aware) and plain C (no
+//!   extensions).
+
+pub mod handwritten;
+pub mod torch_sim;
+pub mod tvm_sim;
+
+pub use handwritten::{handwritten_asm_runtime, handwritten_c_runtime};
+pub use torch_sim::torch_runtime;
+pub use tvm_sim::{tvm_tune, TvmOutcome};

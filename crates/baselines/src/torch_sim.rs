@@ -1,0 +1,120 @@
+//! `torch-sim`: the vendor-library ("PyTorch") baseline.
+//!
+//! A vendor library ships one hand-tuned implementation per operator. We
+//! model it as the expert (heuristic-pass) schedule on the same machine,
+//! with three mechanically-motivated adjustments:
+//!
+//! 1. **Dispatch overhead** — framework operator dispatch costs ~2 µs on
+//!    CPUs (eager-mode bookkeeping); GPU launches already pay the machine
+//!    model's launch overhead.
+//! 2. **Generality padding** — library kernels handle arbitrary shapes by
+//!    padding to their internal tile granularity; shapes that don't align
+//!    with the machine's vector/warp width pay a penalty proportional to
+//!    the padding waste (the paper observes exactly this on the 6×14336
+//!    elementwise multiplication, §4.3).
+//! 3. **Platform maturity** — libraries are heavily tuned on x86 and ROCm,
+//!    and much less on the (new at the time) GH200 Arm/Hopper platform.
+//!    The maturity factors below are calibrated to the paper's *relative*
+//!    standings (Fig. 1b, Fig. 13): they are data, not mechanism, and are
+//!    documented as such in DESIGN.md/EXPERIMENTS.md.
+
+use perfdojo_core::{Dojo, Target};
+use perfdojo_ir::Program;
+
+/// Platform maturity factor: how far the vendor library sits from the
+/// expert schedule on this target.
+fn maturity(target: &Target) -> f64 {
+    match target.name.as_str() {
+        "x86" => 0.92,    // mature MKL/oneDNN-class libraries beat our expert pass
+        "mi300a" => 1.05, // ROCm reasonably tuned
+        "gh200" => 2.8,   // young aarch64+Hopper library builds
+        "arm" => 2.2,     // aarch64 CPU builds
+        _ => 1.2,
+    }
+}
+
+/// CPU eager-mode dispatch overhead in seconds.
+const DISPATCH_S: f64 = 2.0e-6;
+
+/// Padding waste: the library computes on shapes rounded up to its tile
+/// granularity `g`; returns total padded elements / logical elements over
+/// the innermost dimension.
+fn padding_waste(p: &Program, granularity: usize) -> f64 {
+    let mut logical = 0f64;
+    let mut padded = 0f64;
+    for name in p.inputs.iter().chain(p.outputs.iter()) {
+        if let Some(b) = p.buffer_of(name) {
+            let shape = b.shape();
+            if let Some(&inner) = shape.last() {
+                let rest: usize = shape[..shape.len() - 1].iter().product::<usize>().max(1);
+                logical += (rest * inner) as f64;
+                padded += (rest * inner.div_ceil(granularity) * granularity) as f64;
+            }
+        }
+    }
+    if logical == 0.0 {
+        1.0
+    } else {
+        padded / logical
+    }
+}
+
+/// Simulated library runtime of a kernel on a target, in seconds.
+pub fn torch_runtime(program: &Program, target: &Target) -> f64 {
+    let mut dojo = match Dojo::for_target(program.clone(), target) {
+        Ok(d) => d,
+        Err(_) => return f64::INFINITY,
+    };
+    let expert = perfdojo_search::heuristic_pass(&mut dojo);
+    let granularity = match target.machine.config.gpu.as_ref() {
+        Some(g) => g.warp_size,
+        None => target.machine.config.vector_width.max(1) * 2,
+    };
+    let waste = padding_waste(program, granularity);
+    let dispatch = if target.machine.config.gpu.is_some() { 0.0 } else { DISPATCH_S };
+    expert * maturity(target) * waste + dispatch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x86_library_is_competitive() {
+        let p = perfdojo_kernels::matmul(64, 64, 64);
+        let t = Target::x86();
+        let lib = torch_runtime(&p, &t);
+        let mut d = Dojo::for_target(p, &t).unwrap();
+        let expert = perfdojo_search::heuristic_pass(&mut d);
+        // mature library within ~2x of the expert schedule either way
+        assert!(lib < expert * 2.0 && lib > expert * 0.5, "lib {lib} expert {expert}");
+    }
+
+    #[test]
+    fn gh200_library_lags_expert() {
+        let p = perfdojo_kernels::mul(64, 14336);
+        let t = Target::gh200();
+        let lib = torch_runtime(&p, &t);
+        let mut d = Dojo::for_target(p, &t).unwrap();
+        let expert = perfdojo_search::heuristic_pass(&mut d);
+        assert!(lib > expert * 1.5, "gh200 library should lag: lib {lib} expert {expert}");
+    }
+
+    #[test]
+    fn odd_shapes_pay_padding() {
+        let t = Target::x86();
+        let aligned = torch_runtime(&perfdojo_kernels::relu(128, 128), &t);
+        let odd = torch_runtime(&perfdojo_kernels::relu(128, 129), &t);
+        // per-element cost higher on the odd shape
+        let per_aligned = aligned / (128.0 * 128.0);
+        let per_odd = odd / (128.0 * 129.0);
+        assert!(per_odd > per_aligned, "odd {per_odd} aligned {per_aligned}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = perfdojo_kernels::softmax(32, 64);
+        let t = Target::x86();
+        assert_eq!(torch_runtime(&p, &t), torch_runtime(&p, &t));
+    }
+}

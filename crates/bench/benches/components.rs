@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the framework's hot components: textual
+//! round-trip, applicability detection, transformation application,
+//! interpretation, machine evaluation, embedding, and DQN training.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfdojo_core::{Dojo, Target};
+use perfdojo_rl::dqn::{DqnAgent, DqnConfig};
+use perfdojo_rl::replay::Transition;
+use std::hint::black_box;
+
+fn bench_ir(c: &mut Criterion) {
+    let p = perfdojo_kernels::softmax(24576, 512);
+    let text = p.to_string();
+    c.bench_function("ir/print_softmax", |b| b.iter(|| black_box(&p).to_string()));
+    c.bench_function("ir/parse_softmax", |b| {
+        b.iter(|| perfdojo_ir::parse_program(black_box(&text)).unwrap())
+    });
+    c.bench_function("ir/validate_softmax", |b| {
+        b.iter(|| perfdojo_ir::validate(black_box(&p)).unwrap())
+    });
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let p = perfdojo_kernels::softmax(24576, 512);
+    let lib = perfdojo_transform::TransformLibrary::cpu(16);
+    c.bench_function("transform/available_actions_softmax", |b| {
+        b.iter(|| perfdojo_transform::available_actions(black_box(&p), &lib).len())
+    });
+    let split = perfdojo_transform::Transform::SplitScope { tile: 16 };
+    let loc = split.find_locations(&p).into_iter().next().unwrap();
+    c.bench_function("transform/apply_split", |b| {
+        b.iter(|| split.apply(black_box(&p), &loc).unwrap())
+    });
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let p = perfdojo_kernels::softmax(16, 64);
+    let inputs = perfdojo_interp::random_inputs(&p, 1);
+    c.bench_function("interp/execute_softmax_16x64", |b| {
+        b.iter(|| perfdojo_interp::execute(black_box(&p), &inputs).unwrap())
+    });
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let p = perfdojo_kernels::softmax(24576, 512);
+    let m = perfdojo_machine::Machine::x86_xeon();
+    c.bench_function("machine/evaluate_softmax_paper_shape", |b| {
+        b.iter(|| m.evaluate(black_box(&p)).unwrap().cycles)
+    });
+    let g = perfdojo_machine::Machine::gh200();
+    let mut d = Dojo::for_target(perfdojo_kernels::mul(6, 14336), &Target::gh200()).unwrap();
+    perfdojo_search::heuristic_pass(&mut d);
+    let bound = d.current().clone();
+    c.bench_function("machine/evaluate_gpu_bound_mul", |b| {
+        b.iter(|| g.evaluate(black_box(&bound)).unwrap().cycles)
+    });
+}
+
+fn bench_rl(c: &mut Criterion) {
+    let p = perfdojo_kernels::softmax(64, 128);
+    c.bench_function("rl/embed_softmax", |b| b.iter(|| perfdojo_rl::embed(black_box(&p))));
+    let mut agent = DqnAgent::new(DqnConfig::default(), 1);
+    let s = perfdojo_rl::embed(&p);
+    for _ in 0..64 {
+        agent.remember(Transition {
+            state: s.clone(),
+            action: s.clone(),
+            reward: 1.0,
+            next_actions: vec![s.clone(); 4],
+        });
+    }
+    c.bench_function("rl/dqn_train_step", |b| b.iter(|| agent.train_step()));
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ir, bench_transform, bench_interp, bench_machine, bench_rl
+);
+criterion_main!(components);

@@ -1,0 +1,59 @@
+//! The expensive experiments (auto-tuning sweeps, RL training, ablations):
+//! each is regenerated exactly once and printed; Criterion then measures a
+//! representative slice (one tuning step / one RL episode) so `cargo bench`
+//! reports meaningful per-step numbers without re-running multi-second
+//! experiments dozens of times.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfdojo_core::{Dojo, Target};
+use std::hint::black_box;
+
+fn bench_heavy_figures(c: &mut Criterion) {
+    let heavy: &[(&str, fn() -> String)] = &[
+        ("fig8", perfdojo_bench::experiments::snitch::exp_fig8),
+        ("fig10", perfdojo_bench::experiments::x86::exp_fig10),
+        ("fig11", perfdojo_bench::experiments::x86::exp_fig11),
+        ("fig12", perfdojo_bench::experiments::x86::exp_fig12),
+        ("fig1b", perfdojo_bench::experiments::gpu::exp_fig1b),
+        ("fig13", perfdojo_bench::experiments::gpu::exp_fig13),
+        ("fig14", perfdojo_bench::experiments::gpu::exp_fig14),
+        ("ablate_maxq", perfdojo_bench::experiments::ablations::exp_ablate_maxq),
+        ("ablate_reward", perfdojo_bench::experiments::ablations::exp_ablate_reward),
+        ("ablate_dqn", perfdojo_bench::experiments::ablations::exp_ablate_dqn),
+        ("ablate_validity", perfdojo_bench::experiments::ablations::exp_ablate_validity),
+    ];
+    for (id, run) in heavy {
+        let start = std::time::Instant::now();
+        println!("{}", run());
+        println!("[{id} regenerated once in {:.1?}]", start.elapsed());
+    }
+
+    // representative measured slices
+    c.bench_function("search/sampling_25_evals_softmax", |b| {
+        b.iter(|| {
+            let p = perfdojo_kernels::softmax(64, 64);
+            let mut d = Dojo::for_target(p, &Target::x86()).unwrap();
+            black_box(perfdojo_search::random_sampling(&mut d, 25, 3).best_runtime)
+        })
+    });
+    c.bench_function("rl/one_episode_mul_gh200", |b| {
+        b.iter(|| {
+            let p = perfdojo_kernels::mul(16, 256);
+            let mut d = Dojo::for_target(p, &Target::gh200()).unwrap();
+            let cfg = perfdojo_rl::PerfLlmConfig {
+                episodes: 1,
+                max_steps: 8,
+                action_sample: 8,
+                ..Default::default()
+            };
+            black_box(perfdojo_rl::optimize(&mut d, &cfg, 3).best_runtime)
+        })
+    });
+}
+
+criterion_group!(
+    name = figures_heavy;
+    config = Criterion::default().sample_size(10);
+    targets = bench_heavy_figures
+);
+criterion_main!(figures_heavy);

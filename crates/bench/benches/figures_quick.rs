@@ -1,0 +1,32 @@
+//! Regenerate the cheap tables/figures under Criterion: each benchmark's
+//! measured body *is* the full experiment, and the report is printed once
+//! so `cargo bench` output contains every row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_quick_figures(c: &mut Criterion) {
+    let quick: &[(&str, fn() -> String)] = &[
+        ("table1", perfdojo_bench::experiments::tables::exp_table1),
+        ("table2", perfdojo_bench::experiments::tables::exp_table2),
+        ("table3", perfdojo_bench::experiments::tables::exp_table3),
+        ("fig3", perfdojo_bench::experiments::repr::exp_fig3),
+        ("fig4", perfdojo_bench::experiments::repr::exp_fig4),
+        ("fig5", perfdojo_bench::experiments::repr::exp_fig5),
+        ("fig6", perfdojo_bench::experiments::ablations::exp_fig6),
+        ("fig7", perfdojo_bench::experiments::snitch::exp_fig7),
+        ("fig9", perfdojo_bench::experiments::snitch::exp_fig9),
+    ];
+    for (id, run) in quick {
+        // print the regenerated table/figure once
+        println!("{}", run());
+        c.bench_function(&format!("figures/{id}"), |b| b.iter(|| black_box(run())));
+    }
+}
+
+criterion_group!(
+    name = figures_quick;
+    config = Criterion::default().sample_size(10);
+    targets = bench_quick_figures
+);
+criterion_main!(figures_quick);

@@ -1,0 +1,45 @@
+//! `figures`: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures                 # run everything
+//! figures --exp fig7      # one experiment
+//! figures --list          # list experiment ids
+//! PERFDOJO_FULL=1 figures # paper-scale budgets (1000 evals, long RL)
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = perfdojo_bench::experiments::all_experiments();
+    if args.first().is_some_and(|a| a == "--list") {
+        for (id, _) in &experiments {
+            println!("{id}");
+        }
+        return;
+    }
+    let filter: Option<String> = match args.as_slice() {
+        [flag, id] if flag == "--exp" => Some(id.clone()),
+        [] => None,
+        _ => {
+            eprintln!("usage: figures [--list | --exp <id>]");
+            std::process::exit(2);
+        }
+    };
+    let scale = if perfdojo_bench::full_scale() { "paper-scale (PERFDOJO_FULL=1)" } else { "quick" };
+    println!("# PerfDojo experiment harness — {scale} budgets\n");
+    let mut ran = 0;
+    for (id, run) in experiments {
+        if filter.as_deref().is_some_and(|f| f != id) {
+            continue;
+        }
+        println!("--- {id} ---");
+        let start = std::time::Instant::now();
+        let report = run();
+        println!("{report}");
+        println!("[{id} completed in {:.1?}]\n", start.elapsed());
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment id; try --list");
+        std::process::exit(2);
+    }
+}

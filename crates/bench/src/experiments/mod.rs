@@ -1,0 +1,41 @@
+//! One module per group of paper experiments.
+
+pub mod ablations;
+pub mod gpu;
+pub mod repr;
+pub mod snitch;
+pub mod tables;
+pub mod x86;
+
+pub use ablations::*;
+pub use gpu::*;
+pub use repr::*;
+pub use snitch::*;
+pub use tables::*;
+pub use x86::*;
+
+/// Registry: experiment id → runner producing the printed report.
+pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
+    vec![
+        ("table1", tables::exp_table1 as fn() -> String),
+        ("table2", tables::exp_table2),
+        ("table3", tables::exp_table3),
+        ("fig3", repr::exp_fig3),
+        ("fig4", repr::exp_fig4),
+        ("fig5", repr::exp_fig5),
+        ("fig6", ablations::exp_fig6),
+        ("fig7", snitch::exp_fig7),
+        ("fig8", snitch::exp_fig8),
+        ("fig9", snitch::exp_fig9),
+        ("fig10", x86::exp_fig10),
+        ("fig11", x86::exp_fig11),
+        ("fig12", x86::exp_fig12),
+        ("fig1b", gpu::exp_fig1b),
+        ("fig13", gpu::exp_fig13),
+        ("fig14", gpu::exp_fig14),
+        ("ablate_maxq", ablations::exp_ablate_maxq),
+        ("ablate_reward", ablations::exp_ablate_reward),
+        ("ablate_dqn", ablations::exp_ablate_dqn),
+        ("ablate_validity", ablations::exp_ablate_validity),
+    ]
+}

@@ -1,0 +1,139 @@
+//! Plain-text table rendering and summary statistics for the harness.
+
+/// Geometric mean of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let s: f64 = values.iter().map(|v| v.ln()).sum();
+    (s / values.len() as f64).exp()
+}
+
+/// A printable table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+    /// Footnotes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// Format seconds human-readably (µs/ms/s).
+pub fn fmt_time(s: f64) -> String {
+    if !s.is_finite() {
+        "n/a".into()
+    } else if s < 1e-3 {
+        format!("{:.2}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_x(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.2}x")
+    } else {
+        "n/a".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.note("hello");
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("long-header"));
+        assert!(r.contains("note: hello"));
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_time(2.5e-6), "2.50us");
+        assert_eq!(fmt_time(2.5e-3), "2.50ms");
+        assert_eq!(fmt_time(2.5), "2.50s");
+    }
+}

@@ -1,0 +1,14 @@
+//! Code generation: lowering PerfDojo IR to an explicit loop-nest *virtual
+//! ISA* consumed by the machine models, plus a C-like pretty printer
+//! (paper Fig. 3d).
+//!
+//! The lowered form resolves every access into a flat **affine address**
+//! over the enclosing loop iterators (buffer strides folded in), which is
+//! exactly the information the performance models need: per-loop element
+//! strides drive the cache, coalescing, vectorization and SSR analyses.
+
+pub mod cgen;
+pub mod lower;
+
+pub use cgen::to_c;
+pub use lower::{lower, AffineAddr, Loop, LoopKind, Lowered, LoweredKernel, MemRef, OpClass, Stmt};

@@ -1,0 +1,354 @@
+//! # The Dojo: PerfDojo's optimization game environment
+//!
+//! PerfDojo frames code optimization as a game (paper §2): states are
+//! program variants, moves are `(transformation, location)` actions whose
+//! applicability is detected (and semantic validity guaranteed) by
+//! `perfdojo-transform`, and the score is the simulated runtime from
+//! `perfdojo-machine`. The reward follows §3.1: `r = c / T` with `c` scaled
+//! so the initial program earns reward 1 — rewarding *states*, not
+//! improvements, which avoids the cyclic degrade-recover exploit the paper
+//! describes.
+//!
+//! [`Dojo`] is consumed by the heuristic passes and classical searches
+//! (`perfdojo-search`), by PerfLLM (`perfdojo-rl`), and by the baselines.
+
+pub mod target;
+
+pub use target::Target;
+
+use perfdojo_interp::{verify_equivalent, VerifyReport};
+use perfdojo_ir::{validate, Program};
+use perfdojo_machine::{Machine, MachineError};
+use perfdojo_transform::{available_actions, Action, History, TransformError, TransformLibrary};
+use std::fmt;
+
+/// Dojo construction/step failure.
+#[derive(Debug)]
+pub enum DojoError {
+    /// The initial program is not well-formed.
+    Invalid(perfdojo_ir::ValidateError),
+    /// The program cannot be evaluated on the target machine.
+    Machine(MachineError),
+    /// A move was not applicable.
+    Transform(TransformError),
+    /// Numerical verification caught a semantics change (this indicates a
+    /// bug in an applicability rule — the paper validates rules empirically
+    /// exactly this way).
+    VerificationFailed(VerifyReport),
+}
+
+impl fmt::Display for DojoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DojoError::Invalid(e) => write!(f, "invalid program: {e}"),
+            DojoError::Machine(e) => write!(f, "machine: {e}"),
+            DojoError::Transform(e) => write!(f, "transform: {e}"),
+            DojoError::VerificationFailed(r) => write!(f, "verification failed: {r:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DojoError {}
+
+/// Result of one move.
+#[derive(Clone, Debug)]
+pub struct StepResult {
+    /// Simulated runtime of the new state, seconds.
+    pub runtime: f64,
+    /// Reward `r = c / T` (1.0 for the initial program's runtime).
+    pub reward: f64,
+    /// Speedup of the new state relative to the initial program.
+    pub speedup: f64,
+}
+
+/// How much numerical verification the Dojo performs per step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerifyMode {
+    /// Trust the applicability rules (production mode; the rules are
+    /// validated by the test suite instead).
+    Off,
+    /// Verify each step against the initial program on `trials` random
+    /// inputs — only when the program is small enough to interpret.
+    Sampled {
+        /// Random input trials per step.
+        trials: usize,
+    },
+}
+
+/// Interpreting more dynamic ops than this per verification trial is not
+/// practical inside a search loop.
+const VERIFY_WORK_LIMIT: u64 = 2_000_000;
+
+/// The optimization game for one kernel on one target.
+pub struct Dojo {
+    /// Transformation history (also holds the initial + current programs).
+    pub history: History,
+    machine: Machine,
+    library: TransformLibrary,
+    verify: VerifyMode,
+    initial_runtime: f64,
+    current_runtime: f64,
+    best: (Program, f64),
+    evaluations: u64,
+}
+
+impl Dojo {
+    /// Open a game: validate the kernel and score the starting state.
+    pub fn new(program: Program, machine: Machine, library: TransformLibrary) -> Result<Self, DojoError> {
+        validate(&program).map_err(DojoError::Invalid)?;
+        let est = machine.evaluate(&program).map_err(DojoError::Machine)?;
+        let runtime = est.seconds;
+        Ok(Dojo {
+            history: History::new(program.clone()),
+            machine,
+            library,
+            verify: VerifyMode::Off,
+            initial_runtime: runtime,
+            current_runtime: runtime,
+            best: (program, runtime),
+            evaluations: 1,
+        })
+    }
+
+    /// Open a game for a [`Target`].
+    pub fn for_target(program: Program, target: &Target) -> Result<Self, DojoError> {
+        Dojo::new(program, target.machine.clone(), target.library.clone())
+    }
+
+    /// Enable per-step numerical verification (paper §2.2's empirical
+    /// validation of the applicability rules).
+    pub fn with_verification(mut self, trials: usize) -> Self {
+        self.verify = VerifyMode::Sampled { trials };
+        self
+    }
+
+    /// The current program state.
+    pub fn current(&self) -> &Program {
+        self.history.current()
+    }
+
+    /// The untransformed kernel.
+    pub fn initial(&self) -> &Program {
+        &self.history.initial
+    }
+
+    /// Simulated runtime of the current state, seconds.
+    pub fn runtime(&self) -> f64 {
+        self.current_runtime
+    }
+
+    /// Simulated runtime of the initial program, seconds.
+    pub fn initial_runtime(&self) -> f64 {
+        self.initial_runtime
+    }
+
+    /// Best state seen so far and its runtime.
+    pub fn best(&self) -> (&Program, f64) {
+        (&self.best.0, self.best.1)
+    }
+
+    /// Number of machine evaluations performed (the search budget metric
+    /// used by Figures 10–12).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// The target's machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The target's transformation library.
+    pub fn library(&self) -> &TransformLibrary {
+        &self.library
+    }
+
+    /// All applicable moves at the current state (paper: "numbering in the
+    /// hundreds").
+    pub fn actions(&self) -> Vec<Action> {
+        available_actions(self.current(), &self.library)
+    }
+
+    /// Reward for a runtime: `r = c/T`, normalized so the initial state's
+    /// reward is 1 (§3.1).
+    pub fn reward_of(&self, runtime: f64) -> f64 {
+        self.initial_runtime / runtime
+    }
+
+    /// Score a candidate program without committing to it.
+    pub fn evaluate(&mut self, p: &Program) -> Result<f64, DojoError> {
+        self.evaluations += 1;
+        Ok(self.machine.evaluate(p).map_err(DojoError::Machine)?.seconds)
+    }
+
+    /// Preview a move: the runtime it would lead to (counts one
+    /// evaluation, as in the paper's evaluation budgets).
+    pub fn peek(&mut self, action: &Action) -> Result<(Program, f64), DojoError> {
+        let next = action.apply(self.current()).map_err(DojoError::Transform)?;
+        let runtime = self.evaluate(&next)?;
+        Ok((next, runtime))
+    }
+
+    /// Play a move.
+    pub fn step(&mut self, action: Action) -> Result<StepResult, DojoError> {
+        let before = self.current().clone();
+        self.history.push(action).map_err(DojoError::Transform)?;
+        if let VerifyMode::Sampled { trials } = self.verify {
+            let small = self.history.initial.dynamic_op_instances() <= VERIFY_WORK_LIMIT;
+            if small {
+                let rep = verify_equivalent(&self.history.initial, self.current(), trials, 0xD0);
+                if !rep.is_equivalent() {
+                    // roll back the corrupted state
+                    self.history.pop();
+                    debug_assert_eq!(self.current(), &before);
+                    return Err(DojoError::VerificationFailed(rep));
+                }
+            }
+        }
+        let runtime = match self.machine.evaluate(self.current()) {
+            Ok(est) => {
+                self.evaluations += 1;
+                est.seconds
+            }
+            Err(e) => {
+                self.history.pop();
+                return Err(DojoError::Machine(e));
+            }
+        };
+        self.current_runtime = runtime;
+        if runtime < self.best.1 {
+            self.best = (self.current().clone(), runtime);
+        }
+        let _ = before;
+        Ok(StepResult {
+            runtime,
+            reward: self.reward_of(runtime),
+            speedup: self.initial_runtime / runtime,
+        })
+    }
+
+    /// Undo the last move (the non-destructive property, §2).
+    pub fn undo(&mut self) -> Option<Action> {
+        let a = self.history.pop()?;
+        self.current_runtime = self
+            .machine
+            .evaluate(self.current())
+            .map(|e| e.seconds)
+            .unwrap_or(self.current_runtime);
+        Some(a)
+    }
+
+    /// Restart the game from the initial program (keeps the best record).
+    pub fn reset(&mut self) {
+        self.history = History::new(self.history.initial.clone());
+        self.current_runtime = self.initial_runtime;
+    }
+
+    /// Replace the whole transformation sequence (used by sequence-mutating
+    /// searches, §4.2.1's *heuristic* space). Inapplicable steps are
+    /// skipped; returns the resulting runtime.
+    pub fn load_sequence(&mut self, steps: &[Action]) -> Result<f64, DojoError> {
+        let replay = perfdojo_transform::history::replay_sequence(&self.history.initial, steps);
+        let runtime = self.evaluate(&replay.program)?;
+        let mut h = History::new(self.history.initial.clone());
+        for (i, s) in steps.iter().enumerate() {
+            if !replay.skipped.contains(&i) {
+                h.push(s.clone()).map_err(DojoError::Transform)?;
+            }
+        }
+        self.history = h;
+        self.current_runtime = runtime;
+        if runtime < self.best.1 {
+            self.best = (self.current().clone(), runtime);
+        }
+        Ok(runtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_transform::{Loc, Transform};
+
+    fn softmax_dojo() -> Dojo {
+        let k = perfdojo_kernels::small_suite()
+            .into_iter()
+            .find(|k| k.label == "softmax")
+            .unwrap();
+        Dojo::for_target(k.program, &Target::x86()).unwrap()
+    }
+
+    #[test]
+    fn initial_reward_is_one() {
+        let d = softmax_dojo();
+        assert!((d.reward_of(d.runtime()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_updates_state_and_best() {
+        let mut d = softmax_dojo();
+        let actions = d.actions();
+        assert!(actions.len() >= 30);
+        let a = actions.into_iter().next().unwrap();
+        let r = d.step(a).unwrap();
+        assert!(r.runtime > 0.0);
+        assert_eq!(d.history.len(), 1);
+        assert!(d.best().1 <= d.initial_runtime());
+    }
+
+    #[test]
+    fn undo_restores_previous_state() {
+        let mut d = softmax_dojo();
+        let initial = d.current().clone();
+        let a = d.actions().into_iter().next().unwrap();
+        d.step(a).unwrap();
+        assert_ne!(d.current(), &initial);
+        d.undo().unwrap();
+        assert_eq!(d.current(), &initial);
+        assert!((d.runtime() - d.initial_runtime()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn verification_mode_accepts_valid_moves() {
+        let mut d = softmax_dojo().with_verification(2);
+        for a in d.actions().into_iter().take(8) {
+            d.step(a).unwrap();
+            d.undo();
+        }
+    }
+
+    #[test]
+    fn load_sequence_skips_stale_steps() {
+        let mut d = softmax_dojo();
+        let a0 = d.actions().into_iter().next().unwrap();
+        d.step(a0.clone()).unwrap();
+        // sequence with a duplicate (second application may be stale)
+        let steps = vec![a0.clone(), a0.clone(), a0];
+        let rt = d.load_sequence(&steps).unwrap();
+        assert!(rt > 0.0);
+    }
+
+    #[test]
+    fn reward_grows_as_runtime_shrinks() {
+        let d = softmax_dojo();
+        let r_fast = d.reward_of(d.initial_runtime() / 4.0);
+        let r_slow = d.reward_of(d.initial_runtime() * 2.0);
+        assert!(r_fast > 1.0 && r_slow < 1.0);
+        assert!((r_fast - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_unschedulable_step_rolls_back() {
+        // On an x86 dojo no GPU actions are offered; force one manually and
+        // check the environment rejects it without corrupting state.
+        let mut d = softmax_dojo();
+        let bad = Action {
+            transform: Transform::SplitScope { tile: 7 },
+            loc: Loc::Node(perfdojo_ir::Path::from([0])),
+        };
+        let before = d.current().clone();
+        assert!(d.step(bad).is_err());
+        assert_eq!(d.current(), &before);
+        assert_eq!(d.history.len(), 0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Targets: a machine model paired with the transformation library its
+//! vendor ships (paper: "providing hardware-aware transformations" instead
+//! of hardware-aware libraries).
+
+use perfdojo_machine::Machine;
+use perfdojo_transform::TransformLibrary;
+
+/// A tuning target.
+#[derive(Clone, Debug)]
+pub struct Target {
+    /// Short name used in reports (`x86`, `arm`, `gh200`, `mi300a`,
+    /// `snitch`).
+    pub name: String,
+    /// The simulated machine.
+    pub machine: Machine,
+    /// The transformation library the vendor exposes for it.
+    pub library: TransformLibrary,
+}
+
+impl Target {
+    /// Intel Xeon E5-2695v4-like x86 target (§4.2.3).
+    pub fn x86() -> Self {
+        let machine = Machine::x86_xeon();
+        let width = machine.config.vector_width;
+        Target { name: "x86".into(), machine, library: TransformLibrary::cpu(width) }
+    }
+
+    /// GH200 Arm host CPU target.
+    pub fn arm() -> Self {
+        let machine = Machine::arm_host();
+        let width = machine.config.vector_width;
+        Target { name: "arm".into(), machine, library: TransformLibrary::cpu(width) }
+    }
+
+    /// GH200-like GPU target (§4.3).
+    pub fn gh200() -> Self {
+        let machine = Machine::gh200();
+        let warp = machine.config.gpu.as_ref().unwrap().warp_size;
+        Target { name: "gh200".into(), machine, library: TransformLibrary::gpu(warp) }
+    }
+
+    /// MI300A-like GPU target (§4.3).
+    pub fn mi300a() -> Self {
+        let machine = Machine::mi300a();
+        let warp = machine.config.gpu.as_ref().unwrap().warp_size;
+        Target { name: "mi300a".into(), machine, library: TransformLibrary::gpu(warp) }
+    }
+
+    /// Snitch cluster target with the SSR/FREP extensions (§4.1).
+    pub fn snitch() -> Self {
+        Target {
+            name: "snitch".into(),
+            machine: Machine::snitch(),
+            library: TransformLibrary::snitch(),
+        }
+    }
+
+    /// Plain RISC-V scalar target (no Snitch extensions, one core): the
+    /// same library minus the extension + parallel transformations.
+    pub fn riscv_scalar() -> Self {
+        let mut library = TransformLibrary::snitch();
+        library.transforms.retain(|t| {
+            !matches!(
+                t,
+                perfdojo_transform::Transform::EnableSsr
+                    | perfdojo_transform::Transform::EnableFrep
+                    | perfdojo_transform::Transform::Parallelize
+            )
+        });
+        Target { name: "riscv".into(), machine: Machine::riscv_scalar(), library }
+    }
+
+    /// A single Snitch worker core (the per-core micro-kernel studies of
+    /// §4.1, Figures 7–8): full extensions, no work-sharing.
+    pub fn snitch_core() -> Self {
+        let mut library = TransformLibrary::snitch();
+        library
+            .transforms
+            .retain(|t| !matches!(t, perfdojo_transform::Transform::Parallelize));
+        Target {
+            name: "snitch-core".into(),
+            machine: Machine::new(perfdojo_machine::MachineConfig::snitch_core()),
+            library,
+        }
+    }
+
+    /// All GPU and CPU targets used by the paper's headline evaluation.
+    pub fn all() -> Vec<Target> {
+        vec![Target::x86(), Target::arm(), Target::gh200(), Target::mi300a(), Target::snitch()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_construct() {
+        for t in Target::all() {
+            assert!(!t.library.transforms.is_empty(), "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn riscv_scalar_has_no_snitch_transforms() {
+        let t = Target::riscv_scalar();
+        assert!(!t
+            .library
+            .transforms
+            .iter()
+            .any(|x| matches!(x, perfdojo_transform::Transform::EnableSsr)));
+    }
+
+    #[test]
+    fn gpu_targets_expose_bindings() {
+        let t = Target::gh200();
+        assert!(t
+            .library
+            .transforms
+            .iter()
+            .any(|x| matches!(x, perfdojo_transform::Transform::BindGpu(_))));
+    }
+}

@@ -1,0 +1,389 @@
+//! Reference interpreter and numerical verifier for PerfDojo programs.
+//!
+//! The interpreter executes a program against **physical buffer memory**:
+//! buffers are flat arrays laid out by [`perfdojo_ir::BufferDecl::strides`],
+//! so non-materialized (`:N`) dimensions alias and padded dimensions leave
+//! poisoned (NaN) gaps. This is essential: an *incorrectly* applied layout
+//! transformation (paper Fig. 5) produces observably wrong numbers here,
+//! which is exactly how the paper "empirically validate[s] the
+//! implementation of these applicability rules by numerically comparing the
+//! output of each transformed program against its original version" (§2.2).
+
+pub mod tensor;
+pub mod verify;
+
+pub use tensor::Tensor;
+pub use verify::{random_inputs, verify_equivalent, VerifyReport};
+
+use perfdojo_ir::{Access, Expr, IndexExpr, Node, Program, ScopeSize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Interpreter failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// An access names an array with no declaring buffer.
+    UnknownArray(String),
+    /// A computed index left the physical extent of the buffer.
+    OutOfBounds { array: String, indices: Vec<i64> },
+    /// A program input tensor is missing or misshaped.
+    BadInput { array: String, reason: String },
+    /// A dynamic scope size (excluded feature) was encountered.
+    DynamicScope,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownArray(a) => write!(f, "undeclared array '{a}'"),
+            ExecError::OutOfBounds { array, indices } => {
+                write!(f, "out-of-bounds access {array}{indices:?}")
+            }
+            ExecError::BadInput { array, reason } => write!(f, "bad input '{array}': {reason}"),
+            ExecError::DynamicScope => write!(f, "dynamic scope sizes are not executable"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Physical memory image of a program: one flat `f64` slab per buffer.
+pub struct Memory {
+    slabs: HashMap<String, Vec<f64>>,
+}
+
+impl Memory {
+    /// Allocate all buffers, poisoned with NaN so reads of unwritten
+    /// elements (including padding) are observable.
+    pub fn allocate(p: &Program) -> Self {
+        let mut slabs = HashMap::new();
+        for b in &p.buffers {
+            slabs.insert(b.name.clone(), vec![f64::NAN; b.physical_len()]);
+        }
+        Memory { slabs }
+    }
+
+    /// Copy a logical tensor into the (strided, possibly padded) buffer
+    /// holding `array`.
+    pub fn load_input(&mut self, p: &Program, array: &str, t: &Tensor) -> Result<(), ExecError> {
+        let buf = p
+            .buffer_of(array)
+            .ok_or_else(|| ExecError::UnknownArray(array.to_string()))?;
+        if t.shape != buf.shape() {
+            return Err(ExecError::BadInput {
+                array: array.to_string(),
+                reason: format!("shape {:?} != declared {:?}", t.shape, buf.shape()),
+            });
+        }
+        let slab = self.slabs.get_mut(&buf.name).unwrap();
+        let strides = buf.strides();
+        let shape = buf.shape();
+        for (li, &v) in t.data.iter().enumerate() {
+            let mut rem = li;
+            let mut off = 0usize;
+            for d in (0..shape.len()).rev() {
+                let ix = rem % shape[d];
+                rem /= shape[d];
+                off += ix * strides[d];
+            }
+            slab[off] = v;
+        }
+        Ok(())
+    }
+
+    /// Gather the logical tensor of `array` out of its buffer.
+    pub fn read_output(&self, p: &Program, array: &str) -> Result<Tensor, ExecError> {
+        let buf = p
+            .buffer_of(array)
+            .ok_or_else(|| ExecError::UnknownArray(array.to_string()))?;
+        let slab = &self.slabs[&buf.name];
+        let strides = buf.strides();
+        let shape = buf.shape();
+        let len: usize = shape.iter().product::<usize>().max(1);
+        let mut data = vec![0.0; len];
+        for (li, slot) in data.iter_mut().enumerate() {
+            let mut rem = li;
+            let mut off = 0usize;
+            for d in (0..shape.len()).rev() {
+                let ix = rem % shape[d];
+                rem /= shape[d];
+                off += ix * strides[d];
+            }
+            *slot = slab[off];
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    fn read(&self, p: &Program, acc: &Access, iters: &[i64]) -> Result<f64, ExecError> {
+        let off = self.offset(p, acc, iters)?;
+        Ok(self.slabs[&p.buffer_of(&acc.array).unwrap().name][off])
+    }
+
+    fn write(&mut self, p: &Program, acc: &Access, iters: &[i64], v: f64) -> Result<(), ExecError> {
+        let off = self.offset(p, acc, iters)?;
+        let name = p.buffer_of(&acc.array).unwrap().name.clone();
+        self.slabs.get_mut(&name).unwrap()[off] = v;
+        Ok(())
+    }
+
+    fn offset(&self, p: &Program, acc: &Access, iters: &[i64]) -> Result<usize, ExecError> {
+        let buf = p
+            .buffer_of(&acc.array)
+            .ok_or_else(|| ExecError::UnknownArray(acc.array.clone()))?;
+        let mut idx = Vec::with_capacity(acc.indices.len());
+        for ix in &acc.indices {
+            let v = match ix {
+                IndexExpr::Affine(a) => a.eval(iters),
+                IndexExpr::Indirect(inner) => self.read(p, inner, iters)? as i64,
+            };
+            idx.push(v);
+        }
+        buf.flat_index(&idx)
+            .ok_or_else(|| ExecError::OutOfBounds { array: acc.array.clone(), indices: idx })
+    }
+}
+
+/// Execute `p` on the given inputs, returning its output tensors keyed by
+/// array name.
+pub fn execute(
+    p: &Program,
+    inputs: &HashMap<String, Tensor>,
+) -> Result<HashMap<String, Tensor>, ExecError> {
+    let mut mem = Memory::allocate(p);
+    for name in &p.inputs {
+        let t = inputs.get(name).ok_or_else(|| ExecError::BadInput {
+            array: name.clone(),
+            reason: "missing".into(),
+        })?;
+        mem.load_input(p, name, t)?;
+    }
+    let mut iters: Vec<i64> = Vec::new();
+    for n in &p.roots {
+        exec_node(p, n, &mut mem, &mut iters)?;
+    }
+    let mut out = HashMap::new();
+    for name in &p.outputs {
+        out.insert(name.clone(), mem.read_output(p, name)?);
+    }
+    Ok(out)
+}
+
+fn exec_node(
+    p: &Program,
+    node: &Node,
+    mem: &mut Memory,
+    iters: &mut Vec<i64>,
+) -> Result<(), ExecError> {
+    match node {
+        Node::Op(op) => {
+            let v = eval(p, &op.expr, mem, iters)?;
+            mem.write(p, &op.out, iters, v)
+        }
+        Node::Scope(s) => {
+            let trip = match &s.size {
+                ScopeSize::Const(n) => *n,
+                _ => return Err(ExecError::DynamicScope),
+            };
+            // All scope kinds execute sequentially: kinds (:v/:p/:g/...)
+            // change *performance*, never semantics.
+            iters.push(0);
+            for i in 0..trip {
+                *iters.last_mut().unwrap() = i as i64;
+                for c in &s.children {
+                    exec_node(p, c, mem, iters)?;
+                }
+            }
+            iters.pop();
+            Ok(())
+        }
+    }
+}
+
+fn eval(p: &Program, e: &Expr, mem: &Memory, iters: &[i64]) -> Result<f64, ExecError> {
+    Ok(match e {
+        Expr::Load(a) => mem.read(p, a, iters)?,
+        Expr::Const(c) => *c,
+        Expr::Index(a) => a.eval(iters) as f64,
+        Expr::Unary(op, x) => op.eval(eval(p, x, mem, iters)?),
+        Expr::Binary(op, x, y) => op.eval(eval(p, x, mem, iters)?, eval(p, y, mem, iters)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_ir::builder::*;
+    use perfdojo_ir::{BinaryOp, BufferDecl, DType, Location, ProgramBuilder, UnaryOp};
+
+    fn run1(p: &Program, inputs: &[(&str, Tensor)]) -> HashMap<String, Tensor> {
+        let map: HashMap<String, Tensor> =
+            inputs.iter().map(|(n, t)| (n.to_string(), t.clone())).collect();
+        execute(p, &map).expect("exec")
+    }
+
+    #[test]
+    fn elementwise_mul() {
+        let mut b = ProgramBuilder::new("mul");
+        b.input("x", &[2, 3]).input("y", &[2, 3]).output("z", &[2, 3]);
+        b.scopes(&[2, 3], |b| {
+            b.op(out("z", &[0, 1]), mul(ld("x", &[0, 1]), ld("y", &[0, 1])));
+        });
+        let p = b.build();
+        let x = Tensor::from_vec(vec![2, 3], (1..=6).map(|v| v as f64).collect());
+        let y = Tensor::fill(&[2, 3], 2.0);
+        let o = run1(&p, &[("x", x), ("y", y)]);
+        assert_eq!(o["z"].data, vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    fn rowmax_reduction() {
+        let mut b = ProgramBuilder::new("rowmax");
+        b.input("x", &[2, 4]).output("m", &[2]);
+        b.scope(2, |b| {
+            b.op(out("m", &[0]), cst(f64::NEG_INFINITY));
+            b.scope(4, |b| {
+                b.reduce(out("m", &[0]), BinaryOp::Max, ld("x", &[0, 1]));
+            });
+        });
+        let p = b.build();
+        let x = Tensor::from_vec(vec![2, 4], vec![1., 9., 3., 2., -5., -1., -9., -2.]);
+        let o = run1(&p, &[("x", x)]);
+        assert_eq!(o["m"].data, vec![9.0, -1.0]);
+    }
+
+    #[test]
+    fn softmax_numerics() {
+        let src = "\
+kernel softmax
+in x
+out y
+x f32 [2, 4] heap
+y f32 [2, 4] heap
+m f32 [2] stack
+d f32 [2] stack
+
+2 | m[{0}] = -inf
+| 4 | m[{0}] = max(m[{0}], x[{0},{1}])
+| d[{0}] = 0.0
+| 4 | d[{0}] = (d[{0}] + exp((x[{0},{1}] - m[{0}])))
+| 4 | y[{0},{1}] = (exp((x[{0},{1}] - m[{0}])) / d[{0}])
+";
+        let p = perfdojo_ir::parse_program(src).unwrap();
+        let x = Tensor::from_vec(vec![2, 4], vec![0.0, 1.0, 2.0, 3.0, -1.0, -1.0, -1.0, -1.0]);
+        let o = run1(&p, &[("x", x)]);
+        let row0: f64 = o["y"].data[..4].iter().sum();
+        let row1: f64 = o["y"].data[4..].iter().sum();
+        assert!((row0 - 1.0).abs() < 1e-12);
+        assert!((row1 - 1.0).abs() < 1e-12);
+        assert!((o["y"].data[4] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_as_value() {
+        let mut b = ProgramBuilder::new("iota");
+        b.output("z", &[5]);
+        b.scope(5, |b| {
+            b.op(out("z", &[0]), idx(0));
+        });
+        let p = b.build();
+        let o = run1(&p, &[]);
+        assert_eq!(o["z"].data, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn broadcast_read() {
+        let mut b = ProgramBuilder::new("bc");
+        b.input("x", &[3]).output("z", &[3, 2]);
+        b.scopes(&[3, 2], |b| {
+            b.op(out("z", &[0, 1]), ld("x", &[0]));
+        });
+        let p = b.build();
+        let o = run1(&p, &[("x", Tensor::from_vec(vec![3], vec![7., 8., 9.]))]);
+        assert_eq!(o["z"].data, vec![7., 7., 8., 8., 9., 9.]);
+    }
+
+    #[test]
+    fn reused_dim_aliases() {
+        // t has a :N dim: every column writes the same physical element, so
+        // after the row loop t[i, *] holds the *last* value written.
+        let mut b = ProgramBuilder::new("reuse");
+        let mut t = BufferDecl::new("t", DType::F32, &[2, 3], Location::Stack);
+        t.dims[1].materialized = false;
+        b.input("x", &[2, 3]).buffer(t).output("z", &[2]);
+        b.scope(2, |b| {
+            b.scope(3, |b| {
+                b.op(out("t", &[0, 1]), ld("x", &[0, 1]));
+            });
+            b.op(
+                out("z", &[0]),
+                ld_at("t", vec![perfdojo_ir::Affine::var(0), perfdojo_ir::Affine::cst(2)]),
+            );
+        });
+        let p = b.build();
+        let x = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let o = run1(&p, &[("x", x)]);
+        assert_eq!(o["z"].data, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn padding_pollutes_only_padding() {
+        let mut b = ProgramBuilder::new("pad");
+        let mut z = BufferDecl::new("z", DType::F32, &[3], Location::Heap);
+        z.dims[0].pad_to = 4;
+        b.input("x", &[3]).buffer(z).output_existing("z");
+        b.scope(3, |b| {
+            b.op(out("z", &[0]), un(UnaryOp::Relu, ld("x", &[0])));
+        });
+        let p = b.build();
+        let o = run1(&p, &[("x", Tensor::from_vec(vec![3], vec![-1., 2., -3.]))]);
+        assert_eq!(o["z"].data, vec![0.0, 2.0, 0.0]);
+        assert_eq!(o["z"].shape, vec![3]);
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let mut b = ProgramBuilder::new("m");
+        b.input("x", &[2]).output("z", &[2]);
+        b.scope(2, |b| {
+            b.op(out("z", &[0]), ld("x", &[0]));
+        });
+        let p = b.build();
+        assert!(matches!(execute(&p, &HashMap::new()), Err(ExecError::BadInput { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut b = ProgramBuilder::new("oob");
+        b.input("x", &[2]).output("z", &[2]);
+        b.scope(3, |b| {
+            b.op(out("z", &[0]), ld("x", &[0]));
+        });
+        let p = b.build(); // not validated on purpose
+        let x = Tensor::fill(&[2], 1.0);
+        let mut m = HashMap::new();
+        m.insert("x".to_string(), x);
+        assert!(matches!(execute(&p, &m), Err(ExecError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn indirection_executes_even_though_excluded() {
+        // The interpreter supports Table 2's indirection row so the feature
+        // demo runs; validation (not the interpreter) is what excludes it.
+        let src = "\
+kernel gather
+in x idxs
+out z
+x f32 [4] heap
+idxs f32 [2] heap
+z f32 [2] heap
+
+2 | z[{0}] = x[idxs[{0}]]
+";
+        let p = perfdojo_ir::parse_program(src).unwrap();
+        let mut m = HashMap::new();
+        m.insert("x".to_string(), Tensor::from_vec(vec![4], vec![10., 11., 12., 13.]));
+        m.insert("idxs".to_string(), Tensor::from_vec(vec![2], vec![3.0, 1.0]));
+        let o = execute(&p, &m).unwrap();
+        assert_eq!(o["z"].data, vec![13.0, 11.0]);
+    }
+}

@@ -1,0 +1,610 @@
+//! Parser for the textual format produced by [`crate::text`].
+//!
+//! The format is line-oriented: a `kernel` header, optional `in`/`out`
+//! lines, buffer declarations, a blank line, then tree lines in bar
+//! notation. On a tree line, the number of leading bar segments equals the
+//! number of ancestor scopes retained from the previous line.
+
+use crate::affine::Affine;
+use crate::buffer::{BufDim, BufferDecl, DType, Location};
+use crate::expr::{Access, BinaryOp, Expr, IndexExpr, UnaryOp};
+use crate::node::{Node, OpNode, Scope, ScopeKind, ScopeSize};
+use crate::program::Program;
+use std::fmt;
+
+/// Parse failure with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub msg: String,
+    /// 1-based line number, when known.
+    pub line: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { msg: msg.into(), line })
+}
+
+/// Parse a full program from its textual form.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut p = Program::new("unnamed");
+    let mut lines = src.lines().enumerate().peekable();
+    let mut in_tree = false;
+    // Stack of open scopes: each entry is the children vec it will receive.
+    // We build via an explicit stack of (scope, parent-finished marker).
+    let mut stack: Vec<Scope> = Vec::new();
+
+    fn close_to(p: &mut Program, stack: &mut Vec<Scope>, depth: usize) {
+        while stack.len() > depth {
+            let done = stack.pop().unwrap();
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(Node::Scope(done)),
+                None => p.roots.push(Node::Scope(done)),
+            }
+        }
+    }
+
+    while let Some((i, raw)) = lines.next() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        if !in_tree {
+            let t = line.trim();
+            if t.is_empty() {
+                if !p.buffers.is_empty() || p.name != "unnamed" {
+                    in_tree = true;
+                }
+                continue;
+            }
+            if let Some(rest) = t.strip_prefix("kernel ") {
+                p.name = rest.trim().to_string();
+            } else if let Some(rest) = t.strip_prefix("in ") {
+                p.inputs = rest.split_whitespace().map(str::to_string).collect();
+            } else if let Some(rest) = t.strip_prefix("out ") {
+                p.outputs = rest.split_whitespace().map(str::to_string).collect();
+            } else {
+                p.buffers.push(parse_buffer(t, lineno)?);
+            }
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Tree line: split on '|'. Leading whitespace-only segments are bars
+        // retaining ancestors; then zero or more scope headers; the final
+        // segment is the operation (or the line opens scopes only if it ends
+        // with a header — not produced by the printer, but we reject it).
+        let segs: Vec<&str> = line.split('|').collect();
+        let mut idx = 0;
+        while idx < segs.len() && segs[idx].trim().is_empty() {
+            idx += 1;
+        }
+        let retained = idx;
+        if retained > stack.len() {
+            return err(lineno, format!("line retains {} ancestors but only {} scopes are open", retained, stack.len()));
+        }
+        close_to(&mut p, &mut stack, retained);
+        if idx == segs.len() {
+            return err(lineno, "tree line contains no content");
+        }
+        // All but the last non-bar segment are scope headers.
+        for seg in &segs[idx..segs.len() - 1] {
+            let s = parse_scope_header(seg.trim(), lineno)?;
+            stack.push(s);
+        }
+        let op_txt = segs[segs.len() - 1].trim();
+        let op = parse_op(op_txt, lineno)?;
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(Node::Op(op)),
+            None => p.roots.push(Node::Op(op)),
+        }
+    }
+    close_to(&mut p, &mut stack, 0);
+    Ok(p)
+}
+
+fn parse_buffer(t: &str, lineno: usize) -> Result<BufferDecl, ParseError> {
+    // name dtype [dims] location [-> a, b]
+    let (head, arrays) = match t.split_once("->") {
+        Some((h, a)) => (
+            h.trim(),
+            a.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect(),
+        ),
+        None => (t, Vec::new()),
+    };
+    let lb = head.find('[').ok_or(ParseError { msg: "buffer shape missing '['".into(), line: lineno })?;
+    let rb = head.rfind(']').ok_or(ParseError { msg: "buffer shape missing ']'".into(), line: lineno })?;
+    let mut pre = head[..lb].split_whitespace();
+    let name = pre.next().ok_or(ParseError { msg: "buffer name missing".into(), line: lineno })?.to_string();
+    let dtype_s = pre.next().ok_or(ParseError { msg: "buffer dtype missing".into(), line: lineno })?;
+    let dtype = DType::parse(dtype_s)
+        .ok_or(ParseError { msg: format!("unknown dtype {dtype_s}"), line: lineno })?;
+    let mut dims = Vec::new();
+    for d in head[lb + 1..rb].split(',') {
+        let mut d = d.trim().to_string();
+        if d.is_empty() {
+            continue;
+        }
+        let materialized = if let Some(s) = d.strip_suffix(":N") {
+            d = s.trim().to_string();
+            false
+        } else {
+            true
+        };
+        let (size_s, pad_s) = match d.split_once('^') {
+            Some((a, b)) => (a.trim().to_string(), Some(b.trim().to_string())),
+            None => (d, None),
+        };
+        let size: usize = size_s
+            .parse()
+            .map_err(|_| ParseError { msg: format!("bad dim size {size_s}"), line: lineno })?;
+        let pad_to = match pad_s {
+            Some(s) => s
+                .parse()
+                .map_err(|_| ParseError { msg: format!("bad pad {s}"), line: lineno })?,
+            None => size,
+        };
+        dims.push(BufDim { size, materialized, pad_to });
+    }
+    let loc_s = head[rb + 1..].trim();
+    let location = Location::parse(loc_s)
+        .ok_or(ParseError { msg: format!("unknown location {loc_s}"), line: lineno })?;
+    Ok(BufferDecl { name, dtype, dims, location, arrays })
+}
+
+fn parse_scope_header(s: &str, lineno: usize) -> Result<Scope, ParseError> {
+    if let Some(rest) = s.strip_prefix("while ") {
+        let mut lx = Lexer::new(rest.trim(), lineno);
+        let acc = lx.parse_access_after_ident()?;
+        return Ok(Scope {
+            size: ScopeSize::While(acc),
+            kind: ScopeKind::Seq,
+            frep: false,
+            ssr: false,
+            children: Vec::new(),
+        });
+    }
+    // split off :x suffixes
+    let mut parts = s.split(':');
+    let base = parts.next().unwrap_or("").trim();
+    let mut kind = ScopeKind::Seq;
+    let mut frep = false;
+    let mut ssr = false;
+    for suf in parts {
+        match suf.trim() {
+            "f" => frep = true,
+            "s" => ssr = true,
+            other => {
+                let c = other.chars().next().unwrap_or(' ');
+                kind = ScopeKind::from_suffix(c)
+                    .ok_or(ParseError { msg: format!("unknown scope suffix :{other}"), line: lineno })?;
+            }
+        }
+    }
+    let size = if base.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        ScopeSize::Const(
+            base.parse()
+                .map_err(|_| ParseError { msg: format!("bad scope size {base}"), line: lineno })?,
+        )
+    } else {
+        let mut lx = Lexer::new(base, lineno);
+        ScopeSize::DataDep(lx.parse_access_after_ident()?)
+    };
+    Ok(Scope { size, kind, frep, ssr, children: Vec::new() })
+}
+
+fn parse_op(s: &str, lineno: usize) -> Result<OpNode, ParseError> {
+    let mut lx = Lexer::new(s, lineno);
+    let out = lx.parse_access_after_ident()?;
+    lx.expect('=')?;
+    let expr = lx.parse_expr()?;
+    lx.expect_end()?;
+    Ok(OpNode { out, expr: simplify_affine(expr) })
+}
+
+/// Fold pure affine expression trees (built from `Index`, `Const`, `+`, `-`,
+/// `*`) back into a single [`Expr::Index`], so the printed form `({0}*4+{1})`
+/// round-trips structurally.
+fn simplify_affine(e: Expr) -> Expr {
+    fn as_affine(e: &Expr) -> Option<Affine> {
+        match e {
+            Expr::Index(a) => Some(a.clone()),
+            Expr::Const(c) if c.fract() == 0.0 && c.abs() < 9e15 => Some(Affine::cst(*c as i64)),
+            Expr::Unary(UnaryOp::Neg, x) => Some(as_affine(x)?.scale(-1)),
+            Expr::Binary(BinaryOp::Add, a, b) => Some(as_affine(a)?.add(&as_affine(b)?)),
+            Expr::Binary(BinaryOp::Sub, a, b) => Some(as_affine(a)?.sub(&as_affine(b)?)),
+            Expr::Binary(BinaryOp::Mul, a, b) => {
+                let (x, y) = (as_affine(a)?, as_affine(b)?);
+                if let Some(k) = x.as_const() {
+                    Some(y.scale(k))
+                } else {
+                    y.as_const().map(|k| x.scale(k))
+                }
+            }
+            _ => None,
+        }
+    }
+    // Only rewrite when the tree actually contains an Index leaf, so plain
+    // constants stay constants.
+    fn contains_index(e: &Expr) -> bool {
+        match e {
+            Expr::Index(_) => true,
+            Expr::Unary(_, x) => contains_index(x),
+            Expr::Binary(_, a, b) => contains_index(a) || contains_index(b),
+            _ => false,
+        }
+    }
+    if contains_index(&e) {
+        if let Some(a) = as_affine(&e) {
+            return Expr::Index(a);
+        }
+    }
+    match e {
+        Expr::Unary(op, x) => Expr::Unary(op, Box::new(simplify_affine(*x))),
+        Expr::Binary(op, a, b) => {
+            Expr::Binary(op, Box::new(simplify_affine(*a)), Box::new(simplify_affine(*b)))
+        }
+        other => other,
+    }
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(s: &'a str, line: usize) -> Self {
+        Lexer { chars: s.chars().collect(), pos: 0, line, src: s }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.skip_ws();
+        let c = self.chars.get(self.pos).copied();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(x) if x == c => Ok(()),
+            other => err(self.line, format!("expected '{c}', got {other:?} in '{}'", self.src)),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(c) => err(self.line, format!("trailing input starting at '{c}'")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.chars.len()
+            && (self.chars[self.pos].is_alphanumeric() || self.chars[self.pos] == '_')
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return err(self.line, format!("expected identifier in '{}'", self.src));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn number(&mut self) -> Result<f64, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.chars.len() {
+            let c = self.chars[self.pos];
+            if c.is_ascii_digit() || c == '.' {
+                self.pos += 1;
+            } else if (c == 'e' || c == 'E')
+                && self.pos + 1 < self.chars.len()
+                && (self.chars[self.pos + 1].is_ascii_digit()
+                    || self.chars[self.pos + 1] == '-'
+                    || self.chars[self.pos + 1] == '+')
+            {
+                self.pos += 2;
+            } else {
+                break;
+            }
+        }
+        let s: String = self.chars[start..self.pos].iter().collect();
+        s.parse()
+            .map_err(|_| ParseError { msg: format!("bad number '{s}'"), line: self.line })
+    }
+
+    /// Parse `ident [ idx, idx ]` (the identifier not yet consumed).
+    fn parse_access_after_ident(&mut self) -> Result<Access, ParseError> {
+        let name = self.ident()?;
+        self.parse_access_body(name)
+    }
+
+    /// Parse `[ idx, idx ]` for array `name`.
+    fn parse_access_body(&mut self, name: String) -> Result<Access, ParseError> {
+        self.expect('[')?;
+        let mut indices = Vec::new();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Access { array: name, indices });
+        }
+        loop {
+            indices.push(self.parse_index()?);
+            match self.bump() {
+                Some(',') => continue,
+                Some(']') => break,
+                other => return err(self.line, format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+        Ok(Access { array: name, indices })
+    }
+
+    /// One index: an affine expression or an indirect access.
+    fn parse_index(&mut self) -> Result<IndexExpr, ParseError> {
+        let e = self.parse_expr()?;
+        match expr_to_affine(&e) {
+            Some(a) => Ok(IndexExpr::Affine(a)),
+            None => match e {
+                Expr::Load(a) => Ok(IndexExpr::Indirect(Box::new(a))),
+                _ => err(self.line, format!("non-affine index in '{}'", self.src)),
+            },
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::Binary(BinaryOp::Add, Box::new(lhs), Box::new(rhs));
+                }
+                Some('-') => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = Expr::Binary(BinaryOp::Sub, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    let rhs = self.parse_factor()?;
+                    lhs = Expr::Binary(BinaryOp::Mul, Box::new(lhs), Box::new(rhs));
+                }
+                Some('/') => {
+                    self.bump();
+                    let rhs = self.parse_factor()?;
+                    lhs = Expr::Binary(BinaryOp::Div, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some('-') => {
+                self.bump();
+                // negative literal or negation
+                if self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    Ok(Expr::Const(-self.number()?))
+                } else if self.peek() == Some('i') {
+                    // -inf
+                    let id = self.ident()?;
+                    if id == "inf" {
+                        Ok(Expr::Const(f64::NEG_INFINITY))
+                    } else {
+                        err(self.line, format!("unexpected '-{id}'"))
+                    }
+                } else {
+                    Ok(Expr::Unary(UnaryOp::Neg, Box::new(self.parse_factor()?)))
+                }
+            }
+            Some('(') => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(')')?;
+                Ok(e)
+            }
+            Some('{') => {
+                self.bump();
+                let n = self.number()? as usize;
+                self.expect('}')?;
+                Ok(Expr::Index(Affine::var(n)))
+            }
+            Some(c) if c.is_ascii_digit() => Ok(Expr::Const(self.number()?)),
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                let id = self.ident()?;
+                if id == "inf" {
+                    return Ok(Expr::Const(f64::INFINITY));
+                }
+                match self.peek() {
+                    Some('(') => {
+                        self.bump();
+                        if let Some(u) = UnaryOp::parse(&id) {
+                            let x = self.parse_expr()?;
+                            self.expect(')')?;
+                            Ok(Expr::Unary(u, Box::new(x)))
+                        } else if id == "max" || id == "min" {
+                            let a = self.parse_expr()?;
+                            self.expect(',')?;
+                            let b = self.parse_expr()?;
+                            self.expect(')')?;
+                            let op = if id == "max" { BinaryOp::Max } else { BinaryOp::Min };
+                            Ok(Expr::Binary(op, Box::new(a), Box::new(b)))
+                        } else {
+                            err(self.line, format!("unknown function '{id}'"))
+                        }
+                    }
+                    Some('[') => Ok(Expr::Load(self.parse_access_body(id)?)),
+                    _ => err(self.line, format!("bare identifier '{id}'")),
+                }
+            }
+            other => err(self.line, format!("unexpected {other:?} in '{}'", self.src)),
+        }
+    }
+}
+
+fn expr_to_affine(e: &Expr) -> Option<Affine> {
+    match e {
+        Expr::Index(a) => Some(a.clone()),
+        Expr::Const(c) if c.fract() == 0.0 && c.abs() < 9e15 => Some(Affine::cst(*c as i64)),
+        Expr::Unary(UnaryOp::Neg, x) => Some(expr_to_affine(x)?.scale(-1)),
+        Expr::Binary(BinaryOp::Add, a, b) => Some(expr_to_affine(a)?.add(&expr_to_affine(b)?)),
+        Expr::Binary(BinaryOp::Sub, a, b) => Some(expr_to_affine(a)?.sub(&expr_to_affine(b)?)),
+        Expr::Binary(BinaryOp::Mul, a, b) => {
+            let (x, y) = (expr_to_affine(a)?, expr_to_affine(b)?);
+            if let Some(k) = x.as_const() {
+                Some(y.scale(k))
+            } else {
+                y.as_const().map(|k| x.scale(k))
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::print_program;
+
+    const SOFTMAX: &str = "\
+kernel softmax
+in x
+out y
+x f32 [8, 16] heap
+y f32 [8, 16] heap
+m f32 [8] stack
+d f32 [8] stack
+
+8 | m[{0}] = -inf
+| 16 | m[{0}] = max(m[{0}], x[{0},{1}])
+| d[{0}] = 0.0
+| 16 | d[{0}] = (d[{0}] + exp((x[{0},{1}] - m[{0}])))
+| 16 | y[{0},{1}] = (exp((x[{0},{1}] - m[{0}])) / d[{0}])
+";
+
+    #[test]
+    fn parse_softmax_roundtrip() {
+        let p = parse_program(SOFTMAX).expect("parse");
+        assert_eq!(p.name, "softmax");
+        assert_eq!(p.buffers.len(), 4);
+        assert_eq!(p.op_count(), 5);
+        let printed = print_program(&p);
+        let p2 = parse_program(&printed).expect("reparse");
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn parse_scope_suffixes() {
+        let p = parse_program(
+            "kernel k\nx f32 [32] heap\n\n32:v:s:f | x[{0}] = 1.0\n",
+        )
+        .unwrap();
+        let s = p.roots[0].as_scope().unwrap();
+        assert_eq!(s.kind, crate::node::ScopeKind::Vector);
+        assert!(s.ssr);
+        assert!(s.frep);
+    }
+
+    #[test]
+    fn parse_affine_index() {
+        let p = parse_program(
+            "kernel k\nx f32 [64] heap\nz f32 [64] heap\n\n16 | 4 | z[{0}*4+{1}] = x[4*{0}+{1}]\n",
+        )
+        .unwrap();
+        let (_, op, _) = &p.ops()[0];
+        let idx = op.out.indices[0].as_affine().unwrap();
+        assert_eq!(idx.coeff(0), 4);
+        assert_eq!(idx.coeff(1), 1);
+    }
+
+    #[test]
+    fn parse_index_as_value() {
+        let p = parse_program("kernel k\nz f32 [8] heap\n\n8 | z[{0}] = ({0}*2+1)\n").unwrap();
+        let (_, op, _) = &p.ops()[0];
+        match &op.expr {
+            Expr::Index(a) => {
+                assert_eq!(a.coeff(0), 2);
+                assert_eq!(a.offset, 1);
+            }
+            other => panic!("expected Index, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_indirection_excluded_feature() {
+        let p = parse_program(
+            "kernel k\nx f32 [8] heap\ny f32 [8] heap\nz f32 [8] heap\n\n8 | z[{0}] = x[y[{0}]]\n",
+        )
+        .unwrap();
+        let (_, op, _) = &p.ops()[0];
+        let reads = op.reads();
+        assert!(reads.iter().any(|a| a.affine_indices().is_none()));
+    }
+
+    #[test]
+    fn parse_buffer_with_pad_reuse_arrays() {
+        let p = parse_program(
+            "kernel k\nbuf f32 [8^10, 4:N] stack -> m, d\n\nm[0,0] = 1.0\n",
+        )
+        .unwrap();
+        let b = &p.buffers[0];
+        assert_eq!(b.dims[0].pad_to, 10);
+        assert!(!b.dims[1].materialized);
+        assert_eq!(b.arrays, vec!["m".to_string(), "d".to_string()]);
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_program("kernel k\nx f32 [4] heap\n\n4 | z{0} = 1\n").is_err());
+        assert!(parse_program("kernel k\nx f32 4] heap\n\n").is_err());
+        assert!(parse_program("kernel k\nx f32 [4] heap\n\n| z[0] = 1.0\n").is_err());
+    }
+
+    #[test]
+    fn negative_constants_and_inf() {
+        let p = parse_program("kernel k\nz f32 [2] heap\n\n2 | z[{0}] = max(-inf, -3.5)\n").unwrap();
+        let (_, op, _) = &p.ops()[0];
+        match &op.expr {
+            Expr::Binary(BinaryOp::Max, a, b) => {
+                assert_eq!(**a, Expr::Const(f64::NEG_INFINITY));
+                assert_eq!(**b, Expr::Const(-3.5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

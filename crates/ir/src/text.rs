@@ -1,0 +1,164 @@
+//! Printer for the human-readable textual format (paper §2.1, Fig. 3b).
+//!
+//! Buffer declarations come first, then a blank line, then the tree. On tree
+//! lines, a vertical bar `|` denotes a child relationship with the nearest
+//! preceding line that does not contain a bar in the same position — i.e.
+//! each leading bar stands for one still-open ancestor scope, aligned under
+//! that scope's header.
+
+use crate::node::Node;
+use crate::program::Program;
+
+/// Render the full program (declarations, blank line, tree).
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("kernel {}\n", p.name));
+    if !p.inputs.is_empty() {
+        out.push_str(&format!("in {}\n", p.inputs.join(" ")));
+    }
+    if !p.outputs.is_empty() {
+        out.push_str(&format!("out {}\n", p.outputs.join(" ")));
+    }
+    for b in &p.buffers {
+        out.push_str(&b.to_string());
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str(&print_tree(&p.roots));
+    out
+}
+
+/// Render only the tree in bar notation.
+pub fn print_tree(roots: &[Node]) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    // Columns at which currently-open ancestor scopes printed their headers.
+    let mut open_cols: Vec<usize> = Vec::new();
+    for n in roots {
+        print_node(n, &mut lines, &mut open_cols, &mut String::new(), 0);
+    }
+    let mut s = lines.join("\n");
+    if !s.is_empty() {
+        s.push('\n');
+    }
+    s
+}
+
+/// `prefix` is the text accumulated for the current line so far; `fresh`
+/// counts how many open scopes were first printed on the current line.
+fn print_node(
+    node: &Node,
+    lines: &mut Vec<String>,
+    open_cols: &mut Vec<usize>,
+    prefix: &mut String,
+    fresh: usize,
+) {
+    match node {
+        Node::Op(op) => {
+            lines.push(format!("{prefix}{op}"));
+        }
+        Node::Scope(s) => {
+            let col = prefix.chars().count();
+            let header = s.header();
+            prefix.push_str(&header);
+            prefix.push_str(" | ");
+            open_cols.push(col);
+            let nchildren = s.children.len();
+            for (i, c) in s.children.iter().enumerate() {
+                if i == 0 {
+                    print_node(c, lines, open_cols, prefix, fresh + 1);
+                } else {
+                    // Subsequent children start a new line: bars for every
+                    // open ancestor at its recorded column.
+                    let mut np = String::new();
+                    for &c0 in open_cols.iter() {
+                        while np.chars().count() < c0 {
+                            np.push(' ');
+                        }
+                        np.push_str("| ");
+                    }
+                    print_node(c, lines, open_cols, &mut np, 0);
+                }
+                let _ = nchildren;
+            }
+            open_cols.pop();
+            // Restore prefix for siblings handled by the caller.
+            prefix.truncate(prefix.len() - header.len() - 3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{BufferDecl, DType, Location};
+    use crate::expr::{Access, BinaryOp, Expr};
+    use crate::node::{OpNode, Scope};
+
+    fn op(out: &str, depths: &[usize], expr: Expr) -> Node {
+        Node::Op(OpNode::new(Access::vars(out, depths), expr))
+    }
+
+    #[test]
+    fn single_line_nest() {
+        let roots = vec![Node::Scope(Scope::new(
+            4,
+            vec![Node::Scope(Scope::new(
+                8,
+                vec![op(
+                    "z",
+                    &[0, 1],
+                    Expr::Binary(
+                        BinaryOp::Mul,
+                        Box::new(Expr::Load(Access::vars("x", &[0, 1]))),
+                        Box::new(Expr::Load(Access::vars("y", &[0, 1]))),
+                    ),
+                )],
+            ))],
+        ))];
+        assert_eq!(
+            print_tree(&roots),
+            "4 | 8 | z[{0},{1}] = (x[{0},{1}] * y[{0},{1}])\n"
+        );
+    }
+
+    #[test]
+    fn bars_align_under_parent() {
+        let roots = vec![Node::Scope(Scope::new(
+            4,
+            vec![
+                op("m", &[0], Expr::Const(0.0)),
+                Node::Scope(Scope::new(8, vec![op("e", &[0, 1], Expr::Const(1.0))])),
+            ],
+        ))];
+        let t = print_tree(&roots);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "4 | m[{0}] = 0.0");
+        assert_eq!(lines[1], "| 8 | e[{0},{1}] = 1.0");
+    }
+
+    #[test]
+    fn full_program_header() {
+        let mut p = Program::new("copy");
+        p.buffers.push(BufferDecl::new("x", DType::F32, &[4], Location::Heap));
+        p.buffers.push(BufferDecl::new("z", DType::F32, &[4], Location::Heap));
+        p.inputs = vec!["x".into()];
+        p.outputs = vec!["z".into()];
+        p.roots = vec![Node::Scope(Scope::new(
+            4,
+            vec![op("z", &[0], Expr::Load(Access::vars("x", &[0])))],
+        ))];
+        let t = print_program(&p);
+        assert!(t.starts_with("kernel copy\nin x\nout z\nx f32 [4] heap\nz f32 [4] heap\n\n"));
+        assert!(t.ends_with("4 | z[{0}] = x[{0}]\n"));
+    }
+
+    #[test]
+    fn two_top_level_scopes() {
+        let roots = vec![
+            Node::Scope(Scope::new(2, vec![op("a", &[0], Expr::Const(0.0))])),
+            Node::Scope(Scope::new(3, vec![op("b", &[0], Expr::Const(1.0))])),
+        ];
+        let t = print_tree(&roots);
+        assert_eq!(t, "2 | a[{0}] = 0.0\n3 | b[{0}] = 1.0\n");
+    }
+}

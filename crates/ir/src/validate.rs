@@ -1,0 +1,366 @@
+//! Well-formedness validation.
+//!
+//! Beyond structural checks (declared arrays, matching arities, in-bounds
+//! affine indices, valid depth references), validation **rejects** the
+//! representation features the paper deliberately excludes for the sake of
+//! semantic-preservation guarantees (§2.1, Table 2): indirection,
+//! data-dependent ranges, dependent iteration, and general control flow.
+
+use crate::expr::{Expr, IndexExpr};
+use crate::node::{Node, ScopeSize};
+use crate::path::Path;
+use crate::program::Program;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An access names an array with no declaring buffer.
+    UnknownArray(String),
+    /// An access has the wrong number of indices.
+    ArityMismatch { array: String, expected: usize, got: usize },
+    /// An index can evaluate outside the buffer's physical extent.
+    OutOfBounds { array: String, dim: usize, min: i64, max: i64, size: usize },
+    /// An index references a scope depth deeper than the op's nesting.
+    BadDepth { path: Path, depth: usize, nesting: usize },
+    /// Excluded feature: indirection (`x[y[{0}]]`).
+    IndirectionExcluded { array: String },
+    /// Excluded feature: data-dependent range or `while` control flow.
+    DynamicRangeExcluded { path: Path },
+    /// Excluded feature: dependent iteration (reading the written array at a
+    /// different index of an enclosing iterator, e.g. `z[{0}-1]`).
+    DependentIterationExcluded { array: String },
+    /// A declared input is never read or an output never written.
+    UnusedInterface { array: String, role: &'static str },
+    /// Two buffers declare the same array name.
+    DuplicateArray(String),
+    /// A scope has no children.
+    EmptyScope { path: Path },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnknownArray(a) => write!(f, "access to undeclared array '{a}'"),
+            ValidateError::ArityMismatch { array, expected, got } => {
+                write!(f, "array '{array}' has {expected} dims but is accessed with {got} indices")
+            }
+            ValidateError::OutOfBounds { array, dim, min, max, size } => write!(
+                f,
+                "index of '{array}' dim {dim} ranges over [{min},{max}] outside [0,{size})"
+            ),
+            ValidateError::BadDepth { path, depth, nesting } => {
+                write!(f, "op {path} references scope depth {depth} but is nested {nesting} deep")
+            }
+            ValidateError::IndirectionExcluded { array } => {
+                write!(f, "indirection through '{array}' is an excluded feature")
+            }
+            ValidateError::DynamicRangeExcluded { path } => {
+                write!(f, "scope {path} has a dynamic range (excluded feature)")
+            }
+            ValidateError::DependentIterationExcluded { array } => {
+                write!(f, "dependent iteration on '{array}' is an excluded feature")
+            }
+            ValidateError::UnusedInterface { array, role } => {
+                write!(f, "{role} array '{array}' is never touched")
+            }
+            ValidateError::DuplicateArray(a) => write!(f, "array '{a}' declared twice"),
+            ValidateError::EmptyScope { path } => write!(f, "scope {path} has no children"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a program, returning the first problem found.
+pub fn validate(p: &Program) -> Result<(), ValidateError> {
+    // Unique array declarations.
+    let mut seen: HashSet<&str> = HashSet::new();
+    for b in &p.buffers {
+        for a in b.array_names() {
+            if !seen.insert(a) {
+                return Err(ValidateError::DuplicateArray(a.to_string()));
+            }
+        }
+    }
+
+    // Scope structure: constant ranges, non-empty scopes.
+    let mut structural: Result<(), ValidateError> = Ok(());
+    crate::path::walk(&p.roots, &mut |path, node, _| {
+        if structural.is_err() {
+            return;
+        }
+        if let Node::Scope(s) = node {
+            if !matches!(s.size, ScopeSize::Const(_)) {
+                structural = Err(ValidateError::DynamicRangeExcluded { path: path.clone() });
+            } else if s.children.is_empty() {
+                structural = Err(ValidateError::EmptyScope { path: path.clone() });
+            }
+        }
+    });
+    structural?;
+
+    let mut read_arrays: HashSet<String> = HashSet::new();
+    let mut written_arrays: HashSet<String> = HashSet::new();
+
+    for (path, op, chain) in p.ops() {
+        let nesting = chain.len();
+        let sizes: Vec<usize> = chain.iter().map(|s| s.trip()).collect();
+
+        let check_access = |acc: &crate::expr::Access, _is_write: bool| -> Result<(), ValidateError> {
+            let buf = p
+                .buffer_of(&acc.array)
+                .ok_or_else(|| ValidateError::UnknownArray(acc.array.clone()))?;
+            if acc.indices.len() != buf.dims.len() {
+                return Err(ValidateError::ArityMismatch {
+                    array: acc.array.clone(),
+                    expected: buf.dims.len(),
+                    got: acc.indices.len(),
+                });
+            }
+            for (d, ix) in acc.indices.iter().enumerate() {
+                let a = match ix {
+                    IndexExpr::Affine(a) => a,
+                    IndexExpr::Indirect(_) => {
+                        return Err(ValidateError::IndirectionExcluded { array: acc.array.clone() })
+                    }
+                };
+                for dep in a.depths() {
+                    if dep >= nesting {
+                        return Err(ValidateError::BadDepth { path: path.clone(), depth: dep, nesting });
+                    }
+                }
+                let (lo, hi) = a.range(&sizes);
+                let physical = buf.dims[d].pad_to;
+                if lo < 0 || hi >= physical as i64 {
+                    return Err(ValidateError::OutOfBounds {
+                        array: acc.array.clone(),
+                        dim: d,
+                        min: lo,
+                        max: hi,
+                        size: physical,
+                    });
+                }
+            }
+            Ok(())
+        };
+
+        check_access(&op.out, true)?;
+        written_arrays.insert(op.out.array.clone());
+        for r in op.reads() {
+            check_access(r, false)?;
+            read_arrays.insert(r.array.clone());
+            // Dependent iteration check: reading the array this op writes at
+            // an access function that differs from the written one *along an
+            // enclosing iterator* creates a loop-carried flow we exclude
+            // (plain accumulation `z = f(z, ...)` with identical access is a
+            // reduction and allowed).
+            if r.array == op.out.array && *r != op.out {
+                // Same array, different access: allowed only when the two
+                // access functions are equal on every dimension that uses an
+                // iterator (i.e. they may differ only in constant dims).
+                let differs_dynamically = r
+                    .indices
+                    .iter()
+                    .zip(&op.out.indices)
+                    .any(|(a, b)| a != b && (has_iter(a) || has_iter(b)));
+                if differs_dynamically {
+                    return Err(ValidateError::DependentIterationExcluded {
+                        array: r.array.clone(),
+                    });
+                }
+            }
+        }
+        collect_index_values(&op.expr, &mut |a| {
+            for dep in a.depths() {
+                if dep >= nesting {
+                    return Err(ValidateError::BadDepth { path: path.clone(), depth: dep, nesting });
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    for i in &p.inputs {
+        if !read_arrays.contains(i) {
+            return Err(ValidateError::UnusedInterface { array: i.clone(), role: "input" });
+        }
+    }
+    for o in &p.outputs {
+        if !written_arrays.contains(o) {
+            return Err(ValidateError::UnusedInterface { array: o.clone(), role: "output" });
+        }
+    }
+    Ok(())
+}
+
+fn has_iter(ix: &IndexExpr) -> bool {
+    match ix {
+        IndexExpr::Affine(a) => !a.is_const(),
+        IndexExpr::Indirect(_) => true,
+    }
+}
+
+fn collect_index_values(
+    e: &Expr,
+    f: &mut dyn FnMut(&crate::affine::Affine) -> Result<(), ValidateError>,
+) -> Result<(), ValidateError> {
+    match e {
+        Expr::Index(a) => f(a),
+        Expr::Unary(_, x) => collect_index_values(x, f),
+        Expr::Binary(_, x, y) => {
+            collect_index_values(x, f)?;
+            collect_index_values(y, f)
+        }
+        Expr::Load(_) | Expr::Const(_) => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::expr::Access;
+    use crate::node::{OpNode, Scope};
+    use crate::affine::Affine;
+
+    fn base() -> ProgramBuilder {
+        let mut b = ProgramBuilder::new("t");
+        b.input("x", &[4, 8]);
+        b.output("z", &[4, 8]);
+        b
+    }
+
+    #[test]
+    fn ok_program() {
+        let mut b = base();
+        b.scopes(&[4, 8], |b| {
+            b.op(out("z", &[0, 1]), ld("x", &[0, 1]));
+        });
+        assert!(validate(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn unknown_array() {
+        let mut b = base();
+        b.scopes(&[4, 8], |b| {
+            b.op(out("z", &[0, 1]), ld("nope", &[0, 1]));
+        });
+        assert!(matches!(validate(&b.build()), Err(ValidateError::UnknownArray(_))));
+    }
+
+    #[test]
+    fn arity_mismatch() {
+        let mut b = base();
+        b.scopes(&[4, 8], |b| {
+            b.op(out("z", &[0, 1]), ld("x", &[0]));
+        });
+        assert!(matches!(validate(&b.build()), Err(ValidateError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds() {
+        let mut b = base();
+        b.scopes(&[4, 8], |b| {
+            b.op(
+                out("z", &[0, 1]),
+                ld_at("x", vec![Affine::var(0), Affine::scaled(1, 2, 0)]),
+            );
+        });
+        assert!(matches!(validate(&b.build()), Err(ValidateError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn bad_depth() {
+        let mut b = base();
+        b.scope(4, |b| {
+            b.op(out("z", &[0, 0]), ld("x", &[0, 1]));
+        });
+        assert!(matches!(validate(&b.build()), Err(ValidateError::BadDepth { .. })));
+    }
+
+    #[test]
+    fn dependent_iteration_excluded() {
+        let mut b = ProgramBuilder::new("scan");
+        b.input("y", &[8]);
+        b.output("z", &[8]);
+        b.scope(8, |b| {
+            b.op(
+                out("z", &[0]),
+                mul(
+                    ld_at("z", vec![Affine::scaled(0, 1, -1)]),
+                    ld("y", &[0]),
+                ),
+            );
+        });
+        // also out-of-bounds at {0}=0; dependent iteration fires first on read
+        let r = validate(&b.build());
+        assert!(
+            matches!(
+                r,
+                Err(ValidateError::DependentIterationExcluded { .. })
+                    | Err(ValidateError::OutOfBounds { .. })
+            ),
+            "got {r:?}"
+        );
+    }
+
+    #[test]
+    fn reduction_is_allowed() {
+        let mut b = ProgramBuilder::new("sum");
+        b.input("x", &[4, 8]);
+        b.output("s", &[4]);
+        b.scope(4, |b| {
+            b.op(out("s", &[0]), cst(0.0));
+            b.scope(8, |b| {
+                b.reduce(out("s", &[0]), crate::expr::BinaryOp::Add, ld("x", &[0, 1]));
+            });
+        });
+        assert!(validate(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn empty_scope_rejected() {
+        let mut p = Program::new("e");
+        p.roots = vec![Node::Scope(Scope::new(4, vec![]))];
+        assert!(matches!(validate(&p), Err(ValidateError::EmptyScope { .. })));
+    }
+
+    #[test]
+    fn duplicate_array_rejected() {
+        let mut b = base();
+        b.temp("x", &[4], crate::buffer::Location::Stack);
+        b.scopes(&[4, 8], |b| {
+            b.op(out("z", &[0, 1]), ld("x", &[0, 1]));
+        });
+        assert!(matches!(validate(&b.build()), Err(ValidateError::DuplicateArray(_))));
+    }
+
+    #[test]
+    fn unused_output_rejected() {
+        let mut b = base();
+        b.temp("t", &[4, 8], crate::buffer::Location::Heap);
+        b.scopes(&[4, 8], |b| {
+            b.op(out("t", &[0, 1]), ld("x", &[0, 1]));
+        });
+        assert!(matches!(
+            validate(&b.build()),
+            Err(ValidateError::UnusedInterface { role: "output", .. })
+        ));
+    }
+
+    #[test]
+    fn padded_buffer_allows_padded_iteration() {
+        // iteration over 320 into a buffer padded 300 -> 320 is in bounds
+        let mut b = ProgramBuilder::new("pad");
+        let mut decl = crate::buffer::BufferDecl::new("z", crate::buffer::DType::F32, &[300], crate::buffer::Location::Heap);
+        decl.dims[0].pad_to = 320;
+        b.buffer(decl);
+        b.output_existing("z");
+        b.scope(320, |b| {
+            b.op(out("z", &[0]), cst(0.0));
+        });
+        assert!(validate(&b.build()).is_ok());
+    }
+}

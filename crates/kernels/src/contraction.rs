@@ -1,0 +1,148 @@
+//! Contraction operators: matmul, batched matmul, 2D convolution.
+
+use perfdojo_ir::builder::*;
+use perfdojo_ir::{Affine, BinaryOp, Program, ProgramBuilder};
+
+/// Matrix multiplication `z[m,n] = sum_k x[m,k] * y[k,n]`
+/// (Table 3: `matmul`, 768×1024×1024 as M×K×N).
+pub fn matmul(m: usize, k: usize, n: usize) -> Program {
+    let mut b = ProgramBuilder::new("matmul");
+    b.input("x", &[m, k]).input("y", &[k, n]).output("z", &[m, n]);
+    b.scopes(&[m, n], |b| {
+        b.op(out("z", &[0, 1]), cst(0.0));
+        b.scope(k, |b| {
+            b.reduce(out("z", &[0, 1]), BinaryOp::Add, mul(ld("x", &[0, 2]), ld("y", &[2, 1])));
+        });
+    });
+    b.build()
+}
+
+/// Batched matrix multiplication `z[b,m,n] = sum_k x[b,m,k] * y[b,k,n]`
+/// (Table 3: `bmm`, 192×256×128×256 as B×M×K×N).
+pub fn bmm(bsz: usize, m: usize, k: usize, n: usize) -> Program {
+    let mut b = ProgramBuilder::new("bmm");
+    b.input("x", &[bsz, m, k]).input("y", &[bsz, k, n]).output("z", &[bsz, m, n]);
+    b.scopes(&[bsz, m, n], |b| {
+        b.op(out("z", &[0, 1, 2]), cst(0.0));
+        b.scope(k, |b| {
+            b.reduce(
+                out("z", &[0, 1, 2]),
+                BinaryOp::Add,
+                mul(ld("x", &[0, 1, 3]), ld("y", &[0, 3, 2])),
+            );
+        });
+    });
+    b.build()
+}
+
+/// Direct (valid-padding) 2D convolution over NCHW input with a
+/// `cout × cin × kh × kw` filter bank:
+/// `z[n,co,oh,ow] = sum_{ci,kh,kw} x[n,ci,oh+kh,ow+kw] * w[co,ci,kh,kw]`
+/// (Table 3: `conv 1` = 8×10×3×512×512×5, `conv 2` = 8×64×64×56×56×3,
+/// read as N×Cout×Cin×H×W×K).
+pub fn conv2d(n: usize, cout: usize, cin: usize, h: usize, w: usize, ksz: usize) -> Program {
+    assert!(h >= ksz && w >= ksz, "kernel larger than image");
+    let oh = h - ksz + 1;
+    let ow = w - ksz + 1;
+    let mut b = ProgramBuilder::new("conv");
+    b.input("x", &[n, cin, h, w]).input("wt", &[cout, cin, ksz, ksz]);
+    b.output("z", &[n, cout, oh, ow]);
+    // depths: 0=n 1=co 2=oh 3=ow 4=ci 5=kh 6=kw
+    b.scopes(&[n, cout, oh, ow], |b| {
+        b.op(out("z", &[0, 1, 2, 3]), cst(0.0));
+        b.scopes(&[cin, ksz, ksz], |b| {
+            b.reduce(
+                out("z", &[0, 1, 2, 3]),
+                BinaryOp::Add,
+                mul(
+                    ld_at(
+                        "x",
+                        vec![
+                            Affine::var(0),
+                            Affine::var(4),
+                            Affine::var(2).add(&Affine::var(5)),
+                            Affine::var(3).add(&Affine::var(6)),
+                        ],
+                    ),
+                    ld("wt", &[1, 4, 5, 6]),
+                ),
+            );
+        });
+    });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_interp::{execute, random_inputs};
+    use perfdojo_ir::validate;
+
+    #[test]
+    fn matmul_matches_reference() {
+        let p = matmul(3, 4, 5);
+        validate(&p).unwrap();
+        let inputs = random_inputs(&p, 9);
+        let o = execute(&p, &inputs).unwrap();
+        let (x, y) = (&inputs["x"], &inputs["y"]);
+        for i in 0..3 {
+            for j in 0..5 {
+                let want: f64 = (0..4).map(|kk| x.at(&[i, kk]) * y.at(&[kk, j])).sum();
+                assert!((o["z"].at(&[i, j]) - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn bmm_matches_reference() {
+        let p = bmm(2, 3, 2, 3);
+        validate(&p).unwrap();
+        let inputs = random_inputs(&p, 10);
+        let o = execute(&p, &inputs).unwrap();
+        let (x, y) = (&inputs["x"], &inputs["y"]);
+        for bb in 0..2 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    let want: f64 = (0..2).map(|kk| x.at(&[bb, i, kk]) * y.at(&[bb, kk, j])).sum();
+                    assert!((o["z"].at(&[bb, i, j]) - want).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_matches_reference() {
+        let p = conv2d(1, 2, 2, 5, 5, 3);
+        validate(&p).unwrap();
+        let inputs = random_inputs(&p, 11);
+        let o = execute(&p, &inputs).unwrap();
+        let (x, wt) = (&inputs["x"], &inputs["wt"]);
+        for co in 0..2 {
+            for oh in 0..3 {
+                for ow in 0..3 {
+                    let mut want = 0.0;
+                    for ci in 0..2 {
+                        for kh in 0..3 {
+                            for kw in 0..3 {
+                                want += x.at(&[0, ci, oh + kh, ow + kw]) * wt.at(&[co, ci, kh, kw]);
+                            }
+                        }
+                    }
+                    assert!((o["z"].at(&[0, co, oh, ow]) - want).abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_output_shape() {
+        let p = conv2d(1, 1, 1, 8, 8, 3);
+        assert_eq!(p.buffer_of("z").unwrap().shape(), vec![1, 1, 6, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger")]
+    fn conv_bad_kernel_panics() {
+        conv2d(1, 1, 1, 2, 2, 3);
+    }
+}

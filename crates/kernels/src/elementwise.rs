@@ -1,0 +1,82 @@
+//! Element-wise operators: `add`, `mul`, `relu`, `relu_ffn`.
+
+use perfdojo_ir::builder::*;
+use perfdojo_ir::{Program, ProgramBuilder, UnaryOp};
+
+/// Elementwise addition `z = x + y` over an `n × m` tensor
+/// (Table 3: `add`, 3072×4096).
+pub fn add_kernel(n: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new("add");
+    b.input("x", &[n, m]).input("y", &[n, m]).output("z", &[n, m]);
+    b.scopes(&[n, m], |b| {
+        b.op(out("z", &[0, 1]), add(ld("x", &[0, 1]), ld("y", &[0, 1])));
+    });
+    b.build()
+}
+
+/// Elementwise multiplication `z = x * y` over an `n × m` tensor
+/// (Table 3: `mul`, 6×14336 — the kernel PerfLLM vectorizes in Fig. 14a).
+pub fn mul_kernel(n: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new("mul");
+    b.input("x", &[n, m]).input("y", &[n, m]).output("z", &[n, m]);
+    b.scopes(&[n, m], |b| {
+        b.op(out("z", &[0, 1]), mul(ld("x", &[0, 1]), ld("y", &[0, 1])));
+    });
+    b.build()
+}
+
+/// Rectified linear unit `z = max(x, 0)` (Table 3: `relu`, 4096×4096).
+pub fn relu_kernel(n: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new("relu");
+    b.input("x", &[n, m]).output("z", &[n, m]);
+    b.scopes(&[n, m], |b| {
+        b.op(out("z", &[0, 1]), un(UnaryOp::Relu, ld("x", &[0, 1])));
+    });
+    b.build()
+}
+
+/// Channel-wise feed-forward followed by ReLU over an NCHW tensor:
+/// `z[n,c,h,w] = relu(x[n,c,h,w] * g[c] + b[c])`
+/// (Table 3: `relu_ffn`, 8×64×112×112; the per-channel affine stands in for
+/// the feed-forward layer feeding the activation).
+pub fn relu_ffn_kernel(n: usize, c: usize, h: usize, w: usize) -> Program {
+    let mut b = ProgramBuilder::new("relu_ffn");
+    b.input("x", &[n, c, h, w]).input("g", &[c]).input("bb", &[c]);
+    b.output("z", &[n, c, h, w]);
+    b.scopes(&[n, c, h, w], |b| {
+        b.op(
+            out("z", &[0, 1, 2, 3]),
+            un(
+                UnaryOp::Relu,
+                add(mul(ld("x", &[0, 1, 2, 3]), ld("g", &[1])), ld("bb", &[1])),
+            ),
+        );
+    });
+    b.build()
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_ir::validate;
+
+    #[test]
+    fn shapes_and_ops() {
+        let p = add_kernel(8, 16);
+        validate(&p).unwrap();
+        assert_eq!(p.dynamic_op_instances(), 8 * 16);
+        let p = relu_ffn_kernel(2, 3, 4, 5);
+        validate(&p).unwrap();
+        assert_eq!(p.op_count(), 1);
+        assert_eq!(p.inputs.len(), 3);
+    }
+
+    #[test]
+    fn relu_has_single_input() {
+        let p = relu_kernel(4, 4);
+        validate(&p).unwrap();
+        assert_eq!(p.inputs, vec!["x".to_string()]);
+        assert_eq!(p.outputs, vec!["z".to_string()]);
+    }
+}

@@ -1,0 +1,43 @@
+//! ML kernel suite expressed in PerfDojo IR.
+//!
+//! Implements every operator of paper Table 3 (with the paper's input
+//! shapes) plus the Snitch micro-kernel suite of §4.1. All builders are
+//! shape-parameterized so tests/verification can run shrunken instances
+//! while benchmarks use the paper shapes.
+
+pub mod contraction;
+pub mod elementwise;
+pub mod micro;
+pub mod normalization;
+pub mod suite;
+
+pub use contraction::{bmm, conv2d, matmul};
+pub use elementwise::{add_kernel as add, mul_kernel as mul, relu_ffn_kernel as relu_ffn, relu_kernel as relu};
+pub use normalization::{batchnorm, layernorm, reducemean, rmsnorm, softmax, swiglu};
+pub use suite::{micro_suite, paper_suite, small_suite, KernelInstance};
+
+#[cfg(test)]
+mod tests {
+    use perfdojo_ir::validate;
+
+    #[test]
+    fn every_paper_kernel_validates() {
+        for k in crate::suite::paper_suite() {
+            validate(&k.program).unwrap_or_else(|e| panic!("{}: {e}", k.label));
+        }
+    }
+
+    #[test]
+    fn every_small_kernel_validates() {
+        for k in crate::suite::small_suite() {
+            validate(&k.program).unwrap_or_else(|e| panic!("{}: {e}", k.label));
+        }
+    }
+
+    #[test]
+    fn every_micro_kernel_validates() {
+        for k in crate::suite::micro_suite() {
+            validate(&k.program).unwrap_or_else(|e| panic!("{}: {e}", k.label));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Snitch micro-kernel suite (paper §4.1, Figures 7–8).
+//!
+//! The paper evaluates its naive/greedy/heuristic passes on micro-kernels
+//! small enough for cycle-accurate simulation of a Snitch cluster. We define
+//! the classic Snitch benchmark set: streaming vector kernels plus small
+//! reductions and a tiny GEMM/GEMV.
+
+use perfdojo_ir::builder::*;
+use perfdojo_ir::{BinaryOp, Program, ProgramBuilder, UnaryOp};
+
+/// `z = a*x + y` over a length-`n` vector.
+pub fn axpy(n: usize) -> Program {
+    let mut b = ProgramBuilder::new("axpy");
+    b.input("x", &[n]).input("y", &[n]).output("z", &[n]);
+    b.scope(n, |b| {
+        b.op(out("z", &[0]), add(mul(cst(2.5), ld("x", &[0])), ld("y", &[0])));
+    });
+    b.build()
+}
+
+/// Dot product of two length-`n` vectors.
+pub fn dot(n: usize) -> Program {
+    let mut b = ProgramBuilder::new("dot");
+    b.input("x", &[n]).input("y", &[n]).output("s", &[1]);
+    b.op(out_at("s", vec![perfdojo_ir::Affine::cst(0)]), cst(0.0));
+    b.scope(n, |b| {
+        b.reduce(
+            out_at("s", vec![perfdojo_ir::Affine::cst(0)]),
+            BinaryOp::Add,
+            mul(ld("x", &[0]), ld("y", &[0])),
+        );
+    });
+    b.build()
+}
+
+/// Matrix-vector product `z[i] = sum_j a[i,j] * x[j]` over `n × m`.
+pub fn gemv(n: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new("gemv");
+    b.input("a", &[n, m]).input("x", &[m]).output("z", &[n]);
+    b.scope(n, |b| {
+        b.op(out("z", &[0]), cst(0.0));
+        b.scope(m, |b| {
+            b.reduce(out("z", &[0]), BinaryOp::Add, mul(ld("a", &[0, 1]), ld("x", &[1])));
+        });
+    });
+    b.build()
+}
+
+/// Small square matrix multiplication (`n × n × n`).
+pub fn gemm(n: usize) -> Program {
+    let mut p = crate::contraction::matmul(n, n, n);
+    p.name = "gemm".into();
+    p
+}
+
+/// Elementwise vector sum `z = x + y`.
+pub fn vadd(n: usize) -> Program {
+    let mut b = ProgramBuilder::new("vadd");
+    b.input("x", &[n]).input("y", &[n]).output("z", &[n]);
+    b.scope(n, |b| {
+        b.op(out("z", &[0]), add(ld("x", &[0]), ld("y", &[0])));
+    });
+    b.build()
+}
+
+/// Vector ReLU.
+pub fn vrelu(n: usize) -> Program {
+    let mut b = ProgramBuilder::new("vrelu");
+    b.input("x", &[n]).output("z", &[n]);
+    b.scope(n, |b| {
+        b.op(out("z", &[0]), un(UnaryOp::Relu, ld("x", &[0])));
+    });
+    b.build()
+}
+
+/// Sum reduction of an `n × m` matrix along rows.
+pub fn rowsum(n: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new("rowsum");
+    b.input("x", &[n, m]).output("s", &[n]);
+    b.scope(n, |b| {
+        b.op(out("s", &[0]), cst(0.0));
+        b.scope(m, |b| {
+            b.reduce(out("s", &[0]), BinaryOp::Add, ld("x", &[0, 1]));
+        });
+    });
+    b.build()
+}
+
+/// Small row-wise softmax (the §4.1 softmax micro-kernel).
+pub fn softmax_micro(n: usize, m: usize) -> Program {
+    let mut p = crate::normalization::softmax(n, m);
+    p.name = "softmax".into();
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_interp::{execute, random_inputs};
+    use perfdojo_ir::validate;
+
+    #[test]
+    fn axpy_numerics() {
+        let p = axpy(16);
+        validate(&p).unwrap();
+        let inputs = random_inputs(&p, 1);
+        let o = execute(&p, &inputs).unwrap();
+        for i in 0..16 {
+            let want = 2.5 * inputs["x"].at(&[i]) + inputs["y"].at(&[i]);
+            assert!((o["z"].at(&[i]) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dot_numerics() {
+        let p = dot(8);
+        validate(&p).unwrap();
+        let inputs = random_inputs(&p, 2);
+        let o = execute(&p, &inputs).unwrap();
+        let want: f64 = (0..8).map(|i| inputs["x"].at(&[i]) * inputs["y"].at(&[i])).sum();
+        assert!((o["s"].at(&[0]) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gemv_numerics() {
+        let p = gemv(3, 4);
+        validate(&p).unwrap();
+        let inputs = random_inputs(&p, 3);
+        let o = execute(&p, &inputs).unwrap();
+        for i in 0..3 {
+            let want: f64 = (0..4).map(|j| inputs["a"].at(&[i, j]) * inputs["x"].at(&[j])).sum();
+            assert!((o["z"].at(&[i]) - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Normalization-style operators: reductions followed by broadcasts.
+//!
+//! These are the kernels on which the paper's fused reduce+broadcast
+//! patterns matter most (softmax, layernorm, rmsnorm, batchnorm,
+//! reducemean, swiglu).
+
+use perfdojo_ir::builder::*;
+use perfdojo_ir::{BinaryOp, Location, Program, ProgramBuilder, UnaryOp};
+
+const EPS: f64 = 1e-5;
+
+/// Row-wise softmax over an `n × m` matrix (Table 3: 24576×512; the paper's
+/// running example, Fig. 3/4).
+pub fn softmax(n: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new("softmax");
+    b.input("x", &[n, m]).output("y", &[n, m]);
+    b.temp("mx", &[n], Location::Heap);
+    b.temp("d", &[n], Location::Heap);
+    b.scope(n, |b| {
+        b.op(out("mx", &[0]), cst(f64::NEG_INFINITY));
+        b.scope(m, |b| {
+            b.reduce(out("mx", &[0]), BinaryOp::Max, ld("x", &[0, 1]));
+        });
+        b.op(out("d", &[0]), cst(0.0));
+        b.scope(m, |b| {
+            b.reduce(
+                out("d", &[0]),
+                BinaryOp::Add,
+                un(UnaryOp::Exp, sub(ld("x", &[0, 1]), ld("mx", &[0]))),
+            );
+        });
+        b.scope(m, |b| {
+            b.op(
+                out("y", &[0, 1]),
+                div(un(UnaryOp::Exp, sub(ld("x", &[0, 1]), ld("mx", &[0]))), ld("d", &[0])),
+            );
+        });
+    });
+    b.build()
+}
+
+/// Row-wise mean along the last axis (Table 3: `reducemean`, 4096×4096).
+pub fn reducemean(n: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new("reducemean");
+    b.input("x", &[n, m]).output("y", &[n]);
+    b.scope(n, |b| {
+        b.op(out("y", &[0]), cst(0.0));
+        b.scope(m, |b| {
+            b.reduce(out("y", &[0]), BinaryOp::Add, ld("x", &[0, 1]));
+        });
+        b.op(out("y", &[0]), mul(ld("y", &[0]), cst(1.0 / m as f64)));
+    });
+    b.build()
+}
+
+/// Row-wise layer normalization with learned scale/shift
+/// (Table 3: `layernorm`, 16384×1024 and 4096×4096).
+pub fn layernorm(n: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new("layernorm");
+    b.input("x", &[n, m]).input("g", &[m]).input("bt", &[m]);
+    b.output("y", &[n, m]);
+    b.temp("mu", &[n], Location::Heap);
+    b.temp("var", &[n], Location::Heap);
+    b.temp("rstd", &[n], Location::Heap);
+    b.scope(n, |b| {
+        b.op(out("mu", &[0]), cst(0.0));
+        b.scope(m, |b| {
+            b.reduce(out("mu", &[0]), BinaryOp::Add, ld("x", &[0, 1]));
+        });
+        b.op(out("mu", &[0]), mul(ld("mu", &[0]), cst(1.0 / m as f64)));
+        b.op(out("var", &[0]), cst(0.0));
+        b.scope(m, |b| {
+            b.reduce(
+                out("var", &[0]),
+                BinaryOp::Add,
+                mul(
+                    sub(ld("x", &[0, 1]), ld("mu", &[0])),
+                    sub(ld("x", &[0, 1]), ld("mu", &[0])),
+                ),
+            );
+        });
+        b.op(
+            out("rstd", &[0]),
+            un(UnaryOp::Rsqrt, add(mul(ld("var", &[0]), cst(1.0 / m as f64)), cst(EPS))),
+        );
+        b.scope(m, |b| {
+            b.op(
+                out("y", &[0, 1]),
+                add(
+                    mul(
+                        mul(sub(ld("x", &[0, 1]), ld("mu", &[0])), ld("rstd", &[0])),
+                        ld("g", &[1]),
+                    ),
+                    ld("bt", &[1]),
+                ),
+            );
+        });
+    });
+    b.build()
+}
+
+/// Root-mean-square normalization (Table 3: `rmsnorm`, 3072×4096):
+/// `y = x * g / sqrt(mean(x^2) + eps)`.
+pub fn rmsnorm(n: usize, m: usize) -> Program {
+    let mut b = ProgramBuilder::new("rmsnorm");
+    b.input("x", &[n, m]).input("g", &[m]).output("y", &[n, m]);
+    b.temp("ms", &[n], Location::Heap);
+    b.scope(n, |b| {
+        b.op(out("ms", &[0]), cst(0.0));
+        b.scope(m, |b| {
+            b.reduce(out("ms", &[0]), BinaryOp::Add, mul(ld("x", &[0, 1]), ld("x", &[0, 1])));
+        });
+        b.op(
+            out("ms", &[0]),
+            un(UnaryOp::Rsqrt, add(mul(ld("ms", &[0]), cst(1.0 / m as f64)), cst(EPS))),
+        );
+        b.scope(m, |b| {
+            b.op(out("y", &[0, 1]), mul(mul(ld("x", &[0, 1]), ld("ms", &[0])), ld("g", &[1])));
+        });
+    });
+    b.build()
+}
+
+/// Inference batch normalization over an NCHW tensor
+/// (Table 3: `batchnorm`, 8×3×2048×2048 and 8×64×300×300).
+///
+/// Statistics are computed over (N, H, W) per channel and folded into a
+/// scale `a[c]` and shift `bs[c]` before the normalization sweep — exactly
+/// the temporaries `e, v, a, b` the paper's discovered GPU kernel computes
+/// up front (§4.3, Fig. 14b).
+pub fn batchnorm(n: usize, c: usize, h: usize, w: usize) -> Program {
+    let count = (n * h * w) as f64;
+    let mut b = ProgramBuilder::new("batchnorm");
+    b.input("x", &[n, c, h, w]).input("g", &[c]).input("bt", &[c]);
+    b.output("y", &[n, c, h, w]);
+    b.temp("e", &[c], Location::Heap);
+    b.temp("v", &[c], Location::Heap);
+    b.temp("a", &[c], Location::Heap);
+    b.temp("bs", &[c], Location::Heap);
+    // e[c] = mean over n,h,w
+    b.scope(c, |b| {
+        b.op(out("e", &[0]), cst(0.0));
+        b.scopes(&[n, h, w], |b| {
+            b.reduce(out("e", &[0]), BinaryOp::Add, ld("x", &[1, 0, 2, 3]));
+        });
+        b.op(out("e", &[0]), mul(ld("e", &[0]), cst(1.0 / count)));
+        // v[c] = mean of squares - e^2
+        b.op(out("v", &[0]), cst(0.0));
+        b.scopes(&[n, h, w], |b| {
+            b.reduce(
+                out("v", &[0]),
+                BinaryOp::Add,
+                mul(ld("x", &[1, 0, 2, 3]), ld("x", &[1, 0, 2, 3])),
+            );
+        });
+        b.op(
+            out("v", &[0]),
+            sub(mul(ld("v", &[0]), cst(1.0 / count)), mul(ld("e", &[0]), ld("e", &[0]))),
+        );
+        // a[c] = g / sqrt(v + eps), bs[c] = bt - e * a
+        b.op(out("a", &[0]), mul(ld("g", &[0]), un(UnaryOp::Rsqrt, add(ld("v", &[0]), cst(EPS)))));
+        b.op(out("bs", &[0]), sub(ld("bt", &[0]), mul(ld("e", &[0]), ld("a", &[0]))));
+    });
+    // y = x * a + bs
+    b.scopes(&[n, c, h, w], |b| {
+        b.op(
+            out("y", &[0, 1, 2, 3]),
+            add(mul(ld("x", &[0, 1, 2, 3]), ld("a", &[1])), ld("bs", &[1])),
+        );
+    });
+    b.build()
+}
+
+/// SwiGLU activation (Table 3: 1×256×4096×448):
+/// `y[b,s,f] = silu(sum_d x[b,s,d]*W[d,f]) * (sum_d x[b,s,d]*V[d,f])`
+/// where `silu(t) = t * sigmoid(t)`.
+pub fn swiglu(bsz: usize, s: usize, d: usize, f: usize) -> Program {
+    let mut b = ProgramBuilder::new("swiglu");
+    b.input("x", &[bsz, s, d]).input("wg", &[d, f]).input("wv", &[d, f]);
+    b.output("y", &[bsz, s, f]);
+    b.temp("tg", &[bsz, s, f], Location::Heap);
+    b.temp("tv", &[bsz, s, f], Location::Heap);
+    b.scopes(&[bsz, s, f], |b| {
+        b.op(out("tg", &[0, 1, 2]), cst(0.0));
+        b.op(out("tv", &[0, 1, 2]), cst(0.0));
+        b.scope(d, |b| {
+            b.reduce(
+                out("tg", &[0, 1, 2]),
+                BinaryOp::Add,
+                mul(ld("x", &[0, 1, 3]), ld("wg", &[3, 2])),
+            );
+            b.reduce(
+                out("tv", &[0, 1, 2]),
+                BinaryOp::Add,
+                mul(ld("x", &[0, 1, 3]), ld("wv", &[3, 2])),
+            );
+        });
+        b.op(
+            out("y", &[0, 1, 2]),
+            mul(
+                mul(ld("tg", &[0, 1, 2]), un(UnaryOp::Sigmoid, ld("tg", &[0, 1, 2]))),
+                ld("tv", &[0, 1, 2]),
+            ),
+        );
+    });
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_interp::{execute, random_inputs, Tensor};
+    use perfdojo_ir::validate;
+    use std::collections::HashMap;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let p = softmax(3, 7);
+        validate(&p).unwrap();
+        let o = execute(&p, &random_inputs(&p, 1)).unwrap();
+        for r in 0..3 {
+            let s: f64 = (0..7).map(|c| o["y"].at(&[r, c])).sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn reducemean_matches_direct() {
+        let p = reducemean(2, 5);
+        validate(&p).unwrap();
+        let mut m = HashMap::new();
+        m.insert(
+            "x".to_string(),
+            Tensor::from_vec(vec![2, 5], vec![1., 2., 3., 4., 5., 10., 10., 10., 10., 10.]),
+        );
+        let o = execute(&p, &m).unwrap();
+        assert!((o["y"].at(&[0]) - 3.0).abs() < 1e-12);
+        assert!((o["y"].at(&[1]) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layernorm_normalizes() {
+        let p = layernorm(2, 8);
+        validate(&p).unwrap();
+        let mut inputs = random_inputs(&p, 2);
+        inputs.insert("g".to_string(), Tensor::fill(&[8], 1.0));
+        inputs.insert("bt".to_string(), Tensor::fill(&[8], 0.0));
+        let o = execute(&p, &inputs).unwrap();
+        for r in 0..2 {
+            let mean: f64 = (0..8).map(|c| o["y"].at(&[r, c])).sum::<f64>() / 8.0;
+            let var: f64 = (0..8).map(|c| (o["y"].at(&[r, c]) - mean).powi(2)).sum::<f64>() / 8.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn rmsnorm_unit_rms() {
+        let p = rmsnorm(2, 16);
+        validate(&p).unwrap();
+        let mut inputs = random_inputs(&p, 3);
+        inputs.insert("g".to_string(), Tensor::fill(&[16], 1.0));
+        let o = execute(&p, &inputs).unwrap();
+        for r in 0..2 {
+            let ms: f64 = (0..16).map(|c| o["y"].at(&[r, c]).powi(2)).sum::<f64>() / 16.0;
+            assert!((ms - 1.0).abs() < 1e-3, "rms^2 {ms}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_standardizes_channels() {
+        let p = batchnorm(2, 3, 4, 4);
+        validate(&p).unwrap();
+        let mut inputs = random_inputs(&p, 4);
+        inputs.insert("g".to_string(), Tensor::fill(&[3], 1.0));
+        inputs.insert("bt".to_string(), Tensor::fill(&[3], 0.0));
+        let o = execute(&p, &inputs).unwrap();
+        for c in 0..3 {
+            let mut vals = Vec::new();
+            for n in 0..2 {
+                for h in 0..4 {
+                    for w in 0..4 {
+                        vals.push(o["y"].at(&[n, c, h, w]));
+                    }
+                }
+            }
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-9, "channel {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn swiglu_matches_reference() {
+        let p = swiglu(1, 2, 3, 2);
+        validate(&p).unwrap();
+        let inputs = random_inputs(&p, 5);
+        let o = execute(&p, &inputs).unwrap();
+        let x = &inputs["x"];
+        let wg = &inputs["wg"];
+        let wv = &inputs["wv"];
+        for s in 0..2 {
+            for f in 0..2 {
+                let tg: f64 = (0..3).map(|d| x.at(&[0, s, d]) * wg.at(&[d, f])).sum();
+                let tv: f64 = (0..3).map(|d| x.at(&[0, s, d]) * wv.at(&[d, f])).sum();
+                let want = tg * (1.0 / (1.0 + (-tg).exp())) * tv;
+                assert!((o["y"].at(&[0, s, f]) - want).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Named kernel instances: the paper's Table 3 suite, a shrunken variant
+//! for numerical verification, and the Snitch micro-kernel suite.
+
+use crate::{contraction, elementwise, micro, normalization};
+use perfdojo_ir::Program;
+
+/// A labelled kernel instance, as listed in paper Table 3.
+#[derive(Clone)]
+pub struct KernelInstance {
+    /// Table 3 label, e.g. `batchnorm 2`.
+    pub label: String,
+    /// Input shape string as printed in Table 3.
+    pub shape: String,
+    /// Human description.
+    pub description: String,
+    /// The IR program at paper scale.
+    pub program: Program,
+    /// A shrunken instance of the same operator for interpreter-based
+    /// verification (interpreting billions of MACs is not practical).
+    pub verify_program: Program,
+}
+
+impl KernelInstance {
+    fn new(label: &str, shape: &str, description: &str, program: Program, verify: Program) -> Self {
+        KernelInstance {
+            label: label.to_string(),
+            shape: shape.to_string(),
+            description: description.to_string(),
+            program,
+            verify_program: verify,
+        }
+    }
+}
+
+/// The full Table 3 suite at paper shapes.
+pub fn paper_suite() -> Vec<KernelInstance> {
+    vec![
+        KernelInstance::new(
+            "add",
+            "3072x4096",
+            "Elementwise addition",
+            elementwise::add_kernel(3072, 4096),
+            elementwise::add_kernel(8, 16),
+        ),
+        KernelInstance::new(
+            "batchnorm 1",
+            "8x3x2048x2048",
+            "Batch Normalization",
+            normalization::batchnorm(8, 3, 2048, 2048),
+            normalization::batchnorm(2, 3, 6, 6),
+        ),
+        KernelInstance::new(
+            "batchnorm 2",
+            "8x64x300x300",
+            "Batch Normalization",
+            normalization::batchnorm(8, 64, 300, 300),
+            normalization::batchnorm(2, 4, 5, 5),
+        ),
+        KernelInstance::new(
+            "bmm",
+            "192x256x128x256",
+            "Batched Matrix Multiplication",
+            contraction::bmm(192, 256, 128, 256),
+            contraction::bmm(2, 4, 3, 4),
+        ),
+        KernelInstance::new(
+            "conv 1",
+            "8x10x3x512x512x5",
+            "2D Convolution",
+            contraction::conv2d(8, 10, 3, 512, 512, 5),
+            contraction::conv2d(1, 2, 2, 8, 8, 3),
+        ),
+        KernelInstance::new(
+            "conv 2",
+            "8x64x64x56x56x3",
+            "2D convolution",
+            contraction::conv2d(8, 64, 64, 56, 56, 3),
+            contraction::conv2d(1, 3, 3, 7, 7, 3),
+        ),
+        KernelInstance::new(
+            "layernorm 1",
+            "16384x1024",
+            "Layer Normalization",
+            normalization::layernorm(16384, 1024),
+            normalization::layernorm(4, 16),
+        ),
+        KernelInstance::new(
+            "layernorm 2",
+            "4096x4096",
+            "Layer Normalization",
+            normalization::layernorm(4096, 4096),
+            normalization::layernorm(3, 12),
+        ),
+        KernelInstance::new(
+            "matmul",
+            "768x1024x1024",
+            "Matrix Multiplication",
+            contraction::matmul(768, 1024, 1024),
+            contraction::matmul(4, 6, 5),
+        ),
+        KernelInstance::new(
+            "mul",
+            "6x14336",
+            "Elementwise multiplication",
+            elementwise::mul_kernel(6, 14336),
+            elementwise::mul_kernel(3, 16),
+        ),
+        KernelInstance::new(
+            "reducemean",
+            "4096x4096",
+            "Average along axis",
+            normalization::reducemean(4096, 4096),
+            normalization::reducemean(4, 12),
+        ),
+        KernelInstance::new(
+            "relu",
+            "4096x4096",
+            "Rectified Linear Unit (ReLU)",
+            elementwise::relu_kernel(4096, 4096),
+            elementwise::relu_kernel(6, 10),
+        ),
+        KernelInstance::new(
+            "relu_ffn",
+            "8x64x112x112",
+            "ReLU+FeedForward Network",
+            elementwise::relu_ffn_kernel(8, 64, 112, 112),
+            elementwise::relu_ffn_kernel(2, 3, 4, 4),
+        ),
+        KernelInstance::new(
+            "rmsnorm",
+            "3072x4096",
+            "Root Mean Square Normalization",
+            normalization::rmsnorm(3072, 4096),
+            normalization::rmsnorm(3, 16),
+        ),
+        KernelInstance::new(
+            "softmax",
+            "24576x512",
+            "Softmax",
+            normalization::softmax(24576, 512),
+            normalization::softmax(4, 8),
+        ),
+        KernelInstance::new(
+            "swiglu",
+            "1x256x4096x448",
+            "SwiGLU activation function",
+            normalization::swiglu(1, 256, 4096, 448),
+            normalization::swiglu(1, 3, 4, 3),
+        ),
+    ]
+}
+
+/// The Table 3 operators at shrunken shapes — every `program` here is small
+/// enough to interpret, so search/RL tests can verify numerically end to end.
+pub fn small_suite() -> Vec<KernelInstance> {
+    paper_suite()
+        .into_iter()
+        .map(|k| {
+            let v = k.verify_program.clone();
+            KernelInstance { program: k.verify_program.clone(), verify_program: v, ..k }
+        })
+        .collect()
+}
+
+/// Snitch micro-kernel suite (§4.1) at cycle-simulatable sizes.
+pub fn micro_suite() -> Vec<KernelInstance> {
+    let mk = |label: &str, desc: &str, p: Program, v: Program| KernelInstance::new(
+        label,
+        "micro",
+        desc,
+        p,
+        v,
+    );
+    vec![
+        mk("axpy", "z = a*x + y", micro::axpy(256), micro::axpy(16)),
+        mk("dot", "dot product", micro::dot(256), micro::dot(16)),
+        mk("gemv", "matrix-vector product", micro::gemv(32, 32), micro::gemv(4, 4)),
+        mk("gemm", "small matrix multiply", micro::gemm(16), micro::gemm(4)),
+        mk("vadd", "vector addition", micro::vadd(256), micro::vadd(16)),
+        mk("vrelu", "vector ReLU", micro::vrelu(256), micro::vrelu(16)),
+        mk("rowsum", "row-wise sum", micro::rowsum(32, 32), micro::rowsum(4, 4)),
+        mk("softmax", "row-wise softmax", micro::softmax_micro(16, 32), micro::softmax_micro(2, 8)),
+    ]
+}
+
+/// Look up a kernel instance by Table 3 label.
+pub fn by_label(label: &str) -> Option<KernelInstance> {
+    paper_suite().into_iter().find(|k| k.label == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_has_sixteen_kernels() {
+        assert_eq!(paper_suite().len(), 16);
+    }
+
+    #[test]
+    fn labels_match_table3() {
+        let labels: Vec<String> = paper_suite().iter().map(|k| k.label.clone()).collect();
+        for want in [
+            "add", "batchnorm 1", "batchnorm 2", "bmm", "conv 1", "conv 2", "layernorm 1",
+            "layernorm 2", "matmul", "mul", "reducemean", "relu", "relu_ffn", "rmsnorm",
+            "softmax", "swiglu",
+        ] {
+            assert!(labels.iter().any(|l| l == want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_label() {
+        assert!(by_label("softmax").is_some());
+        assert!(by_label("nonexistent").is_none());
+    }
+
+    #[test]
+    fn verify_programs_are_small() {
+        for k in paper_suite() {
+            assert!(
+                k.verify_program.dynamic_op_instances() < 100_000,
+                "{} verify program too big",
+                k.label
+            );
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Machine configurations.
+
+use perfdojo_codegen::OpClass;
+
+/// Which cost model evaluates the kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineKind {
+    /// Cache-based multicore SIMD CPU.
+    Cpu,
+    /// Throughput-oriented GPU with a host CPU for unbound code.
+    Gpu,
+    /// Snitch RISC-V cluster: single-issue cores + SSR/FREP, scratchpad
+    /// memory instead of caches.
+    Snitch,
+}
+
+/// One level of the cache hierarchy.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CacheLevel {
+    /// Capacity in bytes.
+    pub bytes: usize,
+    /// Sustained bandwidth in bytes per core-cycle.
+    pub bw_bytes_per_cycle: f64,
+}
+
+/// GPU-specific parameters.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GpuConfig {
+    /// Streaming multiprocessors / compute units.
+    pub sms: usize,
+    /// Warp (NVIDIA) or wavefront (AMD) width in threads.
+    pub warp_size: usize,
+    /// Max resident threads per SM (occupancy envelope).
+    pub max_threads_per_sm: usize,
+    /// Max threads per block accepted by the scheduler.
+    pub max_threads_per_block: usize,
+    /// Warp instructions issued per SM per cycle.
+    pub warp_schedulers: usize,
+    /// Device memory bandwidth, bytes per GPU-cycle aggregate.
+    pub mem_bw_bytes_per_cycle: f64,
+    /// Kernel launch overhead in seconds (host→device round trip).
+    pub launch_overhead_s: f64,
+    /// Memory transaction (cache line) size in bytes for coalescing.
+    pub line_bytes: usize,
+}
+
+/// A machine description consumed by the cost models.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MachineConfig {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Model family.
+    pub kind: MachineKind,
+    /// Core clock in GHz (converts cycles to seconds).
+    pub clock_ghz: f64,
+    /// Worker cores for `:p` scopes.
+    pub cores: usize,
+    /// Instructions issued per cycle per core.
+    pub issue_width: usize,
+    /// FP operations issued per cycle per core (scalar or vector).
+    pub fp_units: usize,
+    /// SIMD width in f32 lanes (1 = scalar-only).
+    pub vector_width: usize,
+    /// Load/store slots per cycle.
+    pub mem_ports: usize,
+    /// Cycles of loop-control overhead per iteration of a sequential loop.
+    pub loop_overhead: f64,
+    /// Synchronization overhead for entering a parallel region, cycles.
+    pub parallel_overhead: f64,
+    /// Cache hierarchy, innermost first (empty for scratchpad machines).
+    pub caches: Vec<CacheLevel>,
+    /// Main-memory bandwidth in bytes per core-cycle (per core when
+    /// parallel regions divide it).
+    pub mem_bw_bytes_per_cycle: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// SSR stream setup cost in cycles (Snitch).
+    pub ssr_setup: f64,
+    /// FREP configuration cost in cycles (Snitch).
+    pub frep_setup: f64,
+    /// GPU parameters (Some only for `MachineKind::Gpu`).
+    pub gpu: Option<GpuConfig>,
+}
+
+impl MachineConfig {
+    /// Latency in cycles of one op of the class (dependence chains).
+    pub fn latency(&self, op: OpClass) -> f64 {
+        match self.kind {
+            MachineKind::Snitch => match op {
+                OpClass::AddLike | OpClass::MulLike | OpClass::Fma => 4.0,
+                OpClass::DivLike => 12.0,
+                OpClass::Special => 30.0,
+            },
+            _ => match op {
+                OpClass::AddLike => 3.0,
+                OpClass::MulLike | OpClass::Fma => 4.0,
+                OpClass::DivLike => 14.0,
+                OpClass::Special => 20.0,
+            },
+        }
+    }
+
+    /// Reciprocal throughput in issue slots of one op of the class.
+    pub fn throughput(&self, op: OpClass) -> f64 {
+        match op {
+            OpClass::AddLike | OpClass::MulLike | OpClass::Fma => 1.0,
+            OpClass::DivLike => 6.0,
+            OpClass::Special => 10.0,
+        }
+    }
+
+    /// Intel Xeon E5-2695 v4-like (Broadwell, 18 cores, 2.1 GHz, modelled
+    /// SIMD width 16 as the paper's AVX-512 discussion assumes).
+    pub fn x86_xeon() -> Self {
+        MachineConfig {
+            name: "x86-xeon-e5-2695v4".into(),
+            kind: MachineKind::Cpu,
+            clock_ghz: 2.1,
+            cores: 18,
+            issue_width: 4,
+            fp_units: 2,
+            vector_width: 16,
+            mem_ports: 2,
+            loop_overhead: 1.0,
+            parallel_overhead: 4000.0,
+            caches: vec![
+                CacheLevel { bytes: 32 * 1024, bw_bytes_per_cycle: 64.0 },
+                CacheLevel { bytes: 256 * 1024, bw_bytes_per_cycle: 32.0 },
+                CacheLevel { bytes: 45 * 1024 * 1024, bw_bytes_per_cycle: 16.0 },
+            ],
+            mem_bw_bytes_per_cycle: 30.0, // ~63 GB/s at 2.1 GHz, shared
+            line_bytes: 64,
+            ssr_setup: 0.0,
+            frep_setup: 0.0,
+            gpu: None,
+        }
+    }
+
+    /// GH200 Arm host (Neoverse-V2-like, 72 cores, narrow 4-lane SIMD
+    /// modelled).
+    pub fn arm_host() -> Self {
+        MachineConfig {
+            name: "arm-gh200-host".into(),
+            kind: MachineKind::Cpu,
+            clock_ghz: 3.0,
+            cores: 72,
+            issue_width: 6,
+            fp_units: 4,
+            vector_width: 4,
+            mem_ports: 3,
+            loop_overhead: 1.0,
+            parallel_overhead: 6000.0,
+            caches: vec![
+                CacheLevel { bytes: 64 * 1024, bw_bytes_per_cycle: 64.0 },
+                CacheLevel { bytes: 1024 * 1024, bw_bytes_per_cycle: 32.0 },
+                CacheLevel { bytes: 114 * 1024 * 1024, bw_bytes_per_cycle: 16.0 },
+            ],
+            mem_bw_bytes_per_cycle: 120.0,
+            line_bytes: 64,
+            ssr_setup: 0.0,
+            frep_setup: 0.0,
+            gpu: None,
+        }
+    }
+
+    /// GH200-like GPU (Hopper-class).
+    pub fn gh200() -> Self {
+        MachineConfig {
+            name: "gh200-gpu".into(),
+            kind: MachineKind::Gpu,
+            clock_ghz: 1.8,
+            cores: 1,
+            issue_width: 2,
+            fp_units: 4, // per-thread fp32 issue slots per scheduler share
+            vector_width: 4,
+            mem_ports: 1,
+            loop_overhead: 1.0,
+            parallel_overhead: 0.0,
+            caches: vec![CacheLevel { bytes: 50 * 1024 * 1024, bw_bytes_per_cycle: 0.0 }],
+            mem_bw_bytes_per_cycle: 0.0,
+            line_bytes: 32,
+            ssr_setup: 0.0,
+            frep_setup: 0.0,
+            gpu: Some(GpuConfig {
+                sms: 132,
+                warp_size: 32,
+                max_threads_per_sm: 2048,
+                max_threads_per_block: 1024,
+                warp_schedulers: 4,
+                mem_bw_bytes_per_cycle: 1670.0, // ~3 TB/s at 1.8 GHz
+                launch_overhead_s: 5.0e-6,
+                line_bytes: 32,
+            }),
+        }
+    }
+
+    /// MI300A-like GPU (CDNA3-class).
+    pub fn mi300a() -> Self {
+        MachineConfig {
+            name: "mi300a-gpu".into(),
+            kind: MachineKind::Gpu,
+            clock_ghz: 2.1,
+            cores: 1,
+            issue_width: 2,
+            fp_units: 4,
+            vector_width: 4,
+            mem_ports: 1,
+            loop_overhead: 1.0,
+            parallel_overhead: 0.0,
+            caches: vec![CacheLevel { bytes: 256 * 1024 * 1024, bw_bytes_per_cycle: 0.0 }],
+            mem_bw_bytes_per_cycle: 0.0,
+            line_bytes: 64,
+            ssr_setup: 0.0,
+            frep_setup: 0.0,
+            gpu: Some(GpuConfig {
+                sms: 228,
+                warp_size: 64,
+                max_threads_per_sm: 2048,
+                max_threads_per_block: 1024,
+                warp_schedulers: 4,
+                mem_bw_bytes_per_cycle: 2500.0, // ~5.3 TB/s at 2.1 GHz
+                launch_overhead_s: 8.0e-6,
+                line_bytes: 64,
+            }),
+        }
+    }
+
+    /// Snitch cluster: 8 worker cores, 1 GHz, single-issue int+fp pairs,
+    /// TCDM scratchpad, SSR (3 streams) + FREP (§4.1).
+    pub fn snitch() -> Self {
+        MachineConfig {
+            name: "snitch-cluster".into(),
+            kind: MachineKind::Snitch,
+            clock_ghz: 1.0,
+            cores: 8,
+            issue_width: 1, // integer pipe issues 1/cycle; FP co-issues
+            fp_units: 1,
+            vector_width: 1,
+            mem_ports: 1,
+            loop_overhead: 2.0, // addi + bne on the integer pipe
+            parallel_overhead: 200.0,
+            caches: vec![CacheLevel { bytes: 128 * 1024, bw_bytes_per_cycle: 8.0 }],
+            mem_bw_bytes_per_cycle: 8.0, // TCDM port per core
+            line_bytes: 8,
+            ssr_setup: 24.0,
+            frep_setup: 4.0,
+            gpu: None,
+        }
+    }
+
+    /// Plain RISC-V scalar core (no SSR/FREP) used as the "handwritten C"
+    /// reference point in Fig. 8: identical pipeline, extensions ignored.
+    pub fn riscv_scalar() -> Self {
+        let mut c = Self::snitch();
+        c.name = "riscv-scalar".into();
+        c.cores = 1;
+        c.ssr_setup = f64::INFINITY; // marks extensions unavailable
+        c.frep_setup = f64::INFINITY;
+        c
+    }
+
+    /// A single Snitch worker core (per-core micro-kernel studies, §4.1).
+    pub fn snitch_core() -> Self {
+        let mut c = Self::snitch();
+        c.name = "snitch-core".into();
+        c.cores = 1;
+        c
+    }
+
+    /// True when the Snitch extensions exist on this machine.
+    pub fn has_snitch_ext(&self) -> bool {
+        self.kind == MachineKind::Snitch && self.ssr_setup.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_tables_sane() {
+        let s = MachineConfig::snitch();
+        assert_eq!(s.latency(OpClass::Fma), 4.0);
+        let x = MachineConfig::x86_xeon();
+        assert!(x.latency(OpClass::Special) > x.latency(OpClass::AddLike));
+        assert!(x.throughput(OpClass::DivLike) > x.throughput(OpClass::MulLike));
+    }
+
+    #[test]
+    fn gpu_configs_have_gpu_params() {
+        assert!(MachineConfig::gh200().gpu.is_some());
+        assert!(MachineConfig::mi300a().gpu.is_some());
+        assert!(MachineConfig::x86_xeon().gpu.is_none());
+        assert_eq!(MachineConfig::gh200().gpu.unwrap().warp_size, 32);
+        assert_eq!(MachineConfig::mi300a().gpu.unwrap().warp_size, 64);
+    }
+
+    #[test]
+    fn riscv_scalar_lacks_extensions() {
+        assert!(MachineConfig::snitch().has_snitch_ext());
+        assert!(!MachineConfig::riscv_scalar().has_snitch_ext());
+    }
+}

@@ -1,0 +1,560 @@
+//! Analytical executor for CPU-like machines (x86, Arm, Snitch).
+//!
+//! The model walks the lowered loop nest once. Innermost *units* (loops
+//! whose bodies contain only statements and unrolled/vector sub-loops) are
+//! costed with a throughput/latency/bandwidth roofline:
+//!
+//! * issue-slot throughput (instructions / issue width),
+//! * FP throughput (weighted flops / FP units),
+//! * load-store port pressure,
+//! * cache-aware bandwidth (line-granular traffic / serving-level BW),
+//! * dependence-chain latency for loop-carried accumulations — the effect
+//!   the paper's Snitch `heuristic` pass exists to hide (§4.1),
+//! * loop-control overhead (removed by FREP / unrolling), and
+//! * SSR streams feeding up to three affine input streams for free.
+//!
+//! Parallel (`:p`) loops divide compute across cores while DRAM traffic
+//! keeps sharing the machine's total bandwidth.
+
+use crate::config::{MachineConfig, MachineKind};
+use crate::MachineError;
+use perfdojo_codegen::{Loop, LoopKind, Lowered, LoweredKernel, MemRef, Stmt};
+use perfdojo_ir::Location;
+
+/// Accumulated cost: core compute cycles plus DRAM bytes folded against
+/// total bandwidth at parallel-region and kernel boundaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cost {
+    /// Core-cycle compute/cache time.
+    pub compute: f64,
+    /// Bytes that must cross the DRAM interface.
+    pub dram_bytes: f64,
+    /// One-time configuration cycles (SSR/FREP setup): not multiplied by
+    /// enclosing trip counts — hardware streams are configured once as
+    /// multidimensional affine patterns.
+    pub setup: f64,
+}
+
+impl Cost {
+    fn add(self, o: Cost) -> Cost {
+        Cost {
+            compute: self.compute + o.compute,
+            dram_bytes: self.dram_bytes + o.dram_bytes,
+            setup: self.setup + o.setup,
+        }
+    }
+
+    fn scale(self, k: f64) -> Cost {
+        Cost { compute: self.compute * k, dram_bytes: self.dram_bytes * k, setup: self.setup }
+    }
+
+    /// Fold DRAM traffic against bandwidth into wall cycles.
+    fn fold(self, cfg: &MachineConfig) -> f64 {
+        let c = self.compute + self.setup;
+        if cfg.mem_bw_bytes_per_cycle > 0.0 {
+            c.max(self.dram_bytes / cfg.mem_bw_bytes_per_cycle)
+        } else {
+            c
+        }
+    }
+}
+
+/// An enclosing loop seen by the unit analysis.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Ctx {
+    pub(crate) depth: usize,
+    pub(crate) trip: usize,
+}
+
+/// Total cycles for a lowered kernel on a CPU-like machine.
+pub fn cost_kernel(cfg: &MachineConfig, k: &LoweredKernel) -> Result<f64, MachineError> {
+    let mut total = 0.0;
+    for n in &k.body {
+        reject_gpu(n)?;
+        let c = cost_node(cfg, n, &mut Vec::new())?;
+        total += c.fold(cfg);
+    }
+    Ok(total.max(1.0))
+}
+
+fn reject_gpu(n: &Lowered) -> Result<(), MachineError> {
+    match n {
+        Lowered::Stmt(_) => Ok(()),
+        Lowered::Loop(l) => {
+            if matches!(l.kind, LoopKind::GpuGrid | LoopKind::GpuBlock | LoopKind::GpuWarp) {
+                return Err(MachineError::Unschedulable(
+                    "GPU-bound scopes cannot run on a CPU machine".into(),
+                ));
+            }
+            for c in &l.body {
+                reject_gpu(c)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn is_expandable(n: &Lowered) -> bool {
+    match n {
+        Lowered::Stmt(_) => true,
+        Lowered::Loop(l) => {
+            matches!(l.kind, LoopKind::Unrolled | LoopKind::Vector)
+                && l.body.iter().all(is_expandable)
+        }
+    }
+}
+
+fn is_unit(l: &Loop) -> bool {
+    l.body.iter().all(is_expandable)
+}
+
+/// Cost a node recursively. `outer` is the stack of enclosing loops.
+pub(crate) fn cost_node(
+    cfg: &MachineConfig,
+    n: &Lowered,
+    outer: &mut Vec<Ctx>,
+) -> Result<Cost, MachineError> {
+    match n {
+        Lowered::Stmt(s) => Ok(stmt_once_cost(cfg, s)),
+        Lowered::Loop(l) if is_unit(l) => unit_cost(cfg, l, outer),
+        Lowered::Loop(l) => {
+            outer.push(Ctx { depth: l.depth, trip: l.trip });
+            let mut body = Cost::default();
+            for c in &l.body {
+                body = body.add(cost_node(cfg, c, outer)?);
+            }
+            outer.pop();
+            let overhead = match l.kind {
+                LoopKind::Unrolled => 0.0,
+                _ => cfg.loop_overhead,
+            };
+            let per_iter = body.add(Cost { compute: overhead, ..Cost::default() });
+            let total = per_iter.scale(l.trip as f64);
+            Ok(finish_loop(cfg, l, total))
+        }
+    }
+}
+
+/// Straight-line statement executed once outside any loop.
+fn stmt_once_cost(cfg: &MachineConfig, s: &Stmt) -> Cost {
+    let flop_cycles: f64 = s.flops.iter().map(|&f| cfg.throughput(f)).sum();
+    let mem = (s.loads.len() + 1) as f64 / cfg.mem_ports as f64;
+    Cost { compute: flop_cycles.max(mem) + 1.0, ..Cost::default() }
+}
+
+fn finish_loop(cfg: &MachineConfig, l: &Loop, total: Cost) -> Cost {
+    match l.kind {
+        LoopKind::Parallel => {
+            let cores = cfg.cores.min(l.trip).max(1) as f64;
+            let compute = total.compute / cores + cfg.parallel_overhead;
+            // fold bandwidth here: cores share DRAM
+            let folded = if cfg.mem_bw_bytes_per_cycle > 0.0 {
+                compute.max(total.dram_bytes / cfg.mem_bw_bytes_per_cycle)
+            } else {
+                compute
+            };
+            Cost { compute: folded + total.setup, ..Cost::default() }
+        }
+        _ => total,
+    }
+}
+
+/// One statement instance inside a unit, with its expansion context.
+struct Instance<'a> {
+    stmt: &'a Stmt,
+    /// Copies per unit-loop iteration (product of unrolled trips around it).
+    copies: f64,
+    /// Lanes covered when inside a vector loop.
+    vector: Option<(usize, usize)>, // (depth, width)
+    /// Depths of unrolled loops wrapping this instance.
+    unrolled: Vec<(usize, usize)>, // (depth, trip)
+}
+
+fn expand<'a>(
+    n: &'a Lowered,
+    copies: f64,
+    vector: Option<(usize, usize)>,
+    unrolled: &mut Vec<(usize, usize)>,
+    out: &mut Vec<Instance<'a>>,
+) {
+    match n {
+        Lowered::Stmt(s) => out.push(Instance {
+            stmt: s,
+            copies,
+            vector,
+            unrolled: unrolled.clone(),
+        }),
+        Lowered::Loop(l) => match l.kind {
+            LoopKind::Vector => {
+                for c in &l.body {
+                    expand(c, copies, Some((l.depth, l.trip)), unrolled, out);
+                }
+            }
+            _ => {
+                // Unrolled (is_expandable guarantees Unrolled or Vector)
+                unrolled.push((l.depth, l.trip));
+                for c in &l.body {
+                    expand(c, copies * l.trip as f64, vector, unrolled, out);
+                }
+                unrolled.pop();
+            }
+        },
+    }
+}
+
+/// Cost of a unit loop: `trip * per_iteration + setup`, with the roofline
+/// described in the module docs.
+fn unit_cost(cfg: &MachineConfig, l: &Loop, outer: &[Ctx]) -> Result<Cost, MachineError> {
+    let mut instances = Vec::new();
+    for c in &l.body {
+        expand(c, 1.0, None, &mut Vec::new(), &mut instances);
+    }
+
+    // Depths that vary within one iteration of l: unrolled/vector loops.
+    // Depth l.depth itself varies across iterations of l.
+    let mut fp_slots = 0.0f64; // weighted FP issue slots per iter
+    let mut int_instrs = 0.0f64; // loads/stores/addressing on the int pipe
+    let mut mem_instrs = 0.0f64;
+    let mut total_instrs = 0.0f64;
+    let mut cache_cycles = 0.0f64; // bandwidth cycles vs cache levels
+    let mut dram_bytes = 0.0f64;
+    let mut lat_bound = 0.0f64;
+
+    // SSR stream budget: streams replace explicit loads of distinct buffers
+    // varying with the loop (only on machines with the extension).
+    // SSR streams are per-buffer multidimensional affine patterns: up to 3
+    // distinct buffers whose addresses move with the loop are fed by the
+    // hardware data movers (loads and stores alike).
+    let streamed: std::collections::HashSet<&str> = if l.ssr && cfg.has_snitch_ext() {
+        let mut names: Vec<&str> = Vec::new();
+        for inst in &instances {
+            for m in inst.stmt.loads.iter().chain(std::iter::once(&inst.stmt.store)) {
+                if !m.addr.invariant_to(l.depth) && !names.contains(&m.buffer.as_str()) {
+                    names.push(&m.buffer);
+                }
+            }
+        }
+        names.truncate(3);
+        names.into_iter().collect()
+    } else {
+        Default::default()
+    };
+
+    for inst in &instances {
+        let vec_width = inst.vector.map(|(_, w)| w).unwrap_or(1) as f64;
+        let elems_per_instr = vec_width;
+
+        // --- arithmetic ---
+        let stmt_fp: f64 = inst.stmt.flops.iter().map(|&f| cfg.throughput(f)).sum();
+        fp_slots += inst.copies * stmt_fp;
+
+        // --- memory references ---
+        let mut refs: Vec<(&MemRef, bool)> =
+            inst.stmt.loads.iter().map(|m| (m, false)).collect();
+        refs.push((&inst.stmt.store, true));
+        for (m, _is_store) in refs {
+            // Scalar promotion: a reference invariant to the unit loop is
+            // register-resident across its iterations (one register per
+            // unrolled copy; stores are sunk after the loop).
+            let register_resident = m.addr.invariant_to(l.depth) && inst.copies <= 16.0;
+            if register_resident {
+                continue;
+            }
+            // SSR: stream references of the streamed buffers.
+            if streamed.contains(m.buffer.as_str()) {
+                // data still moves from the scratchpad: bandwidth only
+                cache_cycles += inst.copies * m.elem_bytes as f64
+                    / cfg.caches.first().map_or(8.0, |c| c.bw_bytes_per_cycle);
+                continue;
+            }
+            let instr_count = inst.copies / elems_per_instr;
+            mem_instrs += instr_count;
+            total_instrs += instr_count;
+            int_instrs += instr_count;
+
+            let (bytes, from_dram) = traffic(cfg, m, l, inst, outer);
+            if from_dram {
+                dram_bytes += inst.copies * bytes;
+            } else {
+                let bw = serving_bw(cfg, m, l, inst, outer);
+                cache_cycles += inst.copies * bytes / bw;
+            }
+        }
+
+        // arithmetic instruction slots (vector op = 1 instr for all lanes)
+        total_instrs += inst.copies * inst.stmt.flops.len() as f64 / elems_per_instr;
+
+        // --- dependence chains ---
+        if inst.stmt.reads_own_output && !inst.stmt.flops.is_empty() {
+            let carried_by_l = inst.stmt.store.addr.invariant_to(l.depth);
+            if carried_by_l {
+                let chain = cfg.latency(*inst.stmt.flops.last().unwrap());
+                // if the store is also invariant to the unrolled copies, the
+                // same accumulator is updated `copies` times per iteration
+                let same_acc_copies = inst
+                    .unrolled
+                    .iter()
+                    .all(|&(d, _)| inst.stmt.store.addr.invariant_to(d));
+                let per_iter_chain =
+                    if same_acc_copies { chain * inst.copies } else { chain };
+                lat_bound = lat_bound.max(per_iter_chain);
+            }
+        }
+    }
+
+    let fp_cycles = fp_slots / cfg.fp_units as f64 / cfg.vector_width.max(1) as f64
+        * effective_vector_penalty(&instances, cfg);
+    let per_iter = match cfg.kind {
+        MachineKind::Snitch => {
+            // pseudo dual issue: int pipe vs fp pipe
+            let overhead = if l.frep || matches!(l.kind, LoopKind::Unrolled) {
+                0.0
+            } else {
+                cfg.loop_overhead
+            };
+            (int_instrs + overhead).max(fp_slots / cfg.fp_units as f64).max(lat_bound).max(cache_cycles)
+        }
+        _ => {
+            let overhead = if matches!(l.kind, LoopKind::Unrolled) { 0.0 } else { cfg.loop_overhead };
+            let issue = total_instrs / cfg.issue_width as f64;
+            let ports = mem_instrs / cfg.mem_ports as f64;
+            fp_cycles.max(issue).max(ports).max(lat_bound).max(cache_cycles) + overhead
+        }
+    };
+
+    let mut total = Cost {
+        compute: per_iter * l.trip as f64,
+        dram_bytes: dram_bytes * l.trip as f64,
+        setup: 0.0,
+    };
+    if l.ssr && cfg.has_snitch_ext() {
+        total.setup += cfg.ssr_setup;
+    }
+    if l.frep && cfg.has_snitch_ext() {
+        total.setup += cfg.frep_setup;
+    }
+    Ok(finish_loop(cfg, l, total))
+}
+
+/// On a vector machine, scalar FP ops don't get the SIMD discount. This
+/// corrective returns the ratio that undoes the `vector_width` division for
+/// the scalar share of the work.
+fn effective_vector_penalty(instances: &[Instance<'_>], cfg: &MachineConfig) -> f64 {
+    if cfg.vector_width <= 1 {
+        return 1.0;
+    }
+    let mut vec_ops = 0.0;
+    let mut scalar_ops = 0.0;
+    for i in instances {
+        let ops = i.copies * i.stmt.flops.len() as f64;
+        if i.vector.is_some() {
+            vec_ops += ops;
+        } else {
+            scalar_ops += ops;
+        }
+    }
+    let tot = vec_ops + scalar_ops;
+    if tot == 0.0 {
+        return 1.0;
+    }
+    // scalar ops run at 1/width of the discounted rate
+    (vec_ops + scalar_ops * cfg.vector_width as f64) / tot
+}
+
+/// Depths (with trips) along which the address actually moves within the
+/// unit (the unit loop itself, plus unrolled/vector loops inside it).
+fn varying_depths(m: &MemRef, l: &Loop, inst: &Instance<'_>, _outer: &[Ctx]) -> Vec<(usize, usize)> {
+    let mut v = Vec::new();
+    if !m.addr.invariant_to(l.depth) {
+        v.push((l.depth, l.trip));
+    }
+    for &(d, t) in &inst.unrolled {
+        if !m.addr.invariant_to(d) {
+            v.push((d, t));
+        }
+    }
+    if let Some((d, t)) = inst.vector {
+        if !m.addr.invariant_to(d) {
+            v.push((d, t));
+        }
+    }
+    v
+}
+
+/// Bytes moved per scalar element access and whether they come from DRAM.
+fn traffic(cfg: &MachineConfig, m: &MemRef, l: &Loop, inst: &Instance<'_>, outer: &[Ctx]) -> (f64, bool) {
+    // fast local storage never hits DRAM
+    if matches!(m.location, Location::Stack | Location::Register | Location::Shared) {
+        return (m.elem_bytes as f64, false);
+    }
+    // innermost (deepest) varying depth determines spatial locality
+    let varying = varying_depths(m, l, inst, outer);
+    let Some(&(dv, _)) = varying.iter().max_by_key(|&&(d, _)| d) else {
+        return (m.elem_bytes as f64, false); // invariant store: negligible
+    };
+    let stride_bytes = (m.addr.stride(dv).unsigned_abs() as f64) * m.elem_bytes as f64;
+    let bytes = stride_bytes.clamp(m.elem_bytes as f64, cfg.line_bytes as f64);
+
+    // footprint traversed by one full execution of the unit for this access
+    let mut footprint = m.elem_bytes as f64;
+    for &(_, t) in &varying {
+        footprint *= t as f64;
+    }
+    // outer loops that move the address multiply the live footprint; outer
+    // loops that *don't* move it mean the same data is re-traversed (reuse)
+    let mut reused = false;
+    for c in outer.iter() {
+        if m.addr.invariant_to(c.depth) {
+            reused = true;
+        } else {
+            footprint *= c.trip as f64;
+        }
+    }
+    let fits_cache = cfg.caches.iter().any(|cl| footprint <= cl.bytes as f64);
+    let from_dram = !(reused && fits_cache);
+    (bytes, from_dram)
+}
+
+/// Bandwidth of the cache level serving a non-DRAM access.
+fn serving_bw(cfg: &MachineConfig, m: &MemRef, l: &Loop, inst: &Instance<'_>, outer: &[Ctx]) -> f64 {
+    if matches!(m.location, Location::Stack | Location::Register | Location::Shared) {
+        return cfg.caches.first().map_or(16.0, |c| c.bw_bytes_per_cycle);
+    }
+    let varying = varying_depths(m, l, inst, outer);
+    let mut footprint = m.elem_bytes as f64;
+    for &(_, t) in &varying {
+        footprint *= t as f64;
+    }
+    for cl in &cfg.caches {
+        if footprint <= cl.bytes as f64 {
+            return cl.bw_bytes_per_cycle;
+        }
+    }
+    cfg.caches.last().map_or(8.0, |c| c.bw_bytes_per_cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_codegen::lower;
+    use perfdojo_ir::builder::*;
+    use perfdojo_ir::ProgramBuilder;
+
+    fn cycles(cfg: &MachineConfig, p: &perfdojo_ir::Program) -> f64 {
+        cost_kernel(cfg, &lower(p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn bigger_problems_cost_more() {
+        let cfg = MachineConfig::x86_xeon();
+        let mk = |n: usize| {
+            let mut b = ProgramBuilder::new("t");
+            b.input("x", &[n]).output("z", &[n]);
+            b.scope(n, |b| {
+                b.op(out("z", &[0]), mul(ld("x", &[0]), cst(2.0)));
+            });
+            b.build()
+        };
+        let small = cycles(&cfg, &mk(64));
+        let big = cycles(&cfg, &mk(4096));
+        assert!(big > small * 16.0);
+    }
+
+    #[test]
+    fn fused_version_cheaper_than_two_pass_large() {
+        // Fusing producer/consumer over a DRAM-sized array removes a full
+        // round trip of traffic.
+        let cfg = MachineConfig::x86_xeon();
+        let n = 16 * 1024 * 1024;
+        let two_pass = {
+            let mut b = ProgramBuilder::new("t2");
+            b.input("x", &[n]).output("z", &[n]);
+            b.temp("t", &[n], perfdojo_ir::Location::Heap);
+            b.scope(n, |b| {
+                b.op(out("t", &[0]), mul(ld("x", &[0]), cst(2.0)));
+            });
+            b.scope(n, |b| {
+                b.op(out("z", &[0]), add(ld("t", &[0]), cst(1.0)));
+            });
+            b.build()
+        };
+        let fused = {
+            let mut b = ProgramBuilder::new("t1");
+            b.input("x", &[n]).output("z", &[n]);
+            b.temp("t", &[n], perfdojo_ir::Location::Heap);
+            b.scope(n, |b| {
+                b.op(out("t", &[0]), mul(ld("x", &[0]), cst(2.0)));
+                b.op(out("z", &[0]), add(ld("t", &[0]), cst(1.0)));
+            });
+            b.build()
+        };
+        assert!(cycles(&cfg, &fused) < cycles(&cfg, &two_pass));
+    }
+
+    #[test]
+    fn unrolling_removes_loop_overhead() {
+        let cfg = MachineConfig::snitch();
+        let mut b = ProgramBuilder::new("u");
+        b.input("x", &[64]).output("z", &[64]);
+        b.scope(16, |b| {
+            b.scope(4, |b| {
+                b.op(
+                    out_at("z", vec![perfdojo_ir::Affine::scaled(0, 4, 0).add(&perfdojo_ir::Affine::var(1))]),
+                    mul(
+                        ld_at("x", vec![perfdojo_ir::Affine::scaled(0, 4, 0).add(&perfdojo_ir::Affine::var(1))]),
+                        cst(2.0),
+                    ),
+                );
+            });
+        });
+        let p = b.build();
+        let plain = cycles(&cfg, &p);
+        let unrolled = perfdojo_transform::Transform::Unroll
+            .apply(&p, &perfdojo_transform::Loc::Node(perfdojo_ir::Path::from([0, 0])))
+            .unwrap();
+        assert!(cycles(&cfg, &unrolled) < plain);
+    }
+
+    #[test]
+    fn strided_access_pays_line_penalty() {
+        let cfg = MachineConfig::x86_xeon();
+        let rows = 4096;
+        let cols = 1024;
+        // contiguous copy vs column-major (stride-1024) traversal
+        let unit = {
+            let mut b = ProgramBuilder::new("row");
+            b.input("x", &[rows, cols]).output("z", &[rows, cols]);
+            b.scopes(&[rows, cols], |b| {
+                b.op(out("z", &[0, 1]), mul(ld("x", &[0, 1]), cst(2.0)));
+            });
+            b.build()
+        };
+        let strided = {
+            let mut b = ProgramBuilder::new("col");
+            b.input("x", &[rows, cols]).output("z", &[rows, cols]);
+            b.scopes(&[cols, rows], |b| {
+                b.op(out("z", &[1, 0]), mul(ld("x", &[1, 0]), cst(2.0)));
+            });
+            b.build()
+        };
+        assert!(cycles(&cfg, &strided) > cycles(&cfg, &unit) * 2.0);
+    }
+
+    #[test]
+    fn gpu_bindings_rejected_on_cpu() {
+        let mut b = ProgramBuilder::new("g");
+        b.input("x", &[32]).output("z", &[32]);
+        b.scope(32, |b| {
+            b.op(out("z", &[0]), ld("x", &[0]));
+        });
+        let p = b.build();
+        let g = perfdojo_transform::Transform::BindGpu(perfdojo_ir::ScopeKind::GpuGrid)
+            .apply(&p, &perfdojo_transform::Loc::Node(perfdojo_ir::Path::from([0])))
+            .unwrap();
+        let cfg = MachineConfig::x86_xeon();
+        assert!(matches!(
+            cost_kernel(&cfg, &lower(&g).unwrap()),
+            Err(MachineError::Unschedulable(_))
+        ));
+    }
+}

@@ -1,0 +1,347 @@
+//! Analytical executor for GPU machines (GH200 / MI300A-like).
+//!
+//! Each top-level node that is a GPU-grid-bound loop becomes one kernel
+//! launch; everything else runs on the (weak) host core — exactly the
+//! structure the paper's discovered batch-normalization kernel uses
+//! (temporaries on the CPU, then a launch; §4.3 / Fig. 14b).
+//!
+//! Per launch the model computes:
+//! * **threads**: the product of block/warp-bound trips, padded to a
+//!   multiple of the warp/wavefront size (the Fig. 14b 300→320 padding),
+//! * **compute time**: per-thread instruction cycles spread across
+//!   `SMs × warp schedulers × warp size` thread-slots, bounded below by one
+//!   thread's latency and by occupancy limits,
+//! * **memory time**: coalescing-aware device-memory traffic over the HBM
+//!   bandwidth (unit-stride lanes fetch lines; strided lanes fetch one
+//!   transaction per element; vectorized lanes amortize instructions),
+//! * **launch overhead** per kernel.
+
+use crate::config::{GpuConfig, MachineConfig};
+use crate::cpu;
+use crate::MachineError;
+use perfdojo_codegen::{Loop, LoopKind, Lowered, LoweredKernel, MemRef, Stmt};
+use perfdojo_ir::Location;
+
+/// Total cycles (device clock domain) for a kernel on a GPU machine.
+pub fn cost_kernel(cfg: &MachineConfig, k: &LoweredKernel) -> Result<f64, MachineError> {
+    let g = cfg.gpu.as_ref().expect("gpu machine without gpu config");
+    let mut total = 0.0;
+    for n in &k.body {
+        total += match n {
+            Lowered::Loop(l) if l.kind == LoopKind::GpuGrid => launch_cost(cfg, g, l)?,
+            other => host_cost(cfg, other)?,
+        };
+    }
+    Ok(total.max(1.0))
+}
+
+/// Host fallback: a single modest core (the incentive to bind scopes to the
+/// device at all).
+fn host_cost(cfg: &MachineConfig, n: &Lowered) -> Result<f64, MachineError> {
+    let host = host_config(cfg);
+    let c = cpu::cost_node(&host, n, &mut Vec::new())?;
+    Ok(c.compute.max(c.dram_bytes / host.mem_bw_bytes_per_cycle.max(1.0)))
+}
+
+fn host_config(cfg: &MachineConfig) -> MachineConfig {
+    let mut host = MachineConfig::arm_host();
+    host.cores = 1; // unbound code is single-threaded host code
+    host.clock_ghz = cfg.clock_ghz;
+    host
+}
+
+/// A GPU launch: grid loop `l`, possibly with nested grid dims, then
+/// block/warp dims, then the per-thread body.
+fn launch_cost(cfg: &MachineConfig, g: &GpuConfig, l: &Loop) -> Result<f64, MachineError> {
+    // Collect grid dims (chain of :g loops with single children).
+    let mut grid = 1usize;
+    let mut node: &Loop = l;
+    loop {
+        grid = grid.saturating_mul(node.trip);
+        match single_loop_child(node) {
+            Some(c) if c.kind == LoopKind::GpuGrid => node = c,
+            _ => break,
+        }
+    }
+    // Collect block/warp dims.
+    let mut threads = 1usize;
+    let mut thread_dims: Vec<usize> = Vec::new(); // depths of thread-mapped loops
+    let mut body_root: &Loop = node;
+    loop {
+        match single_loop_child(body_root) {
+            Some(c) if matches!(c.kind, LoopKind::GpuBlock | LoopKind::GpuWarp) => {
+                threads = threads.saturating_mul(c.trip);
+                thread_dims.push(c.depth);
+                body_root = c;
+            }
+            _ => break,
+        }
+    }
+    if threads > g.max_threads_per_block {
+        return Err(MachineError::Unschedulable(format!(
+            "block of {threads} threads exceeds the {} limit",
+            g.max_threads_per_block
+        )));
+    }
+    // Pad the block to full warps: lanes beyond the logical size still issue
+    // (the Fig. 14b redundant computation on padded elements).
+    let threads_padded = if threads == 0 {
+        g.warp_size
+    } else {
+        threads.div_ceil(g.warp_size) * g.warp_size
+    };
+
+    // Per-thread cost of the remaining body.
+    let mut thread = ThreadCost::default();
+    if thread_dims.is_empty() {
+        // no block binding: each grid element is one thread
+        thread_dims.push(node.depth);
+    }
+    for c in &body_root.body {
+        thread_body(cfg, g, c, &thread_dims, 1.0, &mut thread)?;
+    }
+
+    // Compute: thread-cycles spread over the machine's thread slots.
+    let total_threads = grid as f64 * threads_padded as f64;
+    let slots = (g.sms * g.warp_schedulers * g.warp_size) as f64;
+    let occupancy = occupancy_factor(g, threads_padded);
+    let compute = (total_threads * thread.cycles / (slots * occupancy)).max(thread.cycles);
+
+    // Memory: logical traffic over HBM bandwidth.
+    let mem = grid as f64 * threads_padded as f64 * thread.dram_bytes / g.mem_bw_bytes_per_cycle;
+
+    let launch_cycles = g.launch_overhead_s * cfg.clock_ghz * 1e9;
+    Ok(compute.max(mem) + launch_cycles)
+}
+
+fn single_loop_child(l: &Loop) -> Option<&Loop> {
+    if l.body.len() == 1 {
+        if let Lowered::Loop(c) = &l.body[0] {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Occupancy: small blocks underutilize SM thread slots; oversized blocks
+/// limit resident blocks.
+fn occupancy_factor(g: &GpuConfig, threads_padded: usize) -> f64 {
+    let resident_blocks = (g.max_threads_per_sm / threads_padded.max(1)).max(1);
+    let resident_threads = (resident_blocks * threads_padded).min(g.max_threads_per_sm);
+    (resident_threads as f64 / g.max_threads_per_sm as f64).clamp(0.05, 1.0)
+}
+
+#[derive(Default)]
+struct ThreadCost {
+    /// Instruction cycles per thread.
+    cycles: f64,
+    /// Device-memory bytes per thread (after coalescing discounts).
+    dram_bytes: f64,
+}
+
+/// Accumulate the per-thread cost of the body under the thread-mapped dims.
+fn thread_body(
+    cfg: &MachineConfig,
+    g: &GpuConfig,
+    n: &Lowered,
+    thread_dims: &[usize],
+    mult: f64,
+    out: &mut ThreadCost,
+) -> Result<(), MachineError> {
+    match n {
+        Lowered::Stmt(s) => {
+            stmt_cost(cfg, g, s, thread_dims, mult, 1, out);
+            Ok(())
+        }
+        Lowered::Loop(l) => match l.kind {
+            LoopKind::GpuGrid | LoopKind::GpuBlock | LoopKind::GpuWarp => Err(
+                MachineError::Unschedulable("nested GPU binding below the thread body".into()),
+            ),
+            LoopKind::Vector => {
+                // vectorized lanes: one instruction covers l.trip elements
+                for c in &l.body {
+                    vector_stmt(cfg, g, c, thread_dims, mult, l, out)?;
+                }
+                Ok(())
+            }
+            LoopKind::Parallel | LoopKind::Seq | LoopKind::Unrolled => {
+                let overhead = if matches!(l.kind, LoopKind::Unrolled) { 0.0 } else { 1.0 };
+                out.cycles += mult * overhead * l.trip as f64;
+                for c in &l.body {
+                    thread_body(cfg, g, c, thread_dims, mult * l.trip as f64, out)?;
+                }
+                Ok(())
+            }
+        },
+    }
+}
+
+fn vector_stmt(
+    cfg: &MachineConfig,
+    g: &GpuConfig,
+    n: &Lowered,
+    thread_dims: &[usize],
+    mult: f64,
+    vl: &Loop,
+    out: &mut ThreadCost,
+) -> Result<(), MachineError> {
+    match n {
+        Lowered::Stmt(s) => {
+            stmt_cost(cfg, g, s, thread_dims, mult, vl.trip, out);
+            Ok(())
+        }
+        Lowered::Loop(_) => Err(MachineError::Unschedulable(
+            "loop nested under a vectorized scope".into(),
+        )),
+    }
+}
+
+fn stmt_cost(
+    cfg: &MachineConfig,
+    g: &GpuConfig,
+    s: &Stmt,
+    thread_dims: &[usize],
+    mult: f64,
+    vector: usize,
+    out: &mut ThreadCost,
+) {
+    // instruction cycles: flops + memory ops (vector ops amortize)
+    let flop_cycles: f64 = s.flops.iter().map(|&f| cfg.throughput(f)).sum::<f64>() * vector as f64
+        / cfg.fp_units as f64;
+    let mem_ops = (s.loads.len() + 1) as f64;
+    out.cycles += mult * (flop_cycles + mem_ops);
+    // memory traffic with coalescing against the fastest thread dim
+    let lane_dim = thread_dims.iter().copied().max();
+    for m in s.loads.iter().chain(std::iter::once(&s.store)) {
+        out.dram_bytes += mult * access_bytes(g, m, lane_dim, vector);
+    }
+}
+
+/// Per-thread, per-execution device bytes for one access, after coalescing.
+fn access_bytes(g: &GpuConfig, m: &MemRef, lane_dim: Option<usize>, vector: usize) -> f64 {
+    if matches!(m.location, Location::Shared | Location::Register | Location::Stack) {
+        return 0.0; // on-chip
+    }
+    let elem = m.elem_bytes as f64 * vector as f64;
+    let Some(lane) = lane_dim else { return elem };
+    let stride = m.addr.stride(lane);
+    if stride == 0 {
+        // broadcast: one transaction per warp, amortized
+        return elem / g.warp_size as f64;
+    }
+    let stride_bytes = stride.unsigned_abs() as f64 * m.elem_bytes as f64;
+    if stride_bytes <= (vector * m.elem_bytes) as f64 {
+        elem // fully coalesced
+    } else {
+        // each lane fetches its own transaction
+        (stride_bytes).min(g.line_bytes as f64).max(elem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_codegen::lower;
+    use perfdojo_ir::builder::*;
+    use perfdojo_ir::{Path, ProgramBuilder, ScopeKind};
+    use perfdojo_transform::{Loc, Transform};
+
+    fn bind_2d(p: &perfdojo_ir::Program) -> perfdojo_ir::Program {
+        let g = Transform::BindGpu(ScopeKind::GpuGrid)
+            .apply(p, &Loc::Node(Path::from([0])))
+            .unwrap();
+        let b = Transform::BindGpu(ScopeKind::GpuBlock);
+        b.apply(&g, &b.find_locations(&g)[0]).unwrap()
+    }
+
+    fn mul2d(n: usize, m: usize) -> perfdojo_ir::Program {
+        let mut b = ProgramBuilder::new("mul");
+        b.input("x", &[n, m]).input("y", &[n, m]).output("z", &[n, m]);
+        b.scopes(&[n, m], |b| {
+            b.op(out("z", &[0, 1]), mul(ld("x", &[0, 1]), ld("y", &[0, 1])));
+        });
+        b.build()
+    }
+
+    #[test]
+    fn coalesced_beats_uncoalesced() {
+        let cfg = MachineConfig::gh200();
+        // coalesced: the block (lane) dim is the row-contiguous dim
+        let coalesced = bind_2d(&mul2d(4096, 1024));
+        // uncoalesced: same loop sizes, transposed arrays, so lanes stride
+        // by 4096 elements
+        let swapped = {
+            let mut b = ProgramBuilder::new("mul");
+            b.input("x", &[1024, 4096]).input("y", &[1024, 4096]).output("z", &[1024, 4096]);
+            b.scopes(&[4096, 1024], |b| {
+                b.op(out("z", &[1, 0]), mul(ld("x", &[1, 0]), ld("y", &[1, 0])));
+            });
+            bind_2d(&b.build())
+        };
+        let m = crate::Machine::new(cfg);
+        let a = m.evaluate(&coalesced).unwrap();
+        let b = m.evaluate(&swapped).unwrap();
+        assert!(b.cycles > a.cycles * 2.0, "coalesced {} strided {}", a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn block_padding_to_wavefront() {
+        // 300-thread blocks on a 64-wide wavefront machine run as 320
+        // threads (Fig. 14b); a 256-thread block wastes nothing.
+        let g = MachineConfig::mi300a();
+        let gc = g.gpu.as_ref().unwrap();
+        assert_eq!(300usize.div_ceil(gc.warp_size) * gc.warp_size, 320);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let p = mul2d(4, 2048);
+        let bound = bind_2d(&p);
+        let m = crate::Machine::gh200();
+        assert!(matches!(
+            m.evaluate(&bound),
+            Err(MachineError::Unschedulable(_))
+        ));
+    }
+
+    #[test]
+    fn memory_bound_kernel_scales_with_bytes() {
+        let m = crate::Machine::gh200();
+        let small = m.evaluate(&bind_2d(&mul2d(1024, 256))).unwrap();
+        let large = m.evaluate(&bind_2d(&mul2d(8192, 256))).unwrap();
+        // 8x the data: the beyond-launch-overhead part grows ~8x
+        let lo = m.config.gpu.as_ref().unwrap().launch_overhead_s;
+        let s_work = small.seconds - lo;
+        let l_work = large.seconds - lo;
+        assert!(l_work > s_work * 4.0, "{s_work} vs {l_work}");
+    }
+
+    #[test]
+    fn host_and_device_phases_compose() {
+        // A program with an unbound stats loop + a bound normalize loop
+        // costs host + launch.
+        let mut b = ProgramBuilder::new("bn");
+        b.input("x", &[64, 1024]).output("z", &[64, 1024]);
+        b.temp("s", &[64], perfdojo_ir::Location::Heap);
+        b.scope(64, |b| {
+            b.op(out("s", &[0]), cst(0.0));
+            b.scope(1024, |b| {
+                b.reduce(out("s", &[0]), perfdojo_ir::BinaryOp::Add, ld("x", &[0, 1]));
+            });
+        });
+        b.scopes(&[64, 1024], |b| {
+            b.op(out("z", &[0, 1]), sub(ld("x", &[0, 1]), ld("s", &[0])));
+        });
+        let p = b.build();
+        let g = Transform::BindGpu(ScopeKind::GpuGrid)
+            .apply(&p, &Loc::Node(Path::from([1])))
+            .unwrap();
+        let bl = Transform::BindGpu(ScopeKind::GpuBlock);
+        let gb = bl.apply(&g, &bl.find_locations(&g)[0]).unwrap();
+        let m = crate::Machine::gh200();
+        let est = m.evaluate(&gb).unwrap();
+        let host_only = m.evaluate(&p).unwrap();
+        assert!(est.seconds < host_only.seconds);
+        assert!(est.seconds > m.config.gpu.as_ref().unwrap().launch_overhead_s);
+    }
+}

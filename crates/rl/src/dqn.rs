@@ -1,0 +1,330 @@
+//! Deep Q-learning with the paper's training techniques (§3.2–3.3):
+//! experience replay, Double DQN, a dueling value/advantage decomposition,
+//! ε-greedy exploration, and the Max-Bellman objective.
+//!
+//! The Q-function consumes an *(state, action)* pair where the action is
+//! the embedding of the transformed program: `Q(concat(E(k), E(k')))`. The
+//! dueling variant decomposes `Q(s,a) = V(s) + A(s,a)` with `V` a separate
+//! state-value head — advantages are centred over the candidate action set
+//! at selection/bootstrapping time.
+
+use crate::nn::Mlp;
+use crate::replay::{ReplayBuffer, Transition};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// DQN hyperparameters and ablation switches.
+#[derive(Clone, Debug)]
+pub struct DqnConfig {
+    /// Embedding width of one program state.
+    pub state_dim: usize,
+    /// Hidden layer widths of the Q trunk.
+    pub hidden: Vec<usize>,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Use the Max-Bellman target `max(r, γ·maxQ')` (paper) instead of the
+    /// standard `r + γ·maxQ'`.
+    pub max_bellman: bool,
+    /// Decouple action selection (online net) from evaluation (target net).
+    pub double_dqn: bool,
+    /// Add the dueling state-value head.
+    pub dueling: bool,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Target-network sync period in train steps.
+    pub target_sync: u32,
+    /// ε-greedy schedule: start, end, decay steps.
+    pub eps_start: f32,
+    /// Final exploration rate.
+    pub eps_end: f32,
+    /// Steps over which ε decays linearly.
+    pub eps_decay_steps: u32,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            state_dim: crate::embed::EMBED_DIM,
+            hidden: vec![128, 64],
+            gamma: 0.95,
+            max_bellman: true,
+            double_dqn: true,
+            dueling: true,
+            replay_capacity: 4096,
+            batch: 32,
+            lr: 1e-3,
+            target_sync: 64,
+            eps_start: 1.0,
+            eps_end: 0.1,
+            eps_decay_steps: 400,
+        }
+    }
+}
+
+/// The learning agent.
+pub struct DqnAgent {
+    /// Configuration (public for reporting).
+    pub cfg: DqnConfig,
+    online: Mlp,
+    target: Mlp,
+    value_online: Mlp,
+    value_target: Mlp,
+    /// Replay store.
+    pub replay: ReplayBuffer,
+    rng: StdRng,
+    steps: u32,
+    train_steps: u32,
+}
+
+impl DqnAgent {
+    /// Create an agent.
+    pub fn new(cfg: DqnConfig, seed: u64) -> Self {
+        let mut dims = vec![cfg.state_dim * 2];
+        dims.extend(&cfg.hidden);
+        dims.push(1);
+        let online = Mlp::new(&dims, seed);
+        let mut target = Mlp::new(&dims, seed.wrapping_add(1));
+        target.copy_params_from(&online);
+        let mut vdims = vec![cfg.state_dim];
+        vdims.extend(&cfg.hidden);
+        vdims.push(1);
+        let value_online = Mlp::new(&vdims, seed.wrapping_add(2));
+        let mut value_target = Mlp::new(&vdims, seed.wrapping_add(3));
+        value_target.copy_params_from(&value_online);
+        DqnAgent {
+            replay: ReplayBuffer::new(cfg.replay_capacity),
+            online,
+            target,
+            value_online,
+            value_target,
+            rng: StdRng::seed_from_u64(seed.wrapping_add(4)),
+            steps: 0,
+            train_steps: 0,
+            cfg,
+        }
+    }
+
+    /// Current exploration rate.
+    pub fn epsilon(&self) -> f32 {
+        let t = (self.steps as f32 / self.cfg.eps_decay_steps.max(1) as f32).min(1.0);
+        self.cfg.eps_start + t * (self.cfg.eps_end - self.cfg.eps_start)
+    }
+
+    fn q_raw(net: &Mlp, state: &[f32], action: &[f32]) -> f32 {
+        let mut x = Vec::with_capacity(state.len() + action.len());
+        x.extend_from_slice(state);
+        x.extend_from_slice(action);
+        net.forward(&x)[0]
+    }
+
+    /// Q-values of a candidate action set at `state` using the online nets
+    /// (dueling: `V(s) + A(s,a) - mean A`).
+    pub fn q_values(&self, state: &[f32], actions: &[Vec<f32>]) -> Vec<f32> {
+        self.q_values_with(&self.online, &self.value_online, state, actions)
+    }
+
+    fn q_values_with(
+        &self,
+        net: &Mlp,
+        vnet: &Mlp,
+        state: &[f32],
+        actions: &[Vec<f32>],
+    ) -> Vec<f32> {
+        let adv: Vec<f32> = actions.iter().map(|a| Self::q_raw(net, state, a)).collect();
+        if !self.cfg.dueling {
+            return adv;
+        }
+        let mean = adv.iter().sum::<f32>() / adv.len().max(1) as f32;
+        let v = vnet.forward(state)[0];
+        adv.iter().map(|a| v + a - mean).collect()
+    }
+
+    /// ε-greedy selection over candidate actions; returns the index.
+    pub fn select(&mut self, state: &[f32], actions: &[Vec<f32>]) -> usize {
+        self.steps += 1;
+        if actions.is_empty() {
+            return 0;
+        }
+        if self.rng.random_range(0.0..1.0f32) < self.epsilon() {
+            return self.rng.random_range(0..actions.len());
+        }
+        let q = self.q_values(state, actions);
+        argmax(&q)
+    }
+
+    /// Store a transition.
+    pub fn remember(&mut self, t: Transition) {
+        self.replay.push(t);
+    }
+
+    /// One training step (a mini-batch of TD updates). Returns the batch
+    /// loss, or `None` when the replay is still too small.
+    pub fn train_step(&mut self) -> Option<f32> {
+        if self.replay.len() < self.cfg.batch {
+            return None;
+        }
+        let batch: Vec<Transition> = self
+            .replay
+            .sample(self.cfg.batch, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        let mut loss = 0.0f32;
+        for t in &batch {
+            // bootstrap target over the next state's candidate actions;
+            // note s' IS the action embedding (the transformed program)
+            let boot = if t.next_actions.is_empty() {
+                0.0
+            } else if self.cfg.double_dqn {
+                // select with online, evaluate with target (Double DQN)
+                let q_online = self.q_values_with(&self.online, &self.value_online, &t.action, &t.next_actions);
+                let best = argmax(&q_online);
+                self.q_values_with(&self.target, &self.value_target, &t.action, &t.next_actions)[best]
+            } else {
+                let q_t = self.q_values_with(&self.target, &self.value_target, &t.action, &t.next_actions);
+                q_t[argmax(&q_t)]
+            };
+            // §3.2: max-Bellman prioritizes the best achievable reward;
+            // standard Bellman accumulates.
+            let target = if self.cfg.max_bellman {
+                t.reward.max(self.cfg.gamma * boot)
+            } else {
+                t.reward + self.cfg.gamma * boot
+            };
+            let pred = {
+                let mut q = Self::q_raw(&self.online, &t.state, &t.action);
+                if self.cfg.dueling {
+                    q += self.value_online.forward(&t.state)[0];
+                }
+                q
+            };
+            let err = pred - target;
+            loss += err * err;
+            let mut x = Vec::with_capacity(t.state.len() + t.action.len());
+            x.extend_from_slice(&t.state);
+            x.extend_from_slice(&t.action);
+            self.online.backward(&x, &[2.0 * err]);
+            if self.cfg.dueling {
+                self.value_online.backward(&t.state, &[2.0 * err]);
+            }
+        }
+        self.online.step(self.cfg.lr, batch.len());
+        if self.cfg.dueling {
+            self.value_online.step(self.cfg.lr, batch.len());
+        }
+        self.train_steps += 1;
+        if self.train_steps % self.cfg.target_sync == 0 {
+            self.target.copy_params_from(&self.online);
+            self.value_target.copy_params_from(&self.value_online);
+        }
+        Some(loss / batch.len() as f32)
+    }
+}
+
+fn argmax(v: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, x) in v.iter().enumerate() {
+        if *x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn onehot(i: usize, d: usize) -> Vec<f32> {
+        let mut v = vec![0.0; d];
+        v[i % d] = 1.0;
+        v
+    }
+
+    /// A 1-step bandit: action 0 pays 0.1, action 1 pays 1.0. The agent
+    /// must learn to prefer action 1.
+    #[test]
+    fn bandit_learns_best_action() {
+        let cfg = DqnConfig {
+            state_dim: 4,
+            hidden: vec![16],
+            eps_decay_steps: 100,
+            eps_end: 0.0,
+            batch: 16,
+            ..DqnConfig::default()
+        };
+        let mut agent = DqnAgent::new(cfg, 9);
+        let state = onehot(0, 4);
+        let actions = vec![onehot(1, 4), onehot(2, 4)];
+        for _ in 0..300 {
+            let a = agent.select(&state, &actions);
+            let reward = if a == 1 { 1.0 } else { 0.1 };
+            agent.remember(Transition {
+                state: state.clone(),
+                action: actions[a].clone(),
+                reward,
+                next_actions: vec![],
+            });
+            agent.train_step();
+        }
+        let q = agent.q_values(&state, &actions);
+        assert!(q[1] > q[0], "q {q:?}");
+    }
+
+    #[test]
+    fn epsilon_decays() {
+        let cfg = DqnConfig { state_dim: 4, eps_decay_steps: 10, ..DqnConfig::default() };
+        let mut agent = DqnAgent::new(cfg, 1);
+        let e0 = agent.epsilon();
+        let s = onehot(0, 4);
+        let acts = vec![onehot(1, 4)];
+        for _ in 0..20 {
+            agent.select(&s, &acts);
+        }
+        assert!(agent.epsilon() < e0);
+        assert!((agent.epsilon() - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn train_requires_filled_replay() {
+        let cfg = DqnConfig { state_dim: 4, batch: 8, ..DqnConfig::default() };
+        let mut agent = DqnAgent::new(cfg, 2);
+        assert!(agent.train_step().is_none());
+    }
+
+    #[test]
+    fn all_ablation_combos_run() {
+        for max_bellman in [false, true] {
+            for double_dqn in [false, true] {
+                for dueling in [false, true] {
+                    let cfg = DqnConfig {
+                        state_dim: 4,
+                        hidden: vec![8],
+                        batch: 4,
+                        max_bellman,
+                        double_dqn,
+                        dueling,
+                        ..DqnConfig::default()
+                    };
+                    let mut agent = DqnAgent::new(cfg, 3);
+                    let s = onehot(0, 4);
+                    let acts = vec![onehot(1, 4), onehot(2, 4)];
+                    for _ in 0..8 {
+                        let a = agent.select(&s, &acts);
+                        agent.remember(Transition {
+                            state: s.clone(),
+                            action: acts[a].clone(),
+                            reward: 0.5,
+                            next_actions: acts.clone(),
+                        });
+                    }
+                    assert!(agent.train_step().is_some());
+                }
+            }
+        }
+    }
+}

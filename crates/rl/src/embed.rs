@@ -1,0 +1,165 @@
+//! Program-state embedding `E(k)`.
+//!
+//! The paper encodes the PerfDojo textual representation with an LLM; we
+//! substitute a deterministic feature embedding of the *same* textual form
+//! (DESIGN.md): hashed character trigrams capture the code text, and a
+//! handful of structural features (scope kinds and log-sizes, annotations,
+//! buffer placements) capture schedule shape. The result is L2-normalized,
+//! so downstream Q-networks see inputs of uniform scale. The interface —
+//! kernel text in, fixed-width vector out — is exactly the one PerfLLM
+//! assumes, making the LLM drop-in replaceable.
+
+use perfdojo_ir::{Location, Node, Program, ScopeKind};
+
+/// Embedding width (trigram buckets + structural slots).
+pub const EMBED_DIM: usize = 128;
+
+const STRUCT_SLOTS: usize = 24;
+const TRIGRAM_SLOTS: usize = EMBED_DIM - STRUCT_SLOTS;
+
+/// Embed a program state.
+pub fn embed(p: &Program) -> Vec<f32> {
+    let mut v = vec![0.0f32; EMBED_DIM];
+
+    // hashed character trigrams of the textual representation
+    let text = p.to_string();
+    let bytes = text.as_bytes();
+    for w in bytes.windows(3) {
+        let h = fxhash(w) as usize % TRIGRAM_SLOTS;
+        v[h] += 1.0;
+    }
+
+    // structural features
+    let base = TRIGRAM_SLOTS;
+    let mut kinds = [0f32; 7];
+    let mut sizes_log = 0f32;
+    let mut nscopes = 0f32;
+    let mut frep = 0f32;
+    let mut ssr = 0f32;
+    let mut max_depth = 0f32;
+    perfdojo_ir::path::walk(&p.roots, &mut |path, n, _| {
+        if let Node::Scope(s) = n {
+            nscopes += 1.0;
+            let k = match s.kind {
+                ScopeKind::Seq => 0,
+                ScopeKind::Unroll => 1,
+                ScopeKind::Vector => 2,
+                ScopeKind::Parallel => 3,
+                ScopeKind::GpuGrid => 4,
+                ScopeKind::GpuBlock => 5,
+                ScopeKind::GpuWarp => 6,
+            };
+            kinds[k] += 1.0;
+            if let Some(t) = s.size.as_const() {
+                sizes_log += (t as f32).ln();
+            }
+            if s.frep {
+                frep += 1.0;
+            }
+            if s.ssr {
+                ssr += 1.0;
+            }
+            max_depth = max_depth.max(path.len() as f32);
+        }
+    });
+    for (i, k) in kinds.iter().enumerate() {
+        v[base + i] = *k;
+    }
+    v[base + 7] = sizes_log;
+    v[base + 8] = nscopes;
+    v[base + 9] = frep;
+    v[base + 10] = ssr;
+    v[base + 11] = max_depth;
+    v[base + 12] = p.op_count() as f32;
+    v[base + 13] = (p.footprint_bytes() as f32).ln().max(0.0);
+    let mut stack = 0f32;
+    let mut reg = 0f32;
+    let mut shared = 0f32;
+    let mut reused = 0f32;
+    let mut padded = 0f32;
+    for b in &p.buffers {
+        match b.location {
+            Location::Stack => stack += 1.0,
+            Location::Register => reg += 1.0,
+            Location::Shared => shared += 1.0,
+            Location::Heap => {}
+        }
+        for d in &b.dims {
+            if !d.materialized {
+                reused += 1.0;
+            }
+            if d.pad_to != d.size {
+                padded += 1.0;
+            }
+        }
+    }
+    v[base + 14] = stack;
+    v[base + 15] = reg;
+    v[base + 16] = shared;
+    v[base + 17] = reused;
+    v[base + 18] = padded;
+    v[base + 19] = p.buffers.len() as f32;
+    v[base + 20] = (p.dynamic_op_instances() as f32).ln().max(0.0);
+    v[base + 21] = p.inputs.len() as f32;
+    v[base + 22] = p.outputs.len() as f32;
+    v[base + 23] = p.temporaries().len() as f32;
+
+    // L2 normalize
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// FxHash-style mixing (small, deterministic, no dependency).
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h.rotate_left(5) ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn softmax() -> Program {
+        perfdojo_kernels::softmax(4, 8)
+    }
+
+    #[test]
+    fn embedding_has_unit_norm() {
+        let e = embed(&softmax());
+        let n: f32 = e.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+        assert_eq!(e.len(), EMBED_DIM);
+    }
+
+    #[test]
+    fn embedding_deterministic() {
+        assert_eq!(embed(&softmax()), embed(&softmax()));
+    }
+
+    #[test]
+    fn transformed_program_embeds_differently() {
+        let p = softmax();
+        let t = perfdojo_transform::Transform::SplitScope { tile: 2 };
+        let loc = &t.find_locations(&p)[0];
+        let q = t.apply(&p, loc).unwrap();
+        let (e1, e2) = (embed(&p), embed(&q));
+        let dot: f32 = e1.iter().zip(&e2).map(|(a, b)| a * b).sum();
+        assert!(dot < 0.9999, "embeddings identical after transformation");
+    }
+
+    #[test]
+    fn different_kernels_embed_apart() {
+        let a = embed(&perfdojo_kernels::matmul(4, 4, 4));
+        let b = embed(&perfdojo_kernels::relu(4, 4));
+        let dot: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!(dot < 0.99);
+    }
+}

@@ -1,0 +1,109 @@
+//! The Fig. 6 toy MDP: why Max-Q-learning suits the performance game.
+//!
+//! From `S0` the agent can stop immediately (`a0`, locking in a decent
+//! reward) or walk a chain of performance-degrading intermediate states
+//! (low rewards) to `S3`, which holds the highest single-state reward.
+//! Standard Q-learning maximizes *discounted cumulative* reward, so the
+//! low-reward chain drags the trajectory value below the stop reward and
+//! it stops. The max-Bellman objective `Q(s,a) = E[max(r, γ·Q(s',a'))]`
+//! propagates the *peak* reward back and enters the chain — exactly the
+//! behaviour wanted when only the best program variant matters.
+
+/// A tiny deterministic chain MDP evaluated in closed form.
+#[derive(Clone, Debug)]
+pub struct ChainMdp {
+    /// Reward of stopping at the start (`a0`).
+    pub stop_reward: f64,
+    /// Reward of each intermediate chain state (degraded performance).
+    pub step_reward: f64,
+    /// Reward of the final state `S3`.
+    pub peak_reward: f64,
+    /// Number of moves from `S0` to the peak.
+    pub chain_len: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+}
+
+impl ChainMdp {
+    /// The Fig. 6 instance: intermediate states *degrade* performance
+    /// (reward below the baseline), the final state is the best achievable.
+    pub fn fig6() -> Self {
+        ChainMdp {
+            stop_reward: 0.8,
+            step_reward: -0.1,
+            peak_reward: 1.0,
+            chain_len: 3,
+            gamma: 0.9,
+        }
+    }
+
+    /// Converged value of entering the chain under **standard** Q-learning:
+    /// the discounted cumulative reward
+    /// `sum_{i<len-1} γ^i·step + γ^{len-1}·peak`.
+    pub fn standard_q_chain(&self) -> f64 {
+        let mut q = 0.0;
+        for i in 0..self.chain_len - 1 {
+            q += self.gamma.powi(i as i32) * self.step_reward;
+        }
+        q + self.gamma.powi(self.chain_len as i32 - 1) * self.peak_reward
+    }
+
+    /// Converged value of entering the chain under **max**-Bellman:
+    /// `max(r1, γ·max(r2, …γ·peak))`.
+    pub fn max_q_chain(&self) -> f64 {
+        let mut q = self.peak_reward;
+        for _ in 0..self.chain_len - 1 {
+            q = self.step_reward.max(self.gamma * q);
+        }
+        q
+    }
+
+    /// Which objective enters the chain at `S0`: `(standard, max)`.
+    pub fn decisions(&self) -> (bool, bool) {
+        (
+            self.standard_q_chain() > self.stop_reward,
+            self.max_q_chain() > self.stop_reward,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_standard_stops_max_continues() {
+        let m = ChainMdp::fig6();
+        let (standard_goes, max_goes) = m.decisions();
+        assert!(
+            !standard_goes,
+            "standard Q must prefer the immediate stop: chain={} stop={}",
+            m.standard_q_chain(),
+            m.stop_reward
+        );
+        assert!(
+            max_goes,
+            "max-Q must prefer the peak: chain={} stop={}",
+            m.max_q_chain(),
+            m.stop_reward
+        );
+    }
+
+    #[test]
+    fn closed_forms_match_hand_calculation() {
+        let m = ChainMdp::fig6();
+        // standard: -0.1 - 0.09 + 0.81 = 0.62
+        assert!((m.standard_q_chain() - 0.62).abs() < 1e-12);
+        // max: max(-0.1, 0.9*max(-0.1, 0.9*1.0)) = 0.81
+        assert!((m.max_q_chain() - 0.81).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_chains_eventually_defeat_max_q_too() {
+        // discounting still applies: with a long enough chain even max-Q
+        // stops, keeping episodes bounded
+        let m = ChainMdp { chain_len: 30, ..ChainMdp::fig6() };
+        let (_, max_goes) = m.decisions();
+        assert!(!max_goes);
+    }
+}

@@ -1,0 +1,205 @@
+//! The PerfLLM optimization loop (Fig. 1a): episodes of the PerfDojo game
+//! driven by the DQN agent.
+//!
+//! Per step the agent embeds the current kernel, enumerates the applicable
+//! transformations (sampling a bounded subset when there are hundreds),
+//! embeds each candidate's resulting kernel — the §3.1 action
+//! representation — plus the *stop* action (the state embedding duplicated),
+//! selects ε-greedily, and receives the dense reward `r = c/T`.
+
+use crate::dqn::{DqnAgent, DqnConfig};
+use crate::embed::embed;
+use crate::replay::Transition;
+use perfdojo_core::Dojo;
+use perfdojo_transform::Action;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// PerfLLM driver configuration.
+#[derive(Clone, Debug)]
+pub struct PerfLlmConfig {
+    /// DQN hyperparameters.
+    pub dqn: DqnConfig,
+    /// Training episodes.
+    pub episodes: usize,
+    /// Maximum moves per episode.
+    pub max_steps: usize,
+    /// Cap on candidate actions embedded per step (the full applicable set
+    /// can number in the hundreds).
+    pub action_sample: usize,
+    /// Gradient steps per environment step.
+    pub train_per_step: usize,
+}
+
+impl Default for PerfLlmConfig {
+    fn default() -> Self {
+        PerfLlmConfig {
+            dqn: DqnConfig::default(),
+            episodes: 8,
+            max_steps: 24,
+            action_sample: 32,
+            train_per_step: 1,
+        }
+    }
+}
+
+/// Outcome of a PerfLLM run.
+#[derive(Clone, Debug)]
+pub struct PerfLlmResult {
+    /// Best runtime discovered, seconds.
+    pub best_runtime: f64,
+    /// Transformation sequence reaching the best state.
+    pub best_steps: Vec<Action>,
+    /// Best runtime at the end of each episode (learning curve).
+    pub episode_best: Vec<f64>,
+    /// Total environment evaluations spent.
+    pub evaluations: u64,
+}
+
+impl PerfLlmResult {
+    /// Speedup over a reference runtime.
+    pub fn speedup_over(&self, reference: f64) -> f64 {
+        reference / self.best_runtime
+    }
+}
+
+/// Run PerfLLM on a Dojo.
+pub fn optimize(dojo: &mut Dojo, cfg: &PerfLlmConfig, seed: u64) -> PerfLlmResult {
+    let mut agent = DqnAgent::new(cfg.dqn.clone(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut best_runtime = dojo.initial_runtime();
+    let mut best_steps: Vec<Action> = Vec::new();
+    let mut episode_best = Vec::with_capacity(cfg.episodes);
+
+    for _ep in 0..cfg.episodes {
+        dojo.reset();
+        let mut state_emb = embed(dojo.current());
+        for _step in 0..cfg.max_steps {
+            // enumerate + sample candidates
+            let mut actions = dojo.actions();
+            actions.shuffle(&mut rng);
+            actions.truncate(cfg.action_sample);
+            if actions.is_empty() {
+                break;
+            }
+            // embed candidate next-states; slot 0 is the stop action
+            // (identical embeddings, §3.1)
+            let mut cand_embs: Vec<Vec<f32>> = vec![state_emb.clone()];
+            let mut cand_programs: Vec<Option<perfdojo_ir::Program>> = vec![None];
+            for a in &actions {
+                if let Ok(next) = a.apply(dojo.current()) {
+                    cand_embs.push(embed(&next));
+                    cand_programs.push(Some(next));
+                }
+            }
+            if cand_embs.len() == 1 {
+                break;
+            }
+            let choice = agent.select(&state_emb, &cand_embs);
+            if choice == 0 {
+                // stop: terminal transition rewarding the current state
+                let reward = dojo.reward_of(dojo.runtime()) as f32;
+                agent.remember(Transition {
+                    state: state_emb.clone(),
+                    action: state_emb.clone(),
+                    reward,
+                    next_actions: vec![],
+                });
+                for _ in 0..cfg.train_per_step {
+                    agent.train_step();
+                }
+                break;
+            }
+            let action = actions[choice - 1].clone();
+            let Ok(step) = dojo.step(action.clone()) else { break };
+            let next_emb = cand_embs[choice].clone();
+            // bounded sample of next-state candidates for the bootstrapped
+            // target (including stop)
+            let mut next_actions = vec![next_emb.clone()];
+            let mut nexts = dojo.actions();
+            nexts.shuffle(&mut rng);
+            for a in nexts.into_iter().take(8) {
+                if let Ok(nn) = a.apply(dojo.current()) {
+                    next_actions.push(embed(&nn));
+                }
+            }
+            agent.remember(Transition {
+                state: state_emb.clone(),
+                action: next_emb.clone(),
+                reward: step.reward as f32,
+                next_actions,
+            });
+            for _ in 0..cfg.train_per_step {
+                agent.train_step();
+            }
+            state_emb = next_emb;
+            if step.runtime < best_runtime {
+                best_runtime = step.runtime;
+                best_steps = dojo.history.steps.clone();
+            }
+        }
+        episode_best.push(best_runtime);
+    }
+    PerfLlmResult { best_runtime, best_steps, episode_best, evaluations: dojo.evaluations() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_core::Target;
+
+    fn quick_cfg() -> PerfLlmConfig {
+        PerfLlmConfig {
+            episodes: 4,
+            max_steps: 10,
+            action_sample: 12,
+            dqn: DqnConfig { batch: 16, eps_decay_steps: 60, ..DqnConfig::default() },
+            ..PerfLlmConfig::default()
+        }
+    }
+
+    #[test]
+    fn perfllm_improves_elementwise_mul() {
+        let p = perfdojo_kernels::mul(16, 64);
+        let mut d = Dojo::for_target(p, &Target::x86()).unwrap();
+        let init = d.initial_runtime();
+        let r = optimize(&mut d, &quick_cfg(), 5);
+        assert!(r.best_runtime <= init);
+        assert_eq!(r.episode_best.len(), 4);
+        // best-so-far curve is monotone
+        for w in r.episode_best.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn perfllm_finds_gpu_binding() {
+        // On a GPU target the host fallback is so slow that any learned
+        // schedule must include a grid binding to reach a big speedup.
+        let p = perfdojo_kernels::mul(64, 256);
+        let mut d = Dojo::for_target(p, &Target::gh200()).unwrap();
+        let init = d.initial_runtime();
+        let r = optimize(&mut d, &quick_cfg(), 11);
+        assert!(
+            r.best_runtime < init,
+            "no improvement: best {} init {}",
+            r.best_runtime,
+            init
+        );
+        let uses_gpu = r.best_steps.iter().any(|a| {
+            matches!(a.transform, perfdojo_transform::Transform::BindGpu(_))
+        });
+        assert!(uses_gpu || r.best_runtime >= init * 0.5, "gpu binding expected for big wins");
+    }
+
+    #[test]
+    fn result_sequence_replays() {
+        let p = perfdojo_kernels::relu(32, 32);
+        let mut d = Dojo::for_target(p.clone(), &Target::x86()).unwrap();
+        let r = optimize(&mut d, &quick_cfg(), 3);
+        let mut d2 = Dojo::for_target(p, &Target::x86()).unwrap();
+        let rt = d2.load_sequence(&r.best_steps).unwrap();
+        assert!((rt - r.best_runtime).abs() <= 1e-12 + rt * 1e-9);
+    }
+}

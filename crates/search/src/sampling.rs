@@ -1,0 +1,104 @@
+//! Global random sampling (paper §4.2.2, first strategy).
+//!
+//! Samples over *all previously encountered programs*, with selection
+//! probabilities based on past evaluations; the cost of a sequence is "the
+//! runtime of its parent in the search graph", which avoids spending budget
+//! on children of weakly performing candidates.
+
+use crate::{SearchResult, TracePoint};
+use perfdojo_core::Dojo;
+use perfdojo_transform::Action;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+struct Candidate {
+    steps: Vec<Action>,
+    /// Own measured runtime.
+    runtime: f64,
+    /// Parent's runtime (the §4.2.2 cost).
+    cost: f64,
+}
+
+/// Run parent-cost-weighted random sampling for `budget` evaluations.
+pub fn random_sampling(dojo: &mut Dojo, budget: u64, seed: u64) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let initial_runtime = dojo.initial_runtime();
+    let mut pool: Vec<Candidate> = vec![Candidate {
+        steps: Vec::new(),
+        runtime: initial_runtime,
+        cost: initial_runtime,
+    }];
+    let mut best_steps: Vec<Action> = Vec::new();
+    let mut best_runtime = initial_runtime;
+    let mut trace: Vec<TracePoint> = vec![(0, best_runtime)];
+    let start_evals = dojo.evaluations();
+
+    while dojo.evaluations() - start_evals < budget {
+        // selection ∝ 1/cost (cheaper parents more likely)
+        let weights: Vec<f64> = pool.iter().map(|c| 1.0 / c.cost).collect();
+        let total: f64 = weights.iter().sum();
+        let mut pick = rng.random_range(0.0..total);
+        let mut idx = 0;
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        let parent_steps = pool[idx].steps.clone();
+        let parent_runtime = pool[idx].runtime;
+        if dojo.load_sequence(&parent_steps).is_err() {
+            continue;
+        }
+        let actions = dojo.actions();
+        let Some(a) = actions.choose(&mut rng).cloned() else { continue };
+        let Ok(step) = dojo.step(a.clone()) else { continue };
+        let mut steps = parent_steps;
+        steps.push(a);
+        if step.runtime < best_runtime {
+            best_runtime = step.runtime;
+            best_steps = steps.clone();
+        }
+        trace.push((dojo.evaluations() - start_evals, best_runtime));
+        pool.push(Candidate { steps, runtime: step.runtime, cost: parent_runtime });
+    }
+    SearchResult { best_steps, best_runtime, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_core::Target;
+
+    #[test]
+    fn sampling_improves_relu_on_x86() {
+        let p = perfdojo_kernels::relu(256, 256);
+        let mut d = Dojo::for_target(p, &Target::x86()).unwrap();
+        let init = d.initial_runtime();
+        let r = random_sampling(&mut d, 150, 11);
+        assert!(r.best_runtime < init, "no improvement found");
+        assert!(r.trace.last().unwrap().1 <= r.trace.first().unwrap().1);
+    }
+
+    #[test]
+    fn trace_is_monotone_nonincreasing() {
+        let p = perfdojo_kernels::softmax(8, 16);
+        let mut d = Dojo::for_target(p, &Target::x86()).unwrap();
+        let r = random_sampling(&mut d, 80, 3);
+        for w in r.trace.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            let p = perfdojo_kernels::rmsnorm(4, 16);
+            let mut d = Dojo::for_target(p, &Target::x86()).unwrap();
+            random_sampling(&mut d, 60, 99).best_runtime
+        };
+        assert_eq!(mk(), mk());
+    }
+}

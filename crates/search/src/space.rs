@@ -1,0 +1,213 @@
+//! Search-space structures (paper §4.2.1).
+//!
+//! A candidate is a full transformation sequence. The **edges**-based space
+//! mirrors the transformation graph: a neighbor extends the sequence by one
+//! applicable move (or retracts the last). The **heuristic**-based space
+//! starts from a complete expert-generated candidate and mutates selected
+//! transformations at arbitrary points, leaving the others in place —
+//! "inspired by the expert hand-tuning process".
+
+use perfdojo_core::Dojo;
+use perfdojo_transform::{Action, Loc, Transform};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::RngExt;
+
+/// A structure over candidate transformation sequences.
+pub trait SearchSpace {
+    /// The starting candidate.
+    fn initial(&self, dojo: &mut Dojo) -> Vec<Action>;
+
+    /// A random neighbor of `seq`.
+    fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut StdRng) -> Vec<Action>;
+}
+
+/// Edge-structured space: follow the transformation graph one move at a
+/// time.
+pub struct EdgesSpace;
+
+impl SearchSpace for EdgesSpace {
+    fn initial(&self, _dojo: &mut Dojo) -> Vec<Action> {
+        Vec::new()
+    }
+
+    fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut StdRng) -> Vec<Action> {
+        let mut next = seq.to_vec();
+        // mostly extend; sometimes retract to escape dead ends
+        if !next.is_empty() && rng.random_bool(0.25) {
+            next.pop();
+            return next;
+        }
+        if dojo.load_sequence(&next).is_err() {
+            return next;
+        }
+        let actions = dojo.actions();
+        if let Some(a) = actions.choose(rng) {
+            next.push(a.clone());
+        }
+        next
+    }
+}
+
+/// Heuristic-structured space: start from the expert pass and mutate points
+/// of the sequence (replace a transformation's parameters, drop a step, or
+/// insert a heuristic-suggested step).
+pub struct HeuristicSpace;
+
+impl SearchSpace for HeuristicSpace {
+    fn initial(&self, dojo: &mut Dojo) -> Vec<Action> {
+        dojo.reset();
+        crate::passes::heuristic_pass(dojo);
+        dojo.history.steps.clone()
+    }
+
+    fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut StdRng) -> Vec<Action> {
+        let mut next = seq.to_vec();
+        if next.is_empty() {
+            return EdgesSpace.neighbor(&next, dojo, rng);
+        }
+        match rng.random_range(0..3u32) {
+            0 => {
+                // replace: re-parameterize one step in place
+                let i = rng.random_range(0..next.len());
+                if let Some(alt) = reparameterize(&next[i], dojo, rng) {
+                    next[i] = alt;
+                }
+            }
+            1 => {
+                // drop one step, keeping the rest (non-destructive undo)
+                let i = rng.random_range(0..next.len());
+                next.remove(i);
+            }
+            _ => {
+                // insert a suggested step at the end of the sequence
+                if dojo.load_sequence(&next).is_ok() {
+                    let suggestions = suggest(dojo);
+                    if let Some(a) = suggestions.choose(rng) {
+                        next.push(a.clone());
+                    }
+                }
+            }
+        }
+        next
+    }
+}
+
+/// Alternative parameterizations of a step (tile sizes, padding, location).
+fn reparameterize(a: &Action, dojo: &Dojo, rng: &mut StdRng) -> Option<Action> {
+    let tiles: Vec<usize> = dojo
+        .library()
+        .transforms
+        .iter()
+        .filter_map(|t| match t {
+            Transform::SplitScope { tile } => Some(*tile),
+            _ => None,
+        })
+        .collect();
+    match &a.transform {
+        Transform::SplitScope { tile } => {
+            let alt = tiles.choose(rng).copied()?;
+            (alt != *tile).then(|| Action {
+                transform: Transform::SplitScope { tile: alt },
+                loc: a.loc.clone(),
+            })
+        }
+        Transform::SplitReduction { tile } => {
+            let alt = tiles.choose(rng).copied()?;
+            (alt != *tile).then(|| Action {
+                transform: Transform::SplitReduction { tile: alt },
+                loc: a.loc.clone(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Heuristic step suggestions for the current state: the moves an expert
+/// would consider next (annotation toggles, tilings of hot loops, layout
+/// tweaks).
+fn suggest(dojo: &Dojo) -> Vec<Action> {
+    let preferred = |t: &Transform| {
+        matches!(
+            t,
+            Transform::SplitScope { .. }
+                | Transform::SplitReduction { .. }
+                | Transform::Vectorize { .. }
+                | Transform::Parallelize
+                | Transform::Unroll
+                | Transform::BindGpu(_)
+                | Transform::JoinScopes
+                | Transform::ReuseDims
+                | Transform::EnableSsr
+                | Transform::EnableFrep
+                | Transform::SetLocation(_)
+        )
+    };
+    dojo.actions().into_iter().filter(|a| preferred(&a.transform)).collect()
+}
+
+/// Convenience predicate used by tests/benches: does the sequence contain a
+/// transformation kind?
+pub fn sequence_contains(seq: &[Action], pred: impl Fn(&Transform) -> bool) -> bool {
+    seq.iter().any(|a| pred(&a.transform))
+}
+
+/// Render a sequence compactly for logs and figure output.
+pub fn format_sequence(seq: &[Action]) -> String {
+    seq.iter().map(|a| format!("{a}")).collect::<Vec<_>>().join("; ")
+}
+
+/// Re-export used internally by mutation (kept public for the RL crate's
+/// action labelling).
+pub fn action_signature(a: &Action) -> String {
+    match &a.loc {
+        Loc::Node(p) => format!("{}@{p}", a.transform),
+        other => format!("{}@{other}", a.transform),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_core::Target;
+    use rand::SeedableRng;
+
+    fn dojo() -> Dojo {
+        let k = perfdojo_kernels::small_suite()
+            .into_iter()
+            .find(|k| k.label == "softmax")
+            .unwrap();
+        Dojo::for_target(k.program, &Target::x86()).unwrap()
+    }
+
+    #[test]
+    fn edges_space_extends_sequences() {
+        let mut d = dojo();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s0 = EdgesSpace.initial(&mut d);
+        assert!(s0.is_empty());
+        let mut grew = false;
+        let mut s = s0;
+        for _ in 0..10 {
+            let n = EdgesSpace.neighbor(&s, &mut d, &mut rng);
+            if n.len() > s.len() {
+                grew = true;
+            }
+            s = n;
+        }
+        assert!(grew);
+    }
+
+    #[test]
+    fn heuristic_space_starts_complete() {
+        let mut d = dojo();
+        let s0 = HeuristicSpace.initial(&mut d);
+        assert!(!s0.is_empty(), "expert pass should produce steps");
+        // mutations keep candidates replayable
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..6 {
+            let n = HeuristicSpace.neighbor(&s0, &mut d, &mut rng);
+            assert!(d.load_sequence(&n).is_ok());
+        }
+    }
+}

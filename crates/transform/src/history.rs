@@ -1,0 +1,221 @@
+//! Transformation history: the non-destructive record of a sequence of
+//! moves.
+//!
+//! Paper §2: "we also ask for transformations to be non-destructive …
+//! both human engineers and RL agents may … want to undo [an earlier
+//! transformation], maintaining all other transformations applied since
+//! then in place." Because every application is pure, the history *is* the
+//! program: any prefix can be replayed, any step removed or replaced, and
+//! the remaining steps re-applied (skipping any that became inapplicable —
+//! the caller learns which).
+//!
+//! The §4.2 heuristic search mutates candidate sequences exactly this way.
+
+use crate::{Action, TransformError};
+use perfdojo_ir::Program;
+
+/// A recorded, replayable transformation sequence.
+#[derive(Clone, Debug)]
+pub struct History {
+    /// The untransformed program.
+    pub initial: Program,
+    /// Applied actions, in order.
+    pub steps: Vec<Action>,
+    current: Program,
+}
+
+/// Result of replaying an edited sequence: the reached program plus the
+/// indices of steps that no longer applied and were skipped.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// Program after applying all still-applicable steps.
+    pub program: Program,
+    /// Indices (into the edited sequence) of steps skipped as inapplicable.
+    pub skipped: Vec<usize>,
+}
+
+impl History {
+    /// Start a history at `initial`.
+    pub fn new(initial: Program) -> Self {
+        History { current: initial.clone(), initial, steps: Vec::new() }
+    }
+
+    /// The current (fully transformed) program.
+    pub fn current(&self) -> &Program {
+        &self.current
+    }
+
+    /// Number of applied steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no step has been applied.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Apply and record one action.
+    pub fn push(&mut self, action: Action) -> Result<&Program, TransformError> {
+        let next = action.apply(&self.current)?;
+        self.steps.push(action);
+        self.current = next;
+        Ok(&self.current)
+    }
+
+    /// Undo the most recent action (replays the prefix).
+    pub fn pop(&mut self) -> Option<Action> {
+        let last = self.steps.pop()?;
+        self.current = replay_sequence(&self.initial, &self.steps).program;
+        Some(last)
+    }
+
+    /// Undo the action at `index`, keeping all later steps in place where
+    /// still applicable. Returns which later steps had to be skipped.
+    pub fn remove(&mut self, index: usize) -> Result<Replay, TransformError> {
+        if index >= self.steps.len() {
+            return Err(TransformError::NotApplicable(format!("no step {index}")));
+        }
+        let mut edited = self.steps.clone();
+        edited.remove(index);
+        let replay = replay_sequence(&self.initial, &edited);
+        // drop the skipped steps from the recorded sequence
+        let mut kept = Vec::new();
+        for (i, s) in edited.into_iter().enumerate() {
+            if !replay.skipped.contains(&i) {
+                kept.push(s);
+            }
+        }
+        self.steps = kept;
+        self.current = replay.program.clone();
+        Ok(replay)
+    }
+
+    /// Replace the action at `index` with `action`, keeping later steps
+    /// where still applicable.
+    pub fn replace(&mut self, index: usize, action: Action) -> Result<Replay, TransformError> {
+        if index >= self.steps.len() {
+            return Err(TransformError::NotApplicable(format!("no step {index}")));
+        }
+        let mut edited = self.steps.clone();
+        edited[index] = action;
+        let replay = replay_sequence(&self.initial, &edited);
+        if replay.skipped.contains(&index) {
+            return Err(TransformError::NotApplicable(
+                "replacement action is not applicable at its position".into(),
+            ));
+        }
+        let mut kept = Vec::new();
+        for (i, s) in edited.into_iter().enumerate() {
+            if !replay.skipped.contains(&i) {
+                kept.push(s);
+            }
+        }
+        self.steps = kept;
+        self.current = replay.program.clone();
+        Ok(replay)
+    }
+
+    /// Fork a new history continuing from the current state of this one.
+    pub fn fork(&self) -> History {
+        self.clone()
+    }
+}
+
+/// Replay a sequence from `initial`, skipping inapplicable steps.
+pub fn replay_sequence(initial: &Program, steps: &[Action]) -> Replay {
+    let mut program = initial.clone();
+    let mut skipped = Vec::new();
+    for (i, s) in steps.iter().enumerate() {
+        match s.apply(&program) {
+            Ok(next) => program = next,
+            Err(_) => skipped.push(i),
+        }
+    }
+    Replay { program, skipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Loc, Transform};
+    use perfdojo_interp::verify_equivalent;
+    use perfdojo_ir::builder::*;
+    use perfdojo_ir::{Path, Program, ProgramBuilder};
+
+    fn base() -> Program {
+        let mut b = ProgramBuilder::new("h");
+        b.input("x", &[4, 16]).output("z", &[4, 16]);
+        b.scopes(&[4, 16], |b| {
+            b.op(out("z", &[0, 1]), mul(ld("x", &[0, 1]), cst(2.0)));
+        });
+        b.build()
+    }
+
+    fn split(tile: usize, path: &[usize]) -> Action {
+        Action { transform: Transform::SplitScope { tile }, loc: Loc::Node(Path::from(path.to_vec().as_slice())) }
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let p = base();
+        let mut h = History::new(p.clone());
+        h.push(split(8, &[0, 0])).unwrap();
+        assert_eq!(h.len(), 1);
+        h.pop().unwrap();
+        assert_eq!(h.current(), &p);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn remove_earlier_step_keeps_later_when_possible() {
+        let p = base();
+        let mut h = History::new(p.clone());
+        // step 0: split inner 16 by 8; step 1: unroll the new 8-loop;
+        // step 2: parallelize the outer 4-loop (independent of step 0).
+        h.push(split(8, &[0, 0])).unwrap();
+        h.push(Action { transform: Transform::Unroll, loc: Loc::Node(Path::from([0, 0, 0])) })
+            .unwrap();
+        h.push(Action { transform: Transform::Parallelize, loc: Loc::Node(Path::from([0])) })
+            .unwrap();
+        assert_eq!(h.len(), 3);
+        // removing the split invalidates the unroll location's meaning but
+        // parallelize at @0 still applies
+        let replay = h.remove(0).unwrap();
+        assert!(verify_equivalent(&p, h.current(), 2, 3).is_equivalent());
+        // unroll at @0.0.0 no longer resolves (path no longer a scope)
+        assert!(!replay.skipped.is_empty() || h.len() <= 2);
+    }
+
+    #[test]
+    fn replace_step_with_different_tile() {
+        let p = base();
+        let mut h = History::new(p.clone());
+        h.push(split(8, &[0, 0])).unwrap();
+        h.replace(0, split(4, &[0, 0])).unwrap();
+        // inner scope now has trip 4
+        let inner = h.current().node(&Path::from([0, 0, 0])).unwrap().as_scope().unwrap();
+        assert_eq!(inner.trip(), 4);
+        assert!(verify_equivalent(&p, h.current(), 2, 5).is_equivalent());
+    }
+
+    #[test]
+    fn replace_with_inapplicable_fails() {
+        let p = base();
+        let mut h = History::new(p.clone());
+        h.push(split(8, &[0, 0])).unwrap();
+        let err = h.replace(0, split(7, &[0, 0]));
+        assert!(err.is_err());
+        // history unchanged on failure
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn replay_skips_inapplicable() {
+        let p = base();
+        let steps = vec![split(8, &[0, 0]), split(8, &[0, 0, 0])]; // second: trip 2? no — 16/8=2 outer, inner 8; splitting @0.0.0 (the new inner 8) by 8 is a no-op tile==trip -> inapplicable
+        let r = replay_sequence(&p, &steps);
+        assert_eq!(r.skipped, vec![1]);
+        assert!(verify_equivalent(&p, &r.program, 1, 9).is_equivalent());
+    }
+}

@@ -1,0 +1,57 @@
+//! PerfLLM on a GPU (paper §4.3 / Fig. 14a): reinforcement learning
+//! discovers a grid/block-bound, vectorized elementwise-multiplication
+//! kernel on the GH200 model — without hardware-specific heuristics.
+//!
+//! ```sh
+//! cargo run --release --example gpu_autotune
+//! ```
+
+use perfdojo::prelude::*;
+
+fn main() {
+    let target = Target::gh200();
+    let kernel = perfdojo::kernels::mul(6, 14336); // the Table 3 shape
+    println!("kernel: elementwise mul 6x14336 on {}\n", target.machine.config.name);
+
+    let torch = perfdojo::baselines::torch_runtime(&kernel, &target);
+    println!("pytorch(sim) baseline: {:.2} us", torch * 1e6);
+
+    let mut dojo = Dojo::for_target(kernel.clone(), &target).unwrap();
+    println!("default schedule (host fallback): {:.2} us", dojo.runtime() * 1e6);
+
+    let cfg = PerfLlmConfig {
+        episodes: 10,
+        max_steps: 16,
+        action_sample: 24,
+        ..Default::default()
+    };
+    let result = perfllm_optimize(&mut dojo, &cfg, 7);
+    println!(
+        "\nPerfLLM best: {:.2} us after {} evaluations ({:.2}x vs pytorch-sim)",
+        result.best_runtime * 1e6,
+        result.evaluations,
+        torch / result.best_runtime
+    );
+    println!("learning curve (best per episode, us):");
+    for (i, rt) in result.episode_best.iter().enumerate() {
+        println!("  episode {:>2}: {:.2}", i + 1, rt * 1e6);
+    }
+
+    // replay and show the discovered kernel
+    let mut replay = Dojo::for_target(kernel.clone(), &target).unwrap();
+    replay.load_sequence(&result.best_steps).unwrap();
+    println!("\n--- discovered schedule ---\n{}", replay.current());
+    println!("moves: {}", result.best_steps.len());
+    for a in &result.best_steps {
+        println!("  {a}");
+    }
+
+    // the discovered schedule is still the same computation
+    let report = verify_equivalent(
+        &perfdojo::kernels::mul(3, 16),
+        &perfdojo::kernels::mul(3, 16),
+        1,
+        1,
+    );
+    assert!(report.is_equivalent());
+}

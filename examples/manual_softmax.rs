@@ -1,0 +1,43 @@
+//! The manual optimization process (paper Fig. 4 / Fig. 9): walk softmax
+//! through a scripted sequence of atomic, semantics-preserving moves on the
+//! x86 model and watch the performance trajectory — including the plateaus
+//! from enabling moves that only pay off later.
+//!
+//! ```sh
+//! cargo run --release --example manual_softmax
+//! ```
+
+use perfdojo::prelude::*;
+
+fn main() {
+    let kernel = perfdojo::kernels::softmax(512, 256);
+    let mut dojo = Dojo::for_target(kernel.clone(), &Target::x86()).unwrap();
+    let trajectory = perfdojo::search::manual::manual_softmax_trajectory(&mut dojo);
+
+    let r0 = trajectory[0].runtime;
+    println!("{:>5}  {:>10}  {:>8}  move", "step", "runtime", "speedup");
+    for pt in &trajectory {
+        let bar_len = ((r0 / pt.runtime).log2() * 8.0) as usize;
+        println!(
+            "{:>5}  {:>8.1}us  {:>7.2}x  {}  {}",
+            pt.step,
+            pt.runtime * 1e6,
+            r0 / pt.runtime,
+            "#".repeat(bar_len.min(60)),
+            pt.move_name
+        );
+    }
+    println!(
+        "\n{} moves total; final speedup {:.2}x",
+        trajectory.len() - 1,
+        r0 / trajectory.last().unwrap().runtime
+    );
+
+    // every move preserved semantics (verified on a small instance)
+    let small = perfdojo::kernels::softmax(4, 16);
+    let mut d = Dojo::for_target(small.clone(), &Target::x86()).unwrap();
+    perfdojo::search::manual::manual_softmax_trajectory(&mut d);
+    let report = verify_equivalent(&small, d.current(), 3, 99);
+    println!("numerical verification on the small instance: {report:?}");
+    assert!(report.is_equivalent());
+}

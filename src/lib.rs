@@ -1,0 +1,47 @@
+//! # PerfDojo
+//!
+//! A from-scratch reproduction of *PerfDojo: Automated ML Library
+//! Generation for Heterogeneous Architectures* (SC '25): a
+//! semantics-preserving program-transformation environment for ML kernels,
+//! plus the PerfLLM reinforcement-learning optimizer, heuristic passes,
+//! classical search, simulated hardware targets (x86, Arm, GH200-like GPU,
+//! MI300A-like GPU, Snitch RISC-V), and baselines.
+//!
+//! ```
+//! use perfdojo::prelude::*;
+//!
+//! // a kernel in the PerfDojo IR
+//! let softmax = perfdojo::kernels::softmax(64, 128);
+//!
+//! // the optimization game on an x86-like target
+//! let mut dojo = Dojo::for_target(softmax, &Target::x86()).unwrap();
+//! let before = dojo.runtime();
+//!
+//! // expert pass: semantics-preserving moves only
+//! perfdojo::search::heuristic_pass(&mut dojo);
+//! assert!(dojo.runtime() < before);
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use perfdojo_baselines as baselines;
+pub use perfdojo_codegen as codegen;
+pub use perfdojo_core as core;
+pub use perfdojo_interp as interp;
+pub use perfdojo_ir as ir;
+pub use perfdojo_kernels as kernels;
+pub use perfdojo_machine as machine;
+pub use perfdojo_rl as rl;
+pub use perfdojo_search as search;
+pub use perfdojo_transform as transform;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use perfdojo_core::{Dojo, Target};
+    pub use perfdojo_interp::{execute, random_inputs, verify_equivalent, Tensor};
+    pub use perfdojo_ir::{parse_program, validate, Program, ProgramBuilder};
+    pub use perfdojo_machine::Machine;
+    pub use perfdojo_rl::{optimize as perfllm_optimize, PerfLlmConfig};
+    pub use perfdojo_transform::{available_actions, Action, Transform, TransformLibrary};
+}

@@ -1,0 +1,111 @@
+//! End-to-end pipeline tests: kernels × targets × optimizers, exercising
+//! the full stack (IR → transformations → Dojo → machine models → search /
+//! RL → baselines) the way a downstream user would.
+
+use perfdojo::prelude::*;
+
+#[test]
+fn heuristic_pass_never_worsens_any_kernel_on_any_cpu_target() {
+    for target in [Target::x86(), Target::arm(), Target::snitch()] {
+        for k in perfdojo::kernels::small_suite() {
+            let mut d = Dojo::for_target(k.program.clone(), &target).unwrap();
+            let before = d.initial_runtime();
+            let after = perfdojo::search::heuristic_pass(&mut d);
+            assert!(
+                after <= before * 1.0001,
+                "{} on {}: {after} vs {before}",
+                k.label,
+                target.name
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_scale_kernels_evaluate_on_every_target() {
+    // The analytical machine models must handle the full Table 3 shapes.
+    for target in Target::all() {
+        for k in perfdojo::kernels::paper_suite() {
+            let est = target.machine.evaluate(&k.program).unwrap();
+            assert!(
+                est.seconds.is_finite() && est.seconds > 0.0,
+                "{} on {}",
+                k.label,
+                target.name
+            );
+        }
+    }
+}
+
+#[test]
+fn search_improves_and_replays_on_gpu() {
+    let p = perfdojo::kernels::mul(64, 512);
+    let target = Target::gh200();
+    let mut d = Dojo::for_target(p.clone(), &target).unwrap();
+    let init = d.initial_runtime();
+    let r = perfdojo::search::random_sampling(&mut d, 200, 5);
+    assert!(r.best_runtime < init, "search found nothing on the GPU");
+    let mut d2 = Dojo::for_target(p, &target).unwrap();
+    let rt = d2.load_sequence(&r.best_steps).unwrap();
+    assert!((rt - r.best_runtime).abs() <= rt * 1e-9);
+}
+
+#[test]
+fn optimized_schedules_verify_numerically_across_targets() {
+    // run the expert pass on verification-scale kernels and check outputs
+    for target in [Target::x86(), Target::snitch_core(), Target::gh200()] {
+        for k in perfdojo::kernels::small_suite().into_iter().take(8) {
+            let mut d = Dojo::for_target(k.program.clone(), &target).unwrap();
+            perfdojo::search::heuristic_pass(&mut d);
+            let rep = verify_equivalent(&k.program, d.current(), 2, 21);
+            assert!(rep.is_equivalent(), "{} on {}: {rep:?}", k.label, target.name);
+        }
+    }
+}
+
+#[test]
+fn baselines_are_consistent() {
+    let t = Target::x86();
+    for k in perfdojo::kernels::small_suite().into_iter().take(6) {
+        let torch = perfdojo::baselines::torch_runtime(&k.program, &t);
+        let tvm = perfdojo::baselines::tvm_tune(&k.program, &t, 50, 9);
+        assert!(torch.is_finite() && torch > 0.0, "{}", k.label);
+        assert!(tvm.runtime.is_finite() && tvm.runtime > 0.0, "{}", k.label);
+    }
+}
+
+#[test]
+fn perfllm_full_loop_on_small_kernel() {
+    let p = perfdojo::kernels::relu(64, 64);
+    let mut d = Dojo::for_target(p.clone(), &Target::x86()).unwrap();
+    let cfg = PerfLlmConfig { episodes: 3, max_steps: 8, action_sample: 10, ..Default::default() };
+    let r = perfllm_optimize(&mut d, &cfg, 17);
+    assert!(r.best_runtime <= d.initial_runtime());
+    // discovered schedule preserves semantics
+    let mut d2 = Dojo::for_target(p.clone(), &Target::x86()).unwrap();
+    d2.load_sequence(&r.best_steps).unwrap();
+    let rep = verify_equivalent(&p, d2.current(), 2, 23);
+    assert!(rep.is_equivalent(), "{rep:?}");
+}
+
+#[test]
+fn c_code_emits_for_all_optimized_kernels() {
+    let t = Target::x86();
+    for k in perfdojo::kernels::small_suite() {
+        let mut d = Dojo::for_target(k.program, &t).unwrap();
+        perfdojo::search::heuristic_pass(&mut d);
+        let c = perfdojo::codegen::to_c(d.current());
+        assert!(c.contains("void "), "{}", k.label);
+    }
+}
+
+#[test]
+fn dojo_verification_mode_passes_on_expert_schedules() {
+    for k in perfdojo::kernels::small_suite().into_iter().take(6) {
+        let mut d = Dojo::for_target(k.program, &Target::x86())
+            .unwrap()
+            .with_verification(1);
+        perfdojo::search::heuristic_pass(&mut d);
+        assert!(d.history.len() < 300, "{} pass ran away", k.label);
+    }
+}

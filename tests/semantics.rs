@@ -1,0 +1,101 @@
+//! The repository's central guarantee, tested end-to-end across crates:
+//! **every action the Dojo offers preserves program semantics**, on every
+//! kernel of the suite, including along random multi-step trajectories
+//! (paper §2.2's empirical validation of the applicability rules).
+
+use perfdojo::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+fn small_programs() -> Vec<(String, Program)> {
+    perfdojo::kernels::small_suite()
+        .into_iter()
+        .map(|k| (k.label, k.program))
+        .collect()
+}
+
+#[test]
+fn every_offered_action_preserves_semantics_on_every_kernel() {
+    let lib = TransformLibrary::cpu(8);
+    for (label, p) in small_programs() {
+        for a in available_actions(&p, &lib) {
+            let q = a.apply(&p).unwrap_or_else(|e| panic!("{label}: {a}: {e}"));
+            validate(&q).unwrap_or_else(|e| panic!("{label}: {a}: {e}"));
+            let rep = verify_equivalent(&p, &q, 1, 7);
+            assert!(rep.is_equivalent(), "{label}: {a}: {rep:?}");
+        }
+    }
+}
+
+#[test]
+fn gpu_actions_preserve_semantics_too() {
+    let lib = TransformLibrary::gpu(32);
+    for (label, p) in small_programs().into_iter().take(6) {
+        for a in available_actions(&p, &lib) {
+            let q = a.apply(&p).unwrap_or_else(|e| panic!("{label}: {a}: {e}"));
+            let rep = verify_equivalent(&p, &q, 1, 11);
+            assert!(rep.is_equivalent(), "{label}: {a}: {rep:?}");
+        }
+    }
+}
+
+fn random_walk_preserves(label: &str, p: &Program, lib: &TransformLibrary, steps: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cur = p.clone();
+    for step in 0..steps {
+        let actions = available_actions(&cur, lib);
+        let Some(a) = actions.choose(&mut rng) else { break };
+        cur = a
+            .apply(&cur)
+            .unwrap_or_else(|e| panic!("{label} step {step}: {a}: {e}"));
+    }
+    let rep = verify_equivalent(p, &cur, 2, seed);
+    assert!(rep.is_equivalent(), "{label} after {steps} random moves: {rep:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random trajectories through the transformation space keep semantics
+    /// on a mix of kernels and both CPU and Snitch libraries.
+    #[test]
+    fn random_trajectories_preserve_semantics(seed in 0u64..10_000, steps in 1usize..8) {
+        let kernels = small_programs();
+        let (label, p) = &kernels[(seed as usize) % kernels.len()];
+        let lib = if seed % 2 == 0 {
+            TransformLibrary::cpu(8)
+        } else {
+            TransformLibrary::snitch()
+        };
+        random_walk_preserves(label, p, &lib, steps, seed);
+    }
+
+    /// The textual format round-trips for arbitrary transformed variants.
+    #[test]
+    fn textual_roundtrip_of_transformed_programs(seed in 0u64..10_000) {
+        let kernels = small_programs();
+        let (_, p) = &kernels[(seed as usize) % kernels.len()];
+        let lib = TransformLibrary::cpu(8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cur = p.clone();
+        for _ in 0..3 {
+            let actions = available_actions(&cur, &lib);
+            if let Some(a) = actions.choose(&mut rng) {
+                cur = a.apply(&cur).unwrap();
+            }
+        }
+        let text = cur.to_string();
+        let reparsed = parse_program(&text).expect("reparse");
+        prop_assert_eq!(cur, reparsed);
+    }
+}
+
+#[test]
+fn micro_suite_random_walks_on_snitch() {
+    let lib = TransformLibrary::snitch();
+    for k in perfdojo::kernels::micro_suite() {
+        random_walk_preserves(&k.label, &k.verify_program, &lib, 6, 0xC0FFEE);
+    }
+}
