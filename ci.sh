@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Offline CI gate for the PerfDojo reproduction workspace.
+#
+#   1. perfdojo-util must compile warning-free (it is the dependency-free
+#      substrate everything else trusts).
+#   2. Tier-1 verify (ROADMAP.md): release build + full test suite.
+#   3. The whole workspace must test green fully offline — the repository
+#      has zero registry dependencies by policy (see DESIGN.md).
+#
+# Usage: ./ci.sh
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== 1/3 perfdojo-util: warning-free build (-D warnings) =="
+RUSTFLAGS="-D warnings" cargo build -q -p perfdojo-util --offline
+RUSTFLAGS="-D warnings" cargo test -q -p perfdojo-util --offline
+
+echo "== 2/3 tier-1 verify: release build + tests =="
+cargo build --release --workspace --offline
+cargo test -q --offline
+
+echo "== 3/3 full workspace tests (offline) =="
+cargo test -q --workspace --offline
+
+echo "ci.sh: all gates passed"

@@ -2,7 +2,7 @@
 //! round-trip, applicability detection, transformation application,
 //! interpretation, machine evaluation, embedding, and DQN training.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use perfdojo_util::timer::{criterion_group, criterion_main, Criterion};
 use perfdojo_core::{Dojo, Target};
 use perfdojo_rl::dqn::{DqnAgent, DqnConfig};
 use perfdojo_rl::replay::Transition;

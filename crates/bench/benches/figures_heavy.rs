@@ -4,7 +4,7 @@
 //! reports meaningful per-step numbers without re-running multi-second
 //! experiments dozens of times.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use perfdojo_util::timer::{criterion_group, criterion_main, Criterion};
 use perfdojo_core::{Dojo, Target};
 use std::hint::black_box;
 

@@ -2,7 +2,7 @@
 //! measured body *is* the full experiment, and the report is printed once
 //! so `cargo bench` output contains every row.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use perfdojo_util::timer::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_quick_figures(c: &mut Criterion) {

@@ -4,9 +4,7 @@ use crate::report::{fmt_time, Table};
 use perfdojo_core::{Dojo, Target};
 use perfdojo_rl::dqn::DqnConfig;
 use perfdojo_rl::{optimize, PerfLlmConfig};
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{RngExt, SeedableRng};
+use perfdojo_util::rng::{IndexedRandom, Rng};
 
 /// Fig. 6: standard vs Max-Q decisions on the toy chain MDP.
 pub fn exp_fig6() -> String {
@@ -144,7 +142,7 @@ pub fn exp_ablate_validity() -> String {
     .unwrap();
     let p = d.current().clone();
     let lib = d.library().clone();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
     let scope_paths = p.scope_paths();
     let trials = 500;
     let mut invalid = 0;

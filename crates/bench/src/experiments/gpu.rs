@@ -5,7 +5,7 @@ use crate::report::{fmt_time, fmt_x, geomean, Table};
 use perfdojo_baselines::{torch_runtime, tvm_tune};
 use perfdojo_core::{Dojo, Target};
 use perfdojo_rl::{optimize, PerfLlmConfig};
-use rayon::prelude::*;
+use perfdojo_util::par::par_map;
 
 fn perfllm_config() -> PerfLlmConfig {
     PerfLlmConfig {
@@ -28,22 +28,19 @@ fn gpu_suite() -> Vec<perfdojo_kernels::KernelInstance> {
 fn gpu_figure(target: &Target, title: &str, paper_note: &str) -> String {
     let mut t = Table::new(title, &["kernel", "pytorch(sim)", "tvm(sim)", "perfdojo", "vs-pytorch", "vs-tvm"]);
     // per-kernel tuning runs are independent: fan them out across cores
-    let results: Vec<_> = gpu_suite()
-        .into_par_iter()
-        .map(|k| {
-            let torch = torch_runtime(&k.program, target);
-            let tvm = tvm_tune(&k.program, target, crate::tuning_budget(), 40);
-            let mut dojo = Dojo::for_target(k.program.clone(), target).unwrap();
-            let rl = optimize(&mut dojo, &perfllm_config(), 41);
-            // PerfDojo's published numbers are the discovered kernels; the
-            // heuristic pass is available to every user, so the deliverable
-            // is the better of the two.
-            let mut d2 = Dojo::for_target(k.program.clone(), target).unwrap();
-            let heuristic = perfdojo_search::heuristic_pass(&mut d2);
-            let ours = rl.best_runtime.min(heuristic);
-            (k.label.clone(), torch, tvm, ours)
-        })
-        .collect();
+    let results: Vec<_> = par_map(gpu_suite(), |k| {
+        let torch = torch_runtime(&k.program, target);
+        let tvm = tvm_tune(&k.program, target, crate::tuning_budget(), 40);
+        let mut dojo = Dojo::for_target(k.program.clone(), target).unwrap();
+        let rl = optimize(&mut dojo, &perfllm_config(), 41);
+        // PerfDojo's published numbers are the discovered kernels; the
+        // heuristic pass is available to every user, so the deliverable
+        // is the better of the two.
+        let mut d2 = Dojo::for_target(k.program.clone(), target).unwrap();
+        let heuristic = perfdojo_search::heuristic_pass(&mut d2);
+        let ours = rl.best_runtime.min(heuristic);
+        (k.label.clone(), torch, tvm, ours)
+    });
     let mut vs_torch = Vec::new();
     let mut vs_tvm = Vec::new();
     for (label, torch, tvm, ours) in results {

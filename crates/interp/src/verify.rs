@@ -7,8 +7,7 @@
 use crate::tensor::Tensor;
 use crate::{execute, ExecError};
 use perfdojo_ir::Program;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use perfdojo_util::rng::Rng;
 use std::collections::HashMap;
 
 /// Outcome of an equivalence check.
@@ -37,7 +36,7 @@ impl VerifyReport {
 /// divisions and logs stay well-conditioned, while still exercising
 /// reductions and maxima nontrivially.
 pub fn random_inputs(p: &Program, seed: u64) -> HashMap<String, Tensor> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5eed_5eed);
     let mut m = HashMap::new();
     for name in &p.inputs {
         let shape = p.buffer_of(name).map(|b| b.shape()).unwrap_or_default();

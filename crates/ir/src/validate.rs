@@ -221,8 +221,7 @@ fn collect_index_values(
 mod tests {
     use super::*;
     use crate::builder::*;
-    use crate::expr::Access;
-    use crate::node::{OpNode, Scope};
+    use crate::node::Scope;
     use crate::affine::Affine;
 
     fn base() -> ProgramBuilder {

@@ -1,0 +1,39 @@
+//! Parser ↔ printer round-trip: the textual IR format is the interchange
+//! surface (PerfLLM consumes it, humans read it), so printing must be a
+//! lossless, stable encoding. For every kernel in the suite the printed
+//! form must reparse to an equal program and reprint **byte-identically**.
+
+use perfdojo_ir::{parse_program, validate};
+
+fn assert_roundtrip(label: &str, p: &perfdojo_ir::Program) {
+    let text = p.to_string();
+    let reparsed =
+        parse_program(&text).unwrap_or_else(|e| panic!("{label}: reparse failed: {e}\n{text}"));
+    assert_eq!(p, &reparsed, "{label}: program != parse(print(program))");
+    let text2 = reparsed.to_string();
+    assert_eq!(text, text2, "{label}: print is not a fixpoint of parse∘print");
+    validate(&reparsed).unwrap_or_else(|e| panic!("{label}: reparsed program invalid: {e}"));
+}
+
+#[test]
+fn small_suite_roundtrips_byte_identically() {
+    for k in perfdojo_kernels::small_suite() {
+        assert_roundtrip(&k.label, &k.program);
+    }
+}
+
+#[test]
+fn paper_suite_roundtrips_byte_identically() {
+    for k in perfdojo_kernels::paper_suite() {
+        assert_roundtrip(&k.label, &k.program);
+        assert_roundtrip(&format!("{} (verify)", k.label), &k.verify_program);
+    }
+}
+
+#[test]
+fn micro_suite_roundtrips_byte_identically() {
+    for k in perfdojo_kernels::micro_suite() {
+        assert_roundtrip(&k.label, &k.program);
+        assert_roundtrip(&format!("{} (verify)", k.label), &k.verify_program);
+    }
+}

@@ -241,7 +241,6 @@ fn access_bytes(g: &GpuConfig, m: &MemRef, lane_dim: Option<usize>, vector: usiz
 #[cfg(test)]
 mod tests {
     use super::*;
-    use perfdojo_codegen::lower;
     use perfdojo_ir::builder::*;
     use perfdojo_ir::{Path, ProgramBuilder, ScopeKind};
     use perfdojo_transform::{Loc, Transform};

@@ -10,8 +10,7 @@
 
 use crate::nn::Mlp;
 use crate::replay::{ReplayBuffer, Transition};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use perfdojo_util::rng::Rng;
 
 /// DQN hyperparameters and ablation switches.
 #[derive(Clone, Debug)]
@@ -75,7 +74,7 @@ pub struct DqnAgent {
     value_target: Mlp,
     /// Replay store.
     pub replay: ReplayBuffer,
-    rng: StdRng,
+    rng: Rng,
     steps: u32,
     train_steps: u32,
 }
@@ -101,7 +100,7 @@ impl DqnAgent {
             target,
             value_online,
             value_target,
-            rng: StdRng::seed_from_u64(seed.wrapping_add(4)),
+            rng: Rng::seed_from_u64(seed.wrapping_add(4)),
             steps: 0,
             train_steps: 0,
             cfg,

@@ -3,8 +3,7 @@
 //! ML dependency: the network is a plain MLP with ReLU hidden activations and a
 //! linear output.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use perfdojo_util::rng::Rng;
 
 /// One dense layer with Adam state.
 #[derive(Clone, Debug)]
@@ -22,7 +21,7 @@ struct Linear {
 }
 
 impl Linear {
-    fn new(nin: usize, nout: usize, rng: &mut StdRng) -> Self {
+    fn new(nin: usize, nout: usize, rng: &mut Rng) -> Self {
         let scale = (2.0 / nin as f32).sqrt();
         let w: Vec<f32> = (0..nin * nout).map(|_| rng.random_range(-scale..scale)).collect();
         Linear {
@@ -101,7 +100,7 @@ impl Mlp {
     /// Build from layer widths, e.g. `[256, 128, 64, 1]`.
     pub fn new(dims: &[usize], seed: u64) -> Self {
         assert!(dims.len() >= 2);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], &mut rng)).collect();
         Mlp { layers, adam_t: 0 }
     }
@@ -185,7 +184,7 @@ mod tests {
     fn regression_converges() {
         // learn y = 2*x0 - x1 + 0.5
         let mut net = Mlp::new(&[2, 16, 1], 7);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..2500 {
             let mut loss = 0.0;
             for _ in 0..16 {

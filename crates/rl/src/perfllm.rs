@@ -12,9 +12,7 @@ use crate::embed::embed;
 use crate::replay::Transition;
 use perfdojo_core::Dojo;
 use perfdojo_transform::Action;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use perfdojo_util::rng::{Rng, SliceRandom};
 
 /// PerfLLM driver configuration.
 #[derive(Clone, Debug)]
@@ -67,7 +65,7 @@ impl PerfLlmResult {
 /// Run PerfLLM on a Dojo.
 pub fn optimize(dojo: &mut Dojo, cfg: &PerfLlmConfig, seed: u64) -> PerfLlmResult {
     let mut agent = DqnAgent::new(cfg.dqn.clone(), seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9);
     let mut best_runtime = dojo.initial_runtime();
     let mut best_steps: Vec<Action> = Vec::new();
     let mut episode_best = Vec::with_capacity(cfg.episodes);

@@ -2,8 +2,7 @@
 //! to break the temporal correlation of sequentially collected data and to
 //! reuse each experience across multiple updates.
 
-use rand::rngs::StdRng;
-use rand::RngExt;
+use perfdojo_util::rng::Rng;
 
 /// One stored transition.
 ///
@@ -57,7 +56,7 @@ impl ReplayBuffer {
     }
 
     /// Sample `n` transitions uniformly with replacement.
-    pub fn sample<'a>(&'a self, n: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut Rng) -> Vec<&'a Transition> {
         (0..n).map(|_| &self.data[rng.random_range(0..self.data.len())]).collect()
     }
 }
@@ -65,7 +64,6 @@ impl ReplayBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn t(r: f32) -> Transition {
         Transition { state: vec![r], action: vec![r], reward: r, next_actions: vec![] }
@@ -90,7 +88,7 @@ mod tests {
         for i in 0..16 {
             b.push(t(i as f32));
         }
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let samples = b.sample(256, &mut rng);
         let distinct: std::collections::HashSet<u32> =
             samples.iter().map(|s| s.reward as u32).collect();

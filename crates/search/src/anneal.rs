@@ -8,8 +8,7 @@
 use crate::{SearchResult, SearchSpace, TracePoint};
 use perfdojo_core::Dojo;
 use perfdojo_transform::Action;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use perfdojo_util::rng::Rng;
 
 /// Run simulated annealing for `budget` evaluations.
 pub fn simulated_annealing(
@@ -18,7 +17,7 @@ pub fn simulated_annealing(
     budget: u64,
     seed: u64,
 ) -> SearchResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let start_evals = dojo.evaluations();
 
     let mut current = space.initial(dojo);

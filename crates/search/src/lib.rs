@@ -12,7 +12,7 @@ pub mod passes;
 pub mod sampling;
 pub mod space;
 
-pub use anneal::simulated_annealing;
+pub use anneal::{anneal_edges, anneal_heuristic, simulated_annealing};
 pub use passes::{greedy_pass, heuristic_pass, naive_pass};
 pub use sampling::random_sampling;
 pub use space::{EdgesSpace, HeuristicSpace, SearchSpace};

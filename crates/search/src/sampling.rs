@@ -8,9 +8,7 @@
 use crate::{SearchResult, TracePoint};
 use perfdojo_core::Dojo;
 use perfdojo_transform::Action;
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::{RngExt, SeedableRng};
+use perfdojo_util::rng::{IndexedRandom, Rng};
 
 struct Candidate {
     steps: Vec<Action>,
@@ -22,7 +20,7 @@ struct Candidate {
 
 /// Run parent-cost-weighted random sampling for `budget` evaluations.
 pub fn random_sampling(dojo: &mut Dojo, budget: u64, seed: u64) -> SearchResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let initial_runtime = dojo.initial_runtime();
     let mut pool: Vec<Candidate> = vec![Candidate {
         steps: Vec::new(),

@@ -9,9 +9,7 @@
 
 use perfdojo_core::Dojo;
 use perfdojo_transform::{Action, Loc, Transform};
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::RngExt;
+use perfdojo_util::rng::{IndexedRandom, Rng};
 
 /// A structure over candidate transformation sequences.
 pub trait SearchSpace {
@@ -19,7 +17,7 @@ pub trait SearchSpace {
     fn initial(&self, dojo: &mut Dojo) -> Vec<Action>;
 
     /// A random neighbor of `seq`.
-    fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut StdRng) -> Vec<Action>;
+    fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut Rng) -> Vec<Action>;
 }
 
 /// Edge-structured space: follow the transformation graph one move at a
@@ -31,7 +29,7 @@ impl SearchSpace for EdgesSpace {
         Vec::new()
     }
 
-    fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut StdRng) -> Vec<Action> {
+    fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut Rng) -> Vec<Action> {
         let mut next = seq.to_vec();
         // mostly extend; sometimes retract to escape dead ends
         if !next.is_empty() && rng.random_bool(0.25) {
@@ -61,7 +59,7 @@ impl SearchSpace for HeuristicSpace {
         dojo.history.steps.clone()
     }
 
-    fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut StdRng) -> Vec<Action> {
+    fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut Rng) -> Vec<Action> {
         let mut next = seq.to_vec();
         if next.is_empty() {
             return EdgesSpace.neighbor(&next, dojo, rng);
@@ -94,7 +92,7 @@ impl SearchSpace for HeuristicSpace {
 }
 
 /// Alternative parameterizations of a step (tile sizes, padding, location).
-fn reparameterize(a: &Action, dojo: &Dojo, rng: &mut StdRng) -> Option<Action> {
+fn reparameterize(a: &Action, dojo: &Dojo, rng: &mut Rng) -> Option<Action> {
     let tiles: Vec<usize> = dojo
         .library()
         .transforms
@@ -170,7 +168,6 @@ pub fn action_signature(a: &Action) -> String {
 mod tests {
     use super::*;
     use perfdojo_core::Target;
-    use rand::SeedableRng;
 
     fn dojo() -> Dojo {
         let k = perfdojo_kernels::small_suite()
@@ -183,7 +180,7 @@ mod tests {
     #[test]
     fn edges_space_extends_sequences() {
         let mut d = dojo();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let s0 = EdgesSpace.initial(&mut d);
         assert!(s0.is_empty());
         let mut grew = false;
@@ -204,7 +201,7 @@ mod tests {
         let s0 = HeuristicSpace.initial(&mut d);
         assert!(!s0.is_empty(), "expert pass should produce steps");
         // mutations keep candidates replayable
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         for _ in 0..6 {
             let n = HeuristicSpace.neighbor(&s0, &mut d, &mut rng);
             assert!(d.load_sequence(&n).is_ok());

@@ -1,0 +1,25 @@
+//! `perfdojo-util`: the hermetic, std-only support library of the workspace.
+//!
+//! PerfDojo's central guarantee — every offered transformation preserves
+//! program semantics — is only as trustworthy as the harness that checks it.
+//! This crate keeps that harness hermetic: no registry dependencies, fully
+//! deterministic under explicit seeds, reproducible on any machine with a
+//! Rust toolchain and no network.
+//!
+//! Modules:
+//!
+//! * [`rng`] — seedable SplitMix64/xoshiro256++ PRNG with range sampling,
+//!   shuffling, choosing and Gaussian draws (replaces `rand`);
+//! * [`par`] — scoped-thread parallel map / for-each (replaces `rayon`);
+//! * [`proptest_lite`] — a small property-testing harness with strategies,
+//!   seed reporting and shrink-by-halving (replaces `proptest`);
+//! * [`timer`] — a warmup+median micro-benchmark runner (replaces
+//!   `criterion`).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod par;
+pub mod proptest_lite;
+pub mod rng;
+pub mod timer;

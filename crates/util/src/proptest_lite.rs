@@ -1,0 +1,414 @@
+//! A small property-testing harness: strategies, deterministic seeds,
+//! failure reporting and shrink-by-halving.
+//!
+//! The surface mirrors the subset of `proptest` the workspace uses, so a
+//! test reads the same way:
+//!
+//! ```
+//! use perfdojo_util::proptest_lite::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+//!
+//!     // in a test file this would carry `#[test]`
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+//!
+//! Each test derives a deterministic base seed from its name (overridable
+//! with `PERFDOJO_PT_SEED`), runs `cases` sampled inputs, and on failure
+//! shrinks integers and vectors by halving toward the range start before
+//! reporting the seed, the original input and the minimized input.
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Harness configuration, field-compatible with the `proptest` idiom
+/// `ProptestConfig { cases: 24, ..ProptestConfig::default() }`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled inputs per test.
+    pub cases: u32,
+    /// Cap on test re-executions spent minimizing a failing input.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 256 }
+    }
+}
+
+/// A way to generate (and minimize) values of one type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug + 'static;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, simplest first. Empty = atomic.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_strategy_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *v > self.start {
+                    out.push(self.start); // simplest: the low end
+                    let mid = self.start + (*v - self.start) / 2;
+                    if mid != self.start && mid != *v {
+                        out.push(mid); // halfway toward the low end
+                    }
+                    let dec = *v - 1; // reaches the exact failure boundary
+                    if dec != self.start && dec != mid {
+                        out.push(dec);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_strategy_int_range!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                if *v > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*v - self.start) / 2.0;
+                    if mid > self.start && mid < *v && (*v - mid).abs() > <$t>::EPSILON {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_strategy_float_range!(f64, f32);
+
+/// Strategy for vectors: element strategy plus a length range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// Vector strategy constructor: `vec(0u32..100, 0..16)`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        // structural shrink: halve the length toward the minimum
+        if v.len() > self.len.start {
+            let half = self.len.start.max(v.len() / 2);
+            out.push(v[..half].to_vec());
+        }
+        // element shrink: minimize the first shrinkable element
+        for (i, x) in v.iter().enumerate() {
+            if let Some(sx) = self.elem.shrink(x).into_iter().next() {
+                let mut w = v.clone();
+                w[i] = sx;
+                out.push(w);
+                break;
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident / $v:ident / $i:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.sample(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&v.$i) {
+                        let mut w = v.clone();
+                        w.$i = cand;
+                        out.push(w);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_strategy_tuple! {
+    (A / a / 0)
+    (A / a / 0, B / b / 1)
+    (A / a / 0, B / b / 1, C / c / 2)
+    (A / a / 0, B / b / 1, C / c / 2, D / d / 3)
+}
+
+thread_local! {
+    static QUIET_PANICS: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Install (once) a panic hook that stays silent while the harness probes
+/// failing inputs, so a shrink sequence doesn't spam dozens of backtraces.
+fn install_quiet_hook() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Base seed for a named test: `PERFDOJO_PT_SEED` if set, else a
+/// deterministic hash of the test name.
+fn base_seed(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PERFDOJO_PT_SEED") {
+        if let Ok(v) = s.trim().parse::<u64>() {
+            return v;
+        }
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Execute a property over `cfg.cases` sampled inputs; panics with a seed
+/// report and a minimized counterexample on the first failure.
+///
+/// This is the engine behind the [`crate::proptest!`] macro; call it
+/// directly for programmatic use.
+pub fn run_cases<S: Strategy>(name: &str, cfg: &ProptestConfig, strat: &S, test: impl Fn(S::Value)) {
+    install_quiet_hook();
+    let seed = base_seed(name);
+    let fails = |v: &S::Value| -> Option<String> {
+        QUIET_PANICS.with(|q| q.set(true));
+        let r = panic::catch_unwind(AssertUnwindSafe(|| test(v.clone())));
+        QUIET_PANICS.with(|q| q.set(false));
+        r.err().map(|p| payload_message(&*p))
+    };
+    for case in 0..cfg.cases {
+        let mut case_mix = case as u64;
+        let mut rng = Rng::seed_from_u64(seed ^ splitmix64(&mut case_mix));
+        let original = strat.sample(&mut rng);
+        let Some(first_msg) = fails(&original) else { continue };
+
+        // minimize: repeatedly take the first shrink candidate that still
+        // fails, within the shrink budget
+        let mut failing = original.clone();
+        let mut msg = first_msg;
+        let mut budget = cfg.max_shrink_iters;
+        'minimize: while budget > 0 {
+            for cand in strat.shrink(&failing) {
+                if budget == 0 {
+                    break 'minimize;
+                }
+                budget -= 1;
+                if let Some(m) = fails(&cand) {
+                    failing = cand;
+                    msg = m;
+                    continue 'minimize;
+                }
+            }
+            break;
+        }
+        panic!(
+            "proptest_lite: property '{name}' failed at case {case}/{cases} \
+             (base seed {seed}; rerun with PERFDOJO_PT_SEED={seed})\n\
+             original input: {original:?}\n\
+             minimized input: {failing:?}\n\
+             failure: {msg}",
+            cases = cfg.cases,
+        );
+    }
+}
+
+/// Define property tests. Mirrors `proptest!`'s block form:
+/// an optional `#![proptest_config(..)]` header followed by `#[test]`
+/// functions whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            config = (<$crate::proptest_lite::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::proptest_lite::ProptestConfig = $cfg;
+            let __strat = ($($strat,)+);
+            $crate::proptest_lite::run_cases(
+                stringify!($name),
+                &__cfg,
+                &__strat,
+                |($($arg,)+)| $body,
+            );
+        }
+    )*};
+}
+
+/// Assert inside a property (plain `assert!` semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a property (plain `assert_eq!` semantics).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a property (plain `assert_ne!` semantics).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use super::{run_cases, vec, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let cfg = ProptestConfig { cases: 50, ..ProptestConfig::default() };
+        let count = std::cell::Cell::new(0u32);
+        run_cases("always_true", &cfg, &(0u64..100,), |(x,)| {
+            count.set(count.get() + 1);
+            assert!(x < 100);
+        });
+        assert_eq!(count.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_reports_and_shrinks() {
+        let cfg = ProptestConfig::default();
+        let r = std::panic::catch_unwind(|| {
+            run_cases("fails_over_10", &cfg, &(0u64..1000,), |(x,)| {
+                assert!(x <= 10, "too big: {x}");
+            });
+        });
+        let msg = payload_message(&*r.expect_err("property must fail"));
+        assert!(msg.contains("fails_over_10"), "{msg}");
+        assert!(msg.contains("PERFDOJO_PT_SEED="), "{msg}");
+        // shrink-by-halving must land on the boundary counterexample
+        assert!(msg.contains("minimized input: (11,)"), "{msg}");
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name() {
+        let cfg = ProptestConfig { cases: 5, ..ProptestConfig::default() };
+        let collect = |_name: &str| {
+            let got = std::cell::RefCell::new(Vec::new());
+            run_cases("stable_name", &cfg, &(0u64..1_000_000,), |(x,)| {
+                got.borrow_mut().push(x);
+            });
+            got.into_inner()
+        };
+        assert_eq!(collect("stable_name"), collect("stable_name"));
+    }
+
+    #[test]
+    fn tuple_strategies_sample_independently() {
+        let cfg = ProptestConfig { cases: 30, ..ProptestConfig::default() };
+        run_cases("pairs", &cfg, &(1usize..8, 1usize..8), |(a, b)| {
+            assert!((1..8).contains(&a) && (1..8).contains(&b));
+        });
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds_and_shrinks() {
+        let s = vec(0u32..100, 2..10);
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert!((2..10).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 100));
+        }
+        let shrunk = s.shrink(&std::vec![50, 60, 70, 80]);
+        assert!(shrunk.iter().any(|w| w.len() == 2), "length halves");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+        /// The macro form compiles, honors doc comments and multiple args.
+        #[test]
+        fn macro_form_works(a in 0u64..50, b in 1usize..4) {
+            prop_assert!(a < 50);
+            prop_assert_eq!(b * 2 / 2, b);
+            prop_assert_ne!(b, 0);
+        }
+    }
+}

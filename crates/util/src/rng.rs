@@ -1,0 +1,324 @@
+//! Seedable pseudo-random number generation.
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna), seeded by expanding
+//! a single `u64` through **SplitMix64** — the canonical pairing: SplitMix64
+//! decorrelates consecutive integer seeds, xoshiro256++ provides a fast,
+//! high-quality 256-bit-state stream. Everything is deterministic under the
+//! seed, which is what the search, RL and verification layers rely on for
+//! reproducible trajectories.
+//!
+//! The call-site vocabulary deliberately mirrors the `rand` crate
+//! (`seed_from_u64`, `random_range`, `random_bool`, slice `choose` /
+//! `shuffle` extension traits) so the rest of the workspace reads idiomatic
+//! Rust without carrying a registry dependency.
+
+use std::ops::Range;
+
+/// SplitMix64 step: advances `state` and returns the next output.
+///
+/// Used for seed expansion and anywhere a cheap stateless hash-to-u64 is
+/// needed (e.g. deriving per-test seeds in [`crate::proptest_lite`]).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256++ PRNG.
+///
+/// Not cryptographic; intended for simulation, sampling and testing.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second Gaussian draw from Box–Muller.
+    gauss_spare: Option<f64>,
+}
+
+impl Rng {
+    /// Build a generator from a single `u64` seed (SplitMix64 expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s, gauss_spare: None }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, 1)` with 24 bits of precision.
+    pub fn next_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Unbiased-enough draw in `[0, n)` via 128-bit widening multiply.
+    ///
+    /// The multiply-shift method maps the full 64-bit stream onto `[0, n)`
+    /// with bias below `n / 2^64` — far under anything observable here.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from a half-open range, generic over the numeric type.
+    ///
+    /// `gen_range(0..10)` for integers, `gen_range(0.0..1.0)` for floats.
+    /// Panics on an empty range.
+    pub fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// Alias for [`Rng::gen_range`] matching the `rand` 0.9+ spelling used
+    /// throughout the workspace.
+    pub fn random_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        self.gen_range(range)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Standard-normal draw via Box–Muller (caches the paired sample).
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let z = match self.gauss_spare.take() {
+            Some(z) => z,
+            None => {
+                // u must be in (0, 1] so ln is finite
+                let u = 1.0 - self.next_f64();
+                let v = self.next_f64();
+                let r = (-2.0 * u.ln()).sqrt();
+                let theta = std::f64::consts::TAU * v;
+                self.gauss_spare = Some(r * theta.sin());
+                r * theta.cos()
+            }
+        };
+        mean + std_dev * z
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly pick a reference from a slice (`None` when empty).
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.next_below(xs.len() as u64) as usize])
+        }
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open `Range`.
+pub trait SampleRange: Sized {
+    /// Draw a uniform value from `range`.
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = range.end.abs_diff(range.start) as u64;
+                range.start.wrapping_add(rng.next_below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_int!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range in gen_range");
+                let span = range.end.abs_diff(range.start) as u64;
+                range.start.wrapping_add(rng.next_below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_signed!(isize, i64, i32, i16, i8);
+
+impl SampleRange for f64 {
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range in gen_range");
+        range.start + rng.next_f64() * (range.end - range.start)
+    }
+}
+
+impl SampleRange for f32 {
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range in gen_range");
+        range.start + rng.next_f32() * (range.end - range.start)
+    }
+}
+
+/// Picking from slices with method syntax: `xs.choose(&mut rng)`.
+pub trait IndexedRandom {
+    /// Element type.
+    type Item;
+    /// Uniformly pick a reference (`None` when empty).
+    fn choose(&self, rng: &mut Rng) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+    fn choose(&self, rng: &mut Rng) -> Option<&T> {
+        rng.choose(self)
+    }
+}
+
+/// Shuffling slices with method syntax: `xs.shuffle(&mut rng)`.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle in place.
+    fn shuffle(&mut self, rng: &mut Rng);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut Rng) {
+        rng.shuffle(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256++ from the all-ones-ish known state: check the
+        // generator against values computed from the reference C code's
+        // update rule applied by hand to a fixed state.
+        let mut r = Rng { s: [1, 2, 3, 4], gauss_spare: None };
+        // result = rotl(s0 + s3, 23) + s0 = rotl(5, 23) + 1
+        assert_eq!(r.next_u64(), (5u64 << 23) + 1);
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Known-answer test from the SplitMix64 reference implementation.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&y));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = r.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn int_range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn bool_probability_roughly_respected() {
+        let mut r = Rng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+        assert!(!Rng::seed_from_u64(1).random_bool(0.0));
+        assert!(Rng::seed_from_u64(1).random_bool(1.0 + 1e-9));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Rng::seed_from_u64(11);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal(2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut xs: Vec<u32> = (0..64).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(xs, (0..64).collect::<Vec<_>>(), "64 elements should move");
+    }
+
+    #[test]
+    fn choose_empty_and_singleton() {
+        let mut r = Rng::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert_eq!(r.choose(&empty), None);
+        assert_eq!(r.choose(&[9u8]), Some(&9));
+    }
+
+    #[test]
+    fn extension_traits_match_inherent_methods() {
+        use super::{IndexedRandom, SliceRandom};
+        let xs = [1, 2, 3, 4];
+        let mut a = Rng::seed_from_u64(3);
+        let mut b = Rng::seed_from_u64(3);
+        assert_eq!(xs.choose(&mut a), b.choose(&xs));
+        let mut ys = [1, 2, 3, 4];
+        let mut zs = [1, 2, 3, 4];
+        ys.shuffle(&mut a);
+        b.shuffle(&mut zs);
+        assert_eq!(ys, zs);
+    }
+}

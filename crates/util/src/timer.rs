@@ -1,0 +1,192 @@
+//! Warmup + median micro-benchmark runner with a `criterion`-shaped
+//! surface, so the bench files keep their idiomatic form:
+//!
+//! ```no_run
+//! use perfdojo_util::timer::{criterion_group, criterion_main, Criterion};
+//!
+//! fn bench_something(c: &mut Criterion) {
+//!     c.bench_function("math/add", |b| b.iter(|| std::hint::black_box(1 + 1)));
+//! }
+//!
+//! criterion_group!(
+//!     name = group;
+//!     config = Criterion::default().sample_size(20);
+//!     targets = bench_something
+//! );
+//! criterion_main!(group);
+//! ```
+//!
+//! Each `bench_function` warms the routine up, sizes batches so one sample
+//! lasts long enough for the clock to resolve, collects `sample_size`
+//! samples and reports the median with min/max spread. The median is robust
+//! to scheduler hiccups without needing criterion's full bootstrap
+//! machinery.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for one measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(4);
+/// Wall-time budget for the warmup/calibration phase.
+const WARMUP_TARGET: Duration = Duration::from_millis(40);
+
+/// Benchmark runner configuration and report sink.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Run one named benchmark. `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the routine to measure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Hands the routine under test to the timing loop.
+pub struct Bencher {
+    /// Per-iteration time of each collected sample, in seconds.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, calibrate a batch size, then collect
+    /// `sample_size` samples of mean per-iteration time.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        // warmup + calibration: run until the budget elapses, tracking how
+        // many iterations fit so batches can be sized for clock resolution
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((SAMPLE_TARGET.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("bench {name:<44} (no samples: Bencher::iter never called)");
+            return;
+        }
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let median = s[s.len() / 2];
+        println!(
+            "bench {name:<44} median {:>10}  (min {}, max {}, {} samples)",
+            fmt_seconds(median),
+            fmt_seconds(s[0]),
+            fmt_seconds(s[s.len() - 1]),
+            s.len()
+        );
+    }
+}
+
+/// Render a duration in seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declare a benchmark group: a function running each target against a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::timer::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust_and_printed() {
+        let mut c = Criterion::default().sample_size(5);
+        // cheap routine: must complete quickly and produce samples
+        c.bench_function("test/add", |b| b.iter(|| std::hint::black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(fmt_seconds(2.5), "2.500 s");
+        assert_eq!(fmt_seconds(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_seconds(2.5e-9), "2.5 ns");
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        fn target(c: &mut Criterion) {
+            c.bench_function("test/noop", |b| b.iter(|| std::hint::black_box(0)));
+        }
+        criterion_group!(
+            name = g;
+            config = Criterion::default().sample_size(3);
+            targets = target
+        );
+        g();
+    }
+}

@@ -2,7 +2,7 @@
 //! sane performance model must satisfy, fuzzed across shapes and targets.
 
 use perfdojo::prelude::*;
-use proptest::prelude::*;
+use perfdojo_util::proptest_lite::prelude::*;
 
 fn eval(m: &Machine, p: &Program) -> f64 {
     m.evaluate(p).unwrap().seconds
@@ -34,11 +34,10 @@ proptest! {
     /// estimates stay finite and positive through arbitrary tilings.
     #[test]
     fn tiled_variants_cost_finite(seed in 0u64..1000) {
-        use rand::seq::IndexedRandom;
-        use rand::SeedableRng;
+        use perfdojo_util::rng::{IndexedRandom, Rng};
         let p = perfdojo::kernels::softmax(16, 32);
         let lib = TransformLibrary::cpu(8);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut cur = p;
         for _ in 0..4 {
             let actions = available_actions(&cur, &lib);

@@ -4,10 +4,8 @@
 //! (paper §2.2's empirical validation of the applicability rules).
 
 use perfdojo::prelude::*;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::seq::IndexedRandom;
-use rand::SeedableRng;
+use perfdojo_util::proptest_lite::prelude::*;
+use perfdojo_util::rng::{IndexedRandom, Rng};
 
 fn small_programs() -> Vec<(String, Program)> {
     perfdojo::kernels::small_suite()
@@ -42,7 +40,7 @@ fn gpu_actions_preserve_semantics_too() {
 }
 
 fn random_walk_preserves(label: &str, p: &Program, lib: &TransformLibrary, steps: usize, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut cur = p.clone();
     for step in 0..steps {
         let actions = available_actions(&cur, lib);
@@ -78,7 +76,7 @@ proptest! {
         let kernels = small_programs();
         let (_, p) = &kernels[(seed as usize) % kernels.len()];
         let lib = TransformLibrary::cpu(8);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut cur = p.clone();
         for _ in 0..3 {
             let actions = available_actions(&cur, &lib);
