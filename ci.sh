@@ -6,21 +6,42 @@
 #   2. Tier-1 verify (ROADMAP.md): release build + full test suite.
 #   3. The whole workspace must test green fully offline — the repository
 #      has zero registry dependencies by policy (see DESIGN.md).
+#   4. The schedule-library pipeline must work end to end: build a
+#      mini-library with perfdojo-lib, dispatch an exact-shape query and a
+#      never-tuned-shape query against it, and report non-empty stats.
 #
 # Usage: ./ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== 1/3 perfdojo-util: warning-free build (-D warnings) =="
+echo "== 1/4 perfdojo-util: warning-free build (-D warnings) =="
 RUSTFLAGS="-D warnings" cargo build -q -p perfdojo-util --offline
 RUSTFLAGS="-D warnings" cargo test -q -p perfdojo-util --offline
 
-echo "== 2/3 tier-1 verify: release build + tests =="
+echo "== 2/4 tier-1 verify: release build + tests =="
 cargo build --release --workspace --offline
 cargo test -q --offline
 
-echo "== 3/3 full workspace tests (offline) =="
+echo "== 3/4 full workspace tests (offline) =="
 cargo test -q --workspace --offline
+
+echo "== 4/4 schedule-library pipeline: build, dispatch, stats =="
+PDLIB_DIR=$(mktemp -d)
+trap 'rm -rf "$PDLIB_DIR"' EXIT
+PDLIB="$PDLIB_DIR/ci.pdl"
+./target/release/perfdojo-lib build --out "$PDLIB" \
+    --kernels softmax,matmul --targets x86 --strategy heuristic --seed 7
+# exact hit: the shape the library was tuned at (tune_suite softmax = 64x64)
+./target/release/perfdojo-lib query --lib "$PDLIB" --target x86 \
+    --kernel softmax --shape 64x64 | tee "$PDLIB_DIR/q1.txt"
+grep -q "disposition: exact-hit" "$PDLIB_DIR/q1.txt"
+# fallback: a shape the library has never seen must replay a tuned neighbor
+./target/release/perfdojo-lib query --lib "$PDLIB" --target x86 \
+    --kernel softmax --shape 96x64 | tee "$PDLIB_DIR/q2.txt"
+grep -q "disposition: fallback-replay" "$PDLIB_DIR/q2.txt"
+# stats must report the two tuned entries
+./target/release/perfdojo-lib stats --lib "$PDLIB" | tee "$PDLIB_DIR/stats.txt"
+grep -q "entries:         2" "$PDLIB_DIR/stats.txt"
 
 echo "ci.sh: all gates passed"

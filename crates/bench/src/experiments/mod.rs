@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod gpu;
+pub mod library;
 pub mod repr;
 pub mod snitch;
 pub mod tables;
@@ -9,6 +10,7 @@ pub mod x86;
 
 pub use ablations::*;
 pub use gpu::*;
+pub use library::*;
 pub use repr::*;
 pub use snitch::*;
 pub use tables::*;
@@ -33,6 +35,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
         ("fig1b", gpu::exp_fig1b),
         ("fig13", gpu::exp_fig13),
         ("fig14", gpu::exp_fig14),
+        ("library", library::exp_library),
         ("ablate_maxq", ablations::exp_ablate_maxq),
         ("ablate_reward", ablations::exp_ablate_reward),
         ("ablate_dqn", ablations::exp_ablate_dqn),

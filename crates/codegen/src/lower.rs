@@ -367,9 +367,9 @@ mod tests {
             b.op(out("z", &[0, 1]), mul(ld("x", &[0, 1]), cst(2.0)));
         });
         let k = lower(&b.build()).unwrap();
-        let Lowered::Loop(l0) = &k.body[0] else { panic!() };
-        let Lowered::Loop(l1) = &l0.body[0] else { panic!() };
-        let Lowered::Stmt(s) = &l1.body[0] else { panic!() };
+        let Lowered::Loop(l0) = &k.body[0] else { panic!("expected outer loop, got {:?}", k.body[0]) };
+        let Lowered::Loop(l1) = &l0.body[0] else { panic!("expected inner loop, got {:?}", l0.body[0]) };
+        let Lowered::Stmt(s) = &l1.body[0] else { panic!("expected statement, got {:?}", l1.body[0]) };
         // row-major [4,8]: stride 8 on depth 0, stride 1 on depth 1
         assert_eq!(s.store.addr.stride(0), 8);
         assert_eq!(s.store.addr.stride(1), 1);
@@ -417,9 +417,9 @@ mod tests {
             });
         });
         let k = lower(&b.build()).unwrap();
-        let Lowered::Loop(l0) = &k.body[0] else { panic!() };
-        let Lowered::Loop(l1) = &l0.body[1] else { panic!() };
-        let Lowered::Stmt(s) = &l1.body[0] else { panic!() };
+        let Lowered::Loop(l0) = &k.body[0] else { panic!("expected outer loop, got {:?}", k.body[0]) };
+        let Lowered::Loop(l1) = &l0.body[1] else { panic!("expected reduction loop, got {:?}", l0.body[1]) };
+        let Lowered::Stmt(s) = &l1.body[0] else { panic!("expected statement, got {:?}", l1.body[0]) };
         assert!(s.store.addr.invariant_to(1));
         assert!(!s.store.addr.invariant_to(0));
         assert!(s.reads_own_output);
@@ -454,7 +454,7 @@ z f32 [64] heap
 ";
         let p = perfdojo_ir::parse_program(src).unwrap();
         let k = lower(&p).unwrap();
-        let Lowered::Loop(l) = &k.body[0] else { panic!() };
+        let Lowered::Loop(l) = &k.body[0] else { panic!("expected ssr/frep loop, got {:?}", k.body[0]) };
         assert!(l.ssr && l.frep);
         assert_eq!(l.trip, 64);
     }

@@ -1,0 +1,159 @@
+//! Stable structural fingerprints for programs.
+//!
+//! The library subsystem (`perfdojo-library`) keys tuned schedules by the
+//! *operator structure* of a kernel, independent of its concrete shapes:
+//! `softmax(24576, 512)` and `softmax(4, 8)` must collide so a schedule
+//! tuned at one shape can be replayed (and re-validated) at another. The
+//! fingerprint is computed by printing a shape-normalized clone of the
+//! program through the existing textual printer ([`crate::text`]) and
+//! hashing the result with FNV-1a, so any change to the textual format is
+//! automatically a fingerprint change (the on-disk library stores
+//! [`crate::text::FORMAT_VERSION`] alongside and invalidates on mismatch).
+//!
+//! Normalization erases everything shape-derived:
+//! * the kernel name (a label, not structure),
+//! * every buffer dimension (logical size, padding),
+//! * every scope trip count,
+//! * every floating-point literal (shapes leak into constants as `1/N`
+//!   factors in mean-style reductions).
+//!
+//! Scope kinds/annotations, buffer locations, dtypes, array names, access
+//! affine functions and the operator tree all remain — two programs with
+//! the same fingerprint are the "same loop nest over the same expressions"
+//! at possibly different sizes. Replayed schedules are always re-validated
+//! against the query program, so a fingerprint collision can cost
+//! optimality, never correctness.
+
+use crate::expr::{Expr, IndexExpr};
+use crate::node::{Node, ScopeSize};
+use crate::program::Program;
+use crate::text::print_program;
+
+/// Render the shape-normalized textual form of a program (the hash input).
+pub fn structure_text(p: &Program) -> String {
+    let mut q = p.clone();
+    q.name = "_".into();
+    for b in &mut q.buffers {
+        for d in &mut b.dims {
+            d.size = 0;
+            d.pad_to = 0;
+        }
+    }
+    for n in &mut q.roots {
+        normalize_node(n);
+    }
+    print_program(&q)
+}
+
+fn normalize_node(n: &mut Node) {
+    match n {
+        Node::Scope(s) => {
+            if let ScopeSize::Const(_) = s.size {
+                s.size = ScopeSize::Const(0);
+            }
+            for c in &mut s.children {
+                normalize_node(c);
+            }
+        }
+        Node::Op(op) => normalize_expr(&mut op.expr),
+    }
+}
+
+fn normalize_expr(e: &mut Expr) {
+    match e {
+        Expr::Const(c) => *c = 0.0,
+        Expr::Unary(_, a) => normalize_expr(a),
+        Expr::Binary(_, a, b) => {
+            normalize_expr(a);
+            normalize_expr(b);
+        }
+        Expr::Load(a) => {
+            for ix in &mut a.indices {
+                if let IndexExpr::Indirect(_) = ix {
+                    // indirect indices are excluded by validation; leave
+                    // them untouched for completeness-demo programs
+                }
+            }
+        }
+        Expr::Index(_) => {}
+    }
+}
+
+/// FNV-1a over arbitrary bytes (stable across platforms and releases).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Stable structural hash: FNV-1a of [`structure_text`].
+pub fn structure_hash(p: &Program) -> u64 {
+    fnv1a(structure_text(p).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::ProgramBuilder;
+
+    fn scaled(r: usize, c: usize, k: f64) -> Program {
+        let mut b = ProgramBuilder::new(&format!("sc{r}x{c}"));
+        b.input("x", &[r, c]).output("z", &[r, c]);
+        b.scopes(&[r, c], |b| {
+            b.op(out("z", &[0, 1]), mul(ld("x", &[0, 1]), cst(k)));
+        });
+        b.build()
+    }
+
+    #[test]
+    fn same_structure_different_shapes_collide() {
+        // shapes, names and shape-derived constants all normalize away
+        assert_eq!(structure_hash(&scaled(4, 8, 0.25)), structure_hash(&scaled(64, 128, 1.0 / 128.0)));
+    }
+
+    #[test]
+    fn different_structure_distinguished() {
+        let mul2 = scaled(4, 8, 2.0);
+        let mut b = ProgramBuilder::new("other");
+        b.input("x", &[4, 8]).output("z", &[4, 8]);
+        b.scopes(&[4, 8], |b| {
+            b.op(out("z", &[0, 1]), add(ld("x", &[0, 1]), cst(2.0)));
+        });
+        assert_ne!(structure_hash(&mul2), structure_hash(&b.build()));
+    }
+
+    #[test]
+    fn suite_kernels_collide_across_paper_and_verify_shapes() {
+        // The property the library depends on: every Table 3 kernel keeps
+        // its fingerprint between the paper-scale and shrunken instances.
+        // (Exercised here on two hand-built scaled programs; the kernels
+        // crate re-checks the full suite to avoid a dependency cycle.)
+        let a = scaled(3072, 4096, 1.0 / 4096.0);
+        let b = scaled(3, 16, 1.0 / 16.0);
+        assert_eq!(structure_hash(&a), structure_hash(&b));
+    }
+
+    #[test]
+    fn transformed_program_changes_fingerprint() {
+        // splitting a scope is a structural change (one more loop level)
+        let p = scaled(4, 8, 2.0);
+        let mut q = p.clone();
+        // manually wrap the inner 8-scope's body in a new 4-scope (what a
+        // split produces: one extra nesting level)
+        let inner = q.roots[0].as_scope_mut().unwrap().children[0].as_scope_mut().unwrap();
+        let body = std::mem::take(&mut inner.children);
+        inner.children = vec![Node::Scope(crate::node::Scope::new(4, body))];
+        assert_ne!(structure_hash(&p), structure_hash(&q));
+    }
+
+    #[test]
+    fn fnv_known_answer() {
+        // FNV-1a reference values
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

@@ -26,6 +26,7 @@ pub mod affine;
 pub mod buffer;
 pub mod builder;
 pub mod expr;
+pub mod fingerprint;
 pub mod node;
 pub mod parse;
 pub mod path;
@@ -37,6 +38,7 @@ pub use affine::Affine;
 pub use buffer::{BufDim, BufferDecl, DType, Location};
 pub use builder::ProgramBuilder;
 pub use expr::{Access, BinaryOp, Expr, IndexExpr, UnaryOp};
+pub use fingerprint::{structure_hash, structure_text};
 pub use node::{Node, OpNode, Scope, ScopeKind, ScopeSize};
 pub use parse::{parse_program, ParseError};
 pub use path::Path;

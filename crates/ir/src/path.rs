@@ -53,6 +53,20 @@ impl Path {
         self.0.len() < other.0.len() && other.0[..self.0.len()] == self.0[..]
     }
 
+    /// Parse the textual form produced by `Display` (`@0.1.2`; `@` alone is
+    /// the root path). Returns `None` on anything else.
+    pub fn parse(s: &str) -> Option<Path> {
+        let rest = s.strip_prefix('@')?;
+        if rest.is_empty() {
+            return Some(Path::root());
+        }
+        let mut v = Vec::new();
+        for part in rest.split('.') {
+            v.push(part.parse::<usize>().ok()?);
+        }
+        Some(Path(v))
+    }
+
     /// The path to the sibling following this node.
     pub fn next_sibling(&self) -> Option<Path> {
         let mut v = self.0.clone();
@@ -203,6 +217,16 @@ mod tests {
         assert!(get(&f, &Path::from([0, 1, 0])).unwrap().as_op().is_some());
         assert!(get(&f, &Path::from([1])).is_none());
         assert!(get(&f, &Path::from([0, 2])).is_none());
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for p in [Path::root(), Path::from([0]), Path::from([3, 0, 12])] {
+            assert_eq!(Path::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(Path::parse("0.1"), None, "missing @ sigil");
+        assert_eq!(Path::parse("@0.x"), None, "non-numeric segment");
+        assert_eq!(Path::parse("@0..1"), None, "empty segment");
     }
 
     #[test]

@@ -9,6 +9,11 @@
 use crate::node::Node;
 use crate::program::Program;
 
+/// Version of the textual format. Bump on any change to the printer's
+/// output; persisted schedule libraries record it and invalidate entries
+/// whose structural fingerprints were computed under an older format.
+pub const FORMAT_VERSION: u32 = 1;
+
 /// Render the full program (declarations, blank line, tree).
 pub fn print_program(p: &Program) -> String {
     let mut out = String::new();

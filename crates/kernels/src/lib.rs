@@ -14,7 +14,10 @@ pub mod suite;
 pub use contraction::{bmm, conv2d, matmul};
 pub use elementwise::{add_kernel as add, mul_kernel as mul, relu_ffn_kernel as relu_ffn, relu_kernel as relu};
 pub use normalization::{batchnorm, layernorm, reducemean, rmsnorm, softmax, swiglu};
-pub use suite::{micro_suite, paper_suite, small_suite, KernelInstance};
+pub use suite::{
+    by_label, by_label_with_shape, micro_suite, paper_suite, small_suite, tune_suite,
+    KernelInstance,
+};
 
 #[cfg(test)]
 mod tests {

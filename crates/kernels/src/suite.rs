@@ -162,6 +162,36 @@ pub fn small_suite() -> Vec<KernelInstance> {
         .collect()
 }
 
+/// The Table 3 operators at *medium* shapes: large enough that the machine
+/// model rewards tuning (the shrunken verify shapes are degenerate — at a
+/// few hundred ops the naive program is already optimal), yet small enough
+/// to interpret, so schedule-library builds and CI can tune, dispatch, and
+/// numerically verify end to end in seconds.
+pub fn tune_suite() -> Vec<KernelInstance> {
+    let mk = |label: &str, shape: &str, desc: &str, p: Program| {
+        let v = p.clone();
+        KernelInstance::new(label, shape, desc, p, v)
+    };
+    vec![
+        mk("add", "64x256", "Elementwise addition", elementwise::add_kernel(64, 256)),
+        mk("batchnorm 1", "2x3x32x32", "Batch Normalization", normalization::batchnorm(2, 3, 32, 32)),
+        mk("batchnorm 2", "2x4x24x24", "Batch Normalization", normalization::batchnorm(2, 4, 24, 24)),
+        mk("bmm", "4x16x16x16", "Batched Matrix Multiplication", contraction::bmm(4, 16, 16, 16)),
+        mk("conv 1", "1x4x4x16x16x3", "2D Convolution", contraction::conv2d(1, 4, 4, 16, 16, 3)),
+        mk("conv 2", "1x6x6x12x12x3", "2D convolution", contraction::conv2d(1, 6, 6, 12, 12, 3)),
+        mk("layernorm 1", "64x64", "Layer Normalization", normalization::layernorm(64, 64)),
+        mk("layernorm 2", "32x128", "Layer Normalization", normalization::layernorm(32, 128)),
+        mk("matmul", "48x48x48", "Matrix Multiplication", contraction::matmul(48, 48, 48)),
+        mk("mul", "64x256", "Elementwise multiplication", elementwise::mul_kernel(64, 256)),
+        mk("reducemean", "64x64", "Average along axis", normalization::reducemean(64, 64)),
+        mk("relu", "64x256", "Rectified Linear Unit (ReLU)", elementwise::relu_kernel(64, 256)),
+        mk("relu_ffn", "2x4x16x16", "ReLU+FeedForward Network", elementwise::relu_ffn_kernel(2, 4, 16, 16)),
+        mk("rmsnorm", "64x64", "Root Mean Square Normalization", normalization::rmsnorm(64, 64)),
+        mk("softmax", "64x64", "Softmax", normalization::softmax(64, 64)),
+        mk("swiglu", "1x16x64x32", "SwiGLU activation function", normalization::swiglu(1, 16, 64, 32)),
+    ]
+}
+
 /// Snitch micro-kernel suite (§4.1) at cycle-simulatable sizes.
 pub fn micro_suite() -> Vec<KernelInstance> {
     let mk = |label: &str, desc: &str, p: Program, v: Program| KernelInstance::new(
@@ -186,6 +216,39 @@ pub fn micro_suite() -> Vec<KernelInstance> {
 /// Look up a kernel instance by Table 3 label.
 pub fn by_label(label: &str) -> Option<KernelInstance> {
     paper_suite().into_iter().find(|k| k.label == label)
+}
+
+/// Instantiate a Table 3 operator at a caller-chosen shape (the serving
+/// pattern the schedule library dispatches on: same operator, new shape).
+/// `dims` must carry exactly the operator's shape-parameter count; returns
+/// `None` for unknown labels or wrong arity.
+pub fn by_label_with_shape(label: &str, dims: &[usize]) -> Option<Program> {
+    if dims.iter().any(|&d| d == 0) {
+        return None;
+    }
+    let d = |i: usize| dims[i];
+    Some(match (label, dims.len()) {
+        ("add", 2) => elementwise::add_kernel(d(0), d(1)),
+        ("mul", 2) => elementwise::mul_kernel(d(0), d(1)),
+        ("relu", 2) => elementwise::relu_kernel(d(0), d(1)),
+        ("relu_ffn", 4) => elementwise::relu_ffn_kernel(d(0), d(1), d(2), d(3)),
+        ("batchnorm", 4) | ("batchnorm 1", 4) | ("batchnorm 2", 4) => {
+            normalization::batchnorm(d(0), d(1), d(2), d(3))
+        }
+        ("layernorm", 2) | ("layernorm 1", 2) | ("layernorm 2", 2) => {
+            normalization::layernorm(d(0), d(1))
+        }
+        ("reducemean", 2) => normalization::reducemean(d(0), d(1)),
+        ("rmsnorm", 2) => normalization::rmsnorm(d(0), d(1)),
+        ("softmax", 2) => normalization::softmax(d(0), d(1)),
+        ("swiglu", 4) => normalization::swiglu(d(0), d(1), d(2), d(3)),
+        ("matmul", 3) => contraction::matmul(d(0), d(1), d(2)),
+        ("bmm", 4) => contraction::bmm(d(0), d(1), d(2), d(3)),
+        ("conv", 6) | ("conv 1", 6) | ("conv 2", 6) => {
+            contraction::conv2d(d(0), d(1), d(2), d(3), d(4), d(5))
+        }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -213,6 +276,56 @@ mod tests {
     fn lookup_by_label() {
         assert!(by_label("softmax").is_some());
         assert!(by_label("nonexistent").is_none());
+    }
+
+    #[test]
+    fn lookup_by_label_with_shape() {
+        let p = by_label_with_shape("softmax", &[8, 16]).unwrap();
+        assert_eq!(p.buffer_of("x").map(|b| b.shape()), Some(vec![8, 16]));
+        assert!(by_label_with_shape("softmax", &[8]).is_none(), "wrong arity");
+        assert!(by_label_with_shape("softmax", &[8, 0]).is_none(), "zero dim");
+        assert!(by_label_with_shape("nonexistent", &[8, 16]).is_none());
+        assert!(by_label_with_shape("matmul", &[4, 6, 5]).is_some());
+        assert!(by_label_with_shape("conv 1", &[1, 2, 2, 8, 8, 3]).is_some());
+    }
+
+    #[test]
+    fn structure_hash_stable_across_shapes() {
+        // The schedule library's fallback dispatch keys on this: every
+        // Table 3 operator keeps its structural fingerprint between the
+        // paper-scale and shrunken instances.
+        for k in paper_suite() {
+            assert_eq!(
+                perfdojo_ir::structure_hash(&k.program),
+                perfdojo_ir::structure_hash(&k.verify_program),
+                "{} fingerprint not shape-stable",
+                k.label
+            );
+        }
+    }
+
+    #[test]
+    fn tune_suite_is_interpretable_and_matches_table3() {
+        let labels: Vec<String> = paper_suite().iter().map(|k| k.label.clone()).collect();
+        let tuned = tune_suite();
+        assert_eq!(tuned.len(), labels.len());
+        for k in &tuned {
+            assert!(labels.contains(&k.label), "{} not in Table 3", k.label);
+            assert!(
+                k.program.dynamic_op_instances() < 2_000_000,
+                "{} tune program too big to verify",
+                k.label
+            );
+            // same operator as the paper-scale instance: structural
+            // fingerprints must collide so dispatch can fall back
+            let paper = by_label(&k.label).unwrap();
+            assert_eq!(
+                perfdojo_ir::structure_hash(&k.program),
+                perfdojo_ir::structure_hash(&paper.program),
+                "{} fingerprint differs from paper instance",
+                k.label
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! `perfdojo-lib`: build, query, and maintain schedule libraries on disk.
+//!
+//! ```text
+//! perfdojo-lib build --out lib.pdl [--kernels softmax,matmul] \
+//!     [--targets x86,gh200] [--strategy heuristic|anneal[:N]|perfllm[:N]] \
+//!     [--seed N] [--paper-shapes]
+//! perfdojo-lib query --lib lib.pdl --target x86 --kernel softmax [--shape 128x64]
+//! perfdojo-lib stats --lib lib.pdl
+//! perfdojo-lib gc --lib lib.pdl
+//! ```
+//!
+//! Arguments are hand-parsed (zero-dependency workspace policy). `build`
+//! merges into an existing `--out` file when one is present, so libraries
+//! grow incrementally across runs.
+
+use perfdojo_core::Target;
+use perfdojo_kernels::KernelInstance;
+use perfdojo_library::{target_by_name, Library, LibraryBuilder, Strategy};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("gc") => cmd_gc(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("perfdojo-lib: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  perfdojo-lib build --out <file> [--kernels a,b] [--targets x86,gh200]
+                     [--strategy heuristic|anneal[:N]|perfllm[:N]]
+                     [--seed N] [--paper-shapes]
+  perfdojo-lib query --lib <file> --target <name> --kernel <label> [--shape DxD...]
+  perfdojo-lib stats --lib <file>
+  perfdojo-lib gc    --lib <file>
+";
+
+/// Pull the value following `--flag` out of `args`, if present.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("{flag} needs a value")),
+        },
+    }
+}
+
+fn required(args: &[String], flag: &str) -> Result<String, String> {
+    flag_value(args, flag)?.ok_or_else(|| format!("{flag} is required"))
+}
+
+fn load_library(args: &[String]) -> Result<(Library, PathBuf), String> {
+    let path = PathBuf::from(required(args, "--lib")?);
+    let (lib, stats) = Library::load(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    if stats.corrupt_entries > 0 {
+        eprintln!("warning: {} corrupt entries skipped", stats.corrupt_entries);
+    }
+    Ok((lib, path))
+}
+
+fn parse_targets(spec: Option<String>) -> Result<Vec<Target>, String> {
+    let spec = spec.unwrap_or_else(|| "x86".to_string());
+    spec.split(',')
+        .map(|n| target_by_name(n.trim()).ok_or_else(|| format!("unknown target {n:?}")))
+        .collect()
+}
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let out = PathBuf::from(required(args, "--out")?);
+    let targets = parse_targets(flag_value(args, "--targets")?)?;
+    let strategy = match flag_value(args, "--strategy")? {
+        None => Strategy::Heuristic,
+        Some(s) => Strategy::parse(&s).ok_or_else(|| format!("bad strategy {s:?}"))?,
+    };
+    let seed: u64 = match flag_value(args, "--seed")? {
+        None => 0,
+        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}"))?,
+    };
+    let suite = if args.iter().any(|a| a == "--paper-shapes") {
+        perfdojo_kernels::paper_suite()
+    } else {
+        perfdojo_kernels::tune_suite()
+    };
+    let kernels: Vec<KernelInstance> = match flag_value(args, "--kernels")? {
+        None => suite,
+        Some(spec) => {
+            let wanted: Vec<&str> = spec.split(',').map(str::trim).collect();
+            let picked: Vec<KernelInstance> =
+                suite.into_iter().filter(|k| wanted.contains(&k.label.as_str())).collect();
+            for w in &wanted {
+                if !picked.iter().any(|k| k.label == *w) {
+                    return Err(format!("unknown kernel {w:?}"));
+                }
+            }
+            picked
+        }
+    };
+
+    let mut lib = match Library::load(&out) {
+        Ok((l, _)) => l,
+        Err(_) => Library::new(),
+    };
+    let builder = LibraryBuilder::new(strategy, seed);
+    let (report, outcomes) = builder.build_into(&mut lib, &kernels, &targets);
+    lib.save(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+
+    let evals: u64 = outcomes.iter().map(|o| o.evaluations).sum();
+    for o in outcomes.iter().filter(|o| o.error.is_some()) {
+        eprintln!("warning: {} on {}: {}", o.label, o.target, o.error.as_ref().unwrap());
+    }
+    println!(
+        "built {}: {} jobs, {} evaluations; +{} inserted, {} improved, {} kept, \
+         {} invalidated; {} entries total",
+        out.display(),
+        outcomes.len(),
+        evals,
+        report.inserted,
+        report.improved,
+        report.kept_existing,
+        report.invalidated,
+        lib.len()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (lib, _) = load_library(args)?;
+    let target_name = required(args, "--target")?;
+    let target = target_by_name(&target_name).ok_or_else(|| format!("unknown target {target_name:?}"))?;
+    let label = required(args, "--kernel")?;
+    let query = match flag_value(args, "--shape")? {
+        None => {
+            perfdojo_kernels::by_label(&label)
+                .ok_or_else(|| format!("unknown kernel {label:?}"))?
+                .verify_program
+        }
+        Some(spec) => {
+            let dims: Vec<usize> = spec
+                .split('x')
+                .map(|d| d.parse().map_err(|_| format!("bad shape {spec:?}")))
+                .collect::<Result<_, _>>()?;
+            perfdojo_kernels::by_label_with_shape(&label, &dims)
+                .ok_or_else(|| format!("no kernel {label:?} at shape {spec:?}"))?
+        }
+    };
+
+    let r = lib.lookup(&query, &target);
+    println!("kernel:      {label}");
+    println!("target:      {}", target.name);
+    println!("disposition: {}", r.disposition);
+    println!("steps:       {}", r.steps.len());
+    println!("cost:        {:.3e} s (naive {:.3e} s, speedup {:.2}x)", r.cost, r.naive_cost, r.speedup());
+    println!(
+        "verified:    {}",
+        match r.verified {
+            Some(true) => "yes",
+            Some(false) => "no",
+            None => "skipped (too large to interpret)",
+        }
+    );
+    for a in &r.steps {
+        println!("  {a}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (lib, path) = load_library(args)?;
+    let s = lib.stats();
+    println!("library:         {}", path.display());
+    println!("entries:         {}", s.entries);
+    println!("operators:       {}", s.operators);
+    println!("stale:           {}", s.stale);
+    println!("geomean-speedup: {:.2}x", s.geomean_speedup);
+    for (target, n) in &s.per_target {
+        println!("  {target}: {n}");
+    }
+    Ok(())
+}
+
+fn cmd_gc(args: &[String]) -> Result<(), String> {
+    let (mut lib, path) = load_library(args)?;
+    let removed = lib.gc();
+    lib.save(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("gc {}: {removed} removed, {} entries remain", path.display(), lib.len());
+    Ok(())
+}

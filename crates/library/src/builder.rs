@@ -1,0 +1,271 @@
+//! Concurrent library tuning driver.
+//!
+//! [`LibraryBuilder`] fans a kernel suite × target set over the workspace
+//! thread pool (`perfdojo_util::par`), runs the configured tuning strategy
+//! per job, and merges the results keep-best into a [`Library`]. Builds are
+//! deterministic: each job's seed is derived from the global seed and the
+//! job identity (`label|target`), and `par_map` preserves input order, so
+//! two same-seed builds produce byte-identical libraries regardless of
+//! thread scheduling.
+
+use crate::format::{Provenance, ScheduleRecord};
+use crate::library::{current_model_version, Library, MergeReport};
+use crate::sig::KernelSig;
+use perfdojo_core::{Dojo, Target};
+use perfdojo_ir::fingerprint::fnv1a;
+use perfdojo_kernels::KernelInstance;
+use perfdojo_rl::PerfLlmConfig;
+
+/// Which tuner a build runs per (kernel, target) job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// The deterministic heuristic pass (fast, no search).
+    Heuristic,
+    /// Simulated annealing over the heuristic edit space.
+    Anneal {
+        /// Evaluation budget per job.
+        budget: u64,
+    },
+    /// The PerfLLM RL driver (§3.4).
+    PerfLlm {
+        /// Training episodes per job.
+        episodes: usize,
+    },
+}
+
+impl Strategy {
+    /// Provenance name of the strategy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Heuristic => "heuristic",
+            Strategy::Anneal { .. } => "anneal",
+            Strategy::PerfLlm { .. } => "perfllm",
+        }
+    }
+
+    /// The evaluation budget recorded in provenance.
+    fn budget(&self) -> u64 {
+        match self {
+            Strategy::Heuristic => 0,
+            Strategy::Anneal { budget } => *budget,
+            Strategy::PerfLlm { episodes } => *episodes as u64,
+        }
+    }
+
+    /// Parse a CLI strategy spec: `heuristic`, `anneal[:budget]`,
+    /// `perfllm[:episodes]`.
+    pub fn parse(s: &str) -> Option<Strategy> {
+        let (name, arg) = match s.split_once(':') {
+            Some((n, a)) => (n, Some(a)),
+            None => (s, None),
+        };
+        match name {
+            "heuristic" if arg.is_none() => Some(Strategy::Heuristic),
+            "anneal" => Some(Strategy::Anneal {
+                budget: match arg {
+                    Some(a) => a.parse().ok()?,
+                    None => 150,
+                },
+            }),
+            "perfllm" => Some(Strategy::PerfLlm {
+                episodes: match arg {
+                    Some(a) => a.parse().ok()?,
+                    None => 4,
+                },
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a tuning target by name (`x86`, `arm`, `gh200`, `mi300a`,
+/// `snitch`, `riscv`).
+pub fn target_by_name(name: &str) -> Option<Target> {
+    if name == "riscv" {
+        return Some(Target::riscv_scalar());
+    }
+    Target::all().into_iter().find(|t| t.name == name)
+}
+
+/// One (kernel, target) tuning outcome.
+#[derive(Clone, Debug)]
+pub struct TuneOutcome {
+    /// The produced record, when tuning found any valid schedule.
+    pub record: Option<ScheduleRecord>,
+    /// Kernel label.
+    pub label: String,
+    /// Target name.
+    pub target: String,
+    /// Evaluations the job spent.
+    pub evaluations: u64,
+    /// Error text when the Dojo could not even be constructed.
+    pub error: Option<String>,
+}
+
+/// Concurrent suite × targets tuning driver.
+#[derive(Clone, Debug)]
+pub struct LibraryBuilder {
+    /// Tuning strategy per job.
+    pub strategy: Strategy,
+    /// Global seed; per-job seeds are derived from it.
+    pub seed: u64,
+}
+
+impl LibraryBuilder {
+    /// A builder with the given strategy and global seed.
+    pub fn new(strategy: Strategy, seed: u64) -> LibraryBuilder {
+        LibraryBuilder { strategy, seed }
+    }
+
+    /// Seed for one job, mixed from the global seed and job identity so a
+    /// build is insensitive to suite/target ordering.
+    pub fn job_seed(&self, label: &str, target: &str) -> u64 {
+        self.seed ^ fnv1a(format!("{label}|{target}").as_bytes())
+    }
+
+    /// Tune one kernel on one target.
+    pub fn tune_kernel(&self, kernel: &KernelInstance, target: &Target) -> TuneOutcome {
+        let mut out = TuneOutcome {
+            record: None,
+            label: kernel.label.clone(),
+            target: target.name.clone(),
+            evaluations: 0,
+            error: None,
+        };
+        let mut dojo = match Dojo::for_target(kernel.program.clone(), target) {
+            Ok(d) => d,
+            Err(e) => {
+                out.error = Some(e.to_string());
+                return out;
+            }
+        };
+        let naive_cost = dojo.initial_runtime();
+        let seed = self.job_seed(&kernel.label, &target.name);
+        let (steps, cost) = match &self.strategy {
+            Strategy::Heuristic => {
+                let runtime = perfdojo_search::heuristic_pass(&mut dojo);
+                (dojo.history.steps.clone(), runtime)
+            }
+            Strategy::Anneal { budget } => {
+                let r = perfdojo_search::anneal_heuristic(&mut dojo, *budget, seed);
+                (r.best_steps, r.best_runtime)
+            }
+            Strategy::PerfLlm { episodes } => {
+                let cfg = PerfLlmConfig { episodes: *episodes, ..PerfLlmConfig::default() };
+                let r = perfdojo_rl::optimize(&mut dojo, &cfg, seed);
+                (r.best_steps, r.best_runtime)
+            }
+        };
+        out.evaluations = dojo.evaluations();
+        // Only keep schedules that actually transform and actually help —
+        // a no-op or regressing schedule would just waste dispatch time.
+        if !steps.is_empty() && cost < naive_cost {
+            out.record = Some(ScheduleRecord {
+                sig: KernelSig::of(&kernel.program, &target.name),
+                label: kernel.label.clone(),
+                steps,
+                cost,
+                naive_cost,
+                model_version: current_model_version(),
+                provenance: Provenance {
+                    strategy: self.strategy.name().to_string(),
+                    seed,
+                    budget: self.strategy.budget(),
+                },
+            });
+        }
+        out
+    }
+
+    /// Tune the full `kernels` × `targets` grid concurrently and return the
+    /// outcomes in grid order (kernels major, targets minor).
+    pub fn tune_all(&self, kernels: &[KernelInstance], targets: &[Target]) -> Vec<TuneOutcome> {
+        let jobs: Vec<(KernelInstance, Target)> = kernels
+            .iter()
+            .flat_map(|k| targets.iter().map(move |t| (k.clone(), t.clone())))
+            .collect();
+        perfdojo_util::par::par_map(jobs, |(k, t)| self.tune_kernel(&k, &t))
+    }
+
+    /// Tune the grid and merge the produced records into `lib` keep-best.
+    pub fn build_into(
+        &self,
+        lib: &mut Library,
+        kernels: &[KernelInstance],
+        targets: &[Target],
+    ) -> (MergeReport, Vec<TuneOutcome>) {
+        let outcomes = self.tune_all(kernels, targets);
+        let report = lib.merge(outcomes.iter().filter_map(|o| o.record.clone()));
+        (report, outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tune(labels: &[&str]) -> Vec<KernelInstance> {
+        perfdojo_kernels::tune_suite()
+            .into_iter()
+            .filter(|k| labels.contains(&k.label.as_str()))
+            .collect()
+    }
+
+    #[test]
+    fn strategy_parse() {
+        assert_eq!(Strategy::parse("heuristic"), Some(Strategy::Heuristic));
+        assert_eq!(Strategy::parse("anneal:40"), Some(Strategy::Anneal { budget: 40 }));
+        assert_eq!(Strategy::parse("anneal"), Some(Strategy::Anneal { budget: 150 }));
+        assert_eq!(Strategy::parse("perfllm:2"), Some(Strategy::PerfLlm { episodes: 2 }));
+        assert_eq!(Strategy::parse("bogus"), None);
+        assert_eq!(Strategy::parse("anneal:x"), None);
+        assert_eq!(Strategy::parse("heuristic:3"), None);
+    }
+
+    #[test]
+    fn target_lookup() {
+        assert_eq!(target_by_name("x86").map(|t| t.name), Some("x86".into()));
+        assert_eq!(target_by_name("riscv").map(|t| t.name), Some("riscv".into()));
+        assert!(target_by_name("z80").is_none());
+    }
+
+    #[test]
+    fn heuristic_build_produces_improving_records() {
+        let builder = LibraryBuilder::new(Strategy::Heuristic, 11);
+        let mut lib = Library::new();
+        let kernels = tune(&["softmax", "matmul"]);
+        assert_eq!(kernels.len(), 2);
+        let (report, outcomes) =
+            builder.build_into(&mut lib, &kernels, &[Target::x86(), Target::gh200()]);
+        assert_eq!(outcomes.len(), 4);
+        // softmax on gh200 may legitimately find no improving schedule at
+        // this shape; both x86 jobs and matmul/gh200 must
+        assert!(report.inserted >= 3, "{report:?}");
+        for r in lib.records() {
+            assert!(r.cost < r.naive_cost, "{}: no speedup recorded", r.label);
+            assert!(!r.steps.is_empty());
+            assert_eq!(r.model_version, current_model_version());
+        }
+    }
+
+    #[test]
+    fn same_seed_builds_are_identical() {
+        let kernels = tune(&["softmax"]);
+        let targets = [Target::x86()];
+        let run = || {
+            let mut lib = Library::new();
+            LibraryBuilder::new(Strategy::Anneal { budget: 30 }, 5)
+                .build_into(&mut lib, &kernels, &targets);
+            lib.to_text()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn job_seed_depends_on_identity_not_order() {
+        let b = LibraryBuilder::new(Strategy::Heuristic, 42);
+        assert_ne!(b.job_seed("softmax", "x86"), b.job_seed("softmax", "gh200"));
+        assert_ne!(b.job_seed("softmax", "x86"), b.job_seed("matmul", "x86"));
+        assert_eq!(b.job_seed("softmax", "x86"), b.job_seed("softmax", "x86"));
+    }
+}

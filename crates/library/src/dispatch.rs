@@ -1,0 +1,343 @@
+//! Dispatch: serving a schedule for a query program.
+//!
+//! `Library::lookup` resolves a query in tiers:
+//!
+//! 1. **Exact hit** — a record at the query's exact [`KernelSig`]: replay
+//!    its edits strictly.
+//! 2. **Fallback replay** — the nearest same-operator shape: replay its
+//!    edits leniently (steps whose locations no longer exist at the new
+//!    shape are skipped), then re-validate. The paper's transformations are
+//!    location-addressed, so a schedule tuned at 24576x512 usually applies
+//!    verbatim at 128x64.
+//! 3. **Fallback heuristic** — nothing replayable: run the deterministic
+//!    heuristic pass fresh.
+//! 4. **Naive** — even the heuristic found nothing; serve the program
+//!    untransformed.
+//!
+//! Every served schedule is re-validated (`perfdojo_ir::validate`), must
+//! not regress the machine-model cost versus naive, and — when the query
+//! is small enough to interpret — is numerically verified against the
+//! naive program via `perfdojo_interp::verify_equivalent`. A replay that
+//! fails any check falls through to the next tier instead of being served.
+
+use crate::library::Library;
+use crate::sig::KernelSig;
+use perfdojo_core::{Dojo, Target};
+use perfdojo_ir::{validate, Program};
+use perfdojo_transform::{replay, replay_sequence, Action};
+use std::fmt;
+
+/// Above this many dynamic op instances, numeric verification is skipped
+/// (interpreting paper-scale kernels is not practical); mirrors the Dojo's
+/// own verification gate.
+const VERIFY_WORK_LIMIT: u64 = 2_000_000;
+
+/// Trials for numeric verification of a served schedule.
+const VERIFY_TRIALS: usize = 2;
+
+/// How a dispatch was resolved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Disposition {
+    /// An exact-signature record replayed cleanly.
+    ExactHit,
+    /// A nearest-shape record replayed (possibly with skipped steps).
+    FallbackReplay {
+        /// Key of the record the schedule was borrowed from.
+        from: String,
+        /// Shape distance between query and donor.
+        distance: f64,
+        /// Steps dropped as inapplicable at the query shape.
+        skipped: usize,
+    },
+    /// No usable record; the heuristic pass tuned the query fresh.
+    FallbackHeuristic,
+    /// Nothing helped; the naive program is served.
+    Naive,
+}
+
+impl fmt::Display for Disposition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Disposition::ExactHit => write!(f, "exact-hit"),
+            Disposition::FallbackReplay { from, distance, skipped } => {
+                write!(f, "fallback-replay from {from} (distance {distance:.3}, {skipped} skipped)")
+            }
+            Disposition::FallbackHeuristic => write!(f, "fallback-heuristic"),
+            Disposition::Naive => write!(f, "naive"),
+        }
+    }
+}
+
+impl Disposition {
+    /// Short machine-greppable tag (`exact-hit`, `fallback-replay`, …).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Disposition::ExactHit => "exact-hit",
+            Disposition::FallbackReplay { .. } => "fallback-replay",
+            Disposition::FallbackHeuristic => "fallback-heuristic",
+            Disposition::Naive => "naive",
+        }
+    }
+}
+
+/// A resolved dispatch: the schedule to run and how it was obtained.
+#[derive(Clone, Debug)]
+pub struct DispatchResult {
+    /// How the query resolved.
+    pub disposition: Disposition,
+    /// The edit sequence that was applied (empty for `Naive`).
+    pub steps: Vec<Action>,
+    /// The transformed program to execute.
+    pub program: Program,
+    /// Machine-model cost of `program`, seconds.
+    pub cost: f64,
+    /// Machine-model cost of the naive query, seconds.
+    pub naive_cost: f64,
+    /// Numeric verification outcome: `Some(true)` verified equivalent,
+    /// `Some(false)` never served (such candidates are rejected), `None`
+    /// when the query was too large to interpret.
+    pub verified: Option<bool>,
+}
+
+impl DispatchResult {
+    /// Speedup of the served schedule over naive.
+    pub fn speedup(&self) -> f64 {
+        self.naive_cost / self.cost
+    }
+}
+
+/// A candidate schedule produced by one dispatch tier, before checks.
+struct Candidate {
+    disposition: Disposition,
+    steps: Vec<Action>,
+    program: Program,
+}
+
+impl Library {
+    /// Resolve a schedule for `query` (a naive program) on `target`.
+    ///
+    /// Never fails: the worst case is the naive program served as-is. The
+    /// `target`'s machine model prices candidates; its transformation
+    /// library drives the heuristic fallback tier.
+    pub fn lookup(&self, query: &Program, target: &Target) -> DispatchResult {
+        let sig = KernelSig::of(query, &target.name);
+        let naive_cost = target.machine.evaluate(query).map(|e| e.seconds).unwrap_or(f64::INFINITY);
+
+        // Tier 1: exact hit, strict replay.
+        if let Some(rec) = self.get(&sig) {
+            if let Ok(program) = replay(query, &rec.steps) {
+                let cand = Candidate {
+                    disposition: Disposition::ExactHit,
+                    steps: rec.steps.clone(),
+                    program,
+                };
+                if let Some(result) = accept(cand, query, target, naive_cost) {
+                    return result;
+                }
+            }
+        }
+
+        // Tier 2: nearest-shape fallback, lenient replay.
+        if let Some((rec, distance)) = self.nearest(&sig) {
+            let rep = replay_sequence(query, &rec.steps);
+            let skipped = rep.skipped.len();
+            if skipped < rec.steps.len() {
+                let steps: Vec<Action> = rec
+                    .steps
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !rep.skipped.contains(i))
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                let cand = Candidate {
+                    disposition: Disposition::FallbackReplay {
+                        from: rec.sig.key(),
+                        distance,
+                        skipped,
+                    },
+                    steps,
+                    program: rep.program,
+                };
+                if let Some(result) = accept(cand, query, target, naive_cost) {
+                    return result;
+                }
+            }
+        }
+
+        // Tier 3: heuristic pass, tuned fresh for this query.
+        if let Ok(mut dojo) = Dojo::for_target(query.clone(), target) {
+            let cost = perfdojo_search::heuristic_pass(&mut dojo);
+            let steps = dojo.history.steps.clone();
+            if !steps.is_empty() && cost < naive_cost {
+                let cand = Candidate {
+                    disposition: Disposition::FallbackHeuristic,
+                    steps,
+                    program: dojo.current().clone(),
+                };
+                if let Some(result) = accept(cand, query, target, naive_cost) {
+                    return result;
+                }
+            }
+        }
+
+        // Tier 4: naive.
+        DispatchResult {
+            disposition: Disposition::Naive,
+            steps: Vec::new(),
+            program: query.clone(),
+            cost: naive_cost,
+            naive_cost,
+            verified: Some(true),
+        }
+    }
+}
+
+/// Run the acceptance checks on a candidate: IR validity, no cost
+/// regression versus naive, and numeric equivalence when interpretable.
+/// `None` means "rejected — try the next tier".
+fn accept(
+    cand: Candidate,
+    query: &Program,
+    target: &Target,
+    naive_cost: f64,
+) -> Option<DispatchResult> {
+    if validate(&cand.program).is_err() {
+        return None;
+    }
+    let cost = target.machine.evaluate(&cand.program).ok()?.seconds;
+    if cost > naive_cost {
+        return None;
+    }
+    let verified = if query.dynamic_op_instances() <= VERIFY_WORK_LIMIT {
+        let seed = perfdojo_ir::fingerprint::fnv1a(cand.disposition.tag().as_bytes());
+        let ok = perfdojo_interp::verify_equivalent(query, &cand.program, VERIFY_TRIALS, seed)
+            .is_equivalent();
+        if !ok {
+            return None;
+        }
+        Some(true)
+    } else {
+        None
+    };
+    Some(DispatchResult {
+        disposition: cand.disposition,
+        steps: cand.steps,
+        program: cand.program,
+        cost,
+        naive_cost,
+        verified,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{LibraryBuilder, Strategy};
+
+    fn tuned_library() -> (Library, Target) {
+        let target = Target::x86();
+        let kernels: Vec<_> = perfdojo_kernels::tune_suite()
+            .into_iter()
+            .filter(|k| ["softmax", "matmul"].contains(&k.label.as_str()))
+            .collect();
+        let mut lib = Library::new();
+        LibraryBuilder::new(Strategy::Heuristic, 3).build_into(
+            &mut lib,
+            &kernels,
+            std::slice::from_ref(&target),
+        );
+        assert!(!lib.is_empty());
+        (lib, target)
+    }
+
+    #[test]
+    fn exact_hit_for_tuned_shape() {
+        let (lib, target) = tuned_library();
+        // exactly the shape the library was built at (tune_suite softmax)
+        let query = perfdojo_kernels::softmax(64, 64);
+        let r = lib.lookup(&query, &target);
+        assert_eq!(r.disposition.tag(), "exact-hit");
+        assert!(r.cost < r.naive_cost, "hit must improve on naive");
+        assert_eq!(r.verified, Some(true), "small query must be verified");
+        assert!(!r.steps.is_empty());
+        // the served program really is the recorded replay, and dispatch
+        // reproduces the cost the tuning run recorded, bit for bit
+        assert_eq!(replay(&query, &r.steps).unwrap(), r.program);
+        let rec = lib.get(&crate::sig::KernelSig::of(&query, &target.name)).unwrap();
+        assert_eq!(r.cost.to_bits(), rec.cost.to_bits());
+        assert_eq!(r.steps, rec.steps);
+    }
+
+    #[test]
+    fn fallback_replay_for_new_shape() {
+        let (lib, target) = tuned_library();
+        // softmax at a shape the library has never seen
+        let query = perfdojo_kernels::by_label_with_shape("softmax", &[96, 64]).unwrap();
+        let r = lib.lookup(&query, &target);
+        assert_eq!(r.disposition.tag(), "fallback-replay", "{}", r.disposition);
+        assert!(r.speedup() >= 1.0);
+        assert_eq!(r.verified, Some(true));
+        if let Disposition::FallbackReplay { from, distance, .. } = &r.disposition {
+            assert!(from.contains("|x86"));
+            assert!(*distance > 0.0);
+        }
+    }
+
+    #[test]
+    fn heuristic_fallback_for_unknown_operator() {
+        let (lib, target) = tuned_library();
+        // rmsnorm was never tuned: no same-structure record exists
+        let query = perfdojo_kernels::by_label_with_shape("rmsnorm", &[64, 64]).unwrap();
+        let r = lib.lookup(&query, &target);
+        assert_eq!(r.disposition.tag(), "fallback-heuristic", "{}", r.disposition);
+        assert!(r.cost <= r.naive_cost);
+        assert_eq!(r.verified, Some(true));
+    }
+
+    #[test]
+    fn degenerate_query_serves_naive() {
+        let lib = Library::new();
+        let target = Target::x86();
+        // at a few hundred ops the naive program is already optimal, so
+        // even the heuristic tier finds nothing — dispatch must not fail
+        let query = perfdojo_kernels::by_label("mul").unwrap().verify_program;
+        let r = lib.lookup(&query, &target);
+        assert!(r.cost <= r.naive_cost);
+        assert!(
+            matches!(r.disposition, Disposition::FallbackHeuristic | Disposition::Naive),
+            "{}",
+            r.disposition
+        );
+        assert_eq!(r.steps.is_empty(), r.disposition == Disposition::Naive);
+    }
+
+    #[test]
+    fn empty_library_serves_heuristic() {
+        let lib = Library::new();
+        let target = Target::x86();
+        let query = perfdojo_kernels::by_label_with_shape("mul", &[64, 256]).unwrap();
+        let r = lib.lookup(&query, &target);
+        assert_eq!(r.disposition.tag(), "fallback-heuristic", "{}", r.disposition);
+        assert!(r.cost < r.naive_cost);
+        assert_eq!(r.verified, Some(true));
+    }
+
+    #[test]
+    fn wrong_target_never_replays_foreign_records() {
+        let (lib, _) = tuned_library();
+        let query = perfdojo_kernels::softmax(64, 64);
+        let r = lib.lookup(&query, &Target::gh200());
+        assert_ne!(r.disposition.tag(), "exact-hit");
+        assert_ne!(r.disposition.tag(), "fallback-replay", "x86 records must not serve gh200");
+    }
+
+    #[test]
+    fn large_query_skips_numeric_verification() {
+        let (lib, target) = tuned_library();
+        let query = perfdojo_kernels::by_label("softmax").unwrap().program; // 24576x512
+        let r = lib.lookup(&query, &target);
+        assert!(query.dynamic_op_instances() > 2_000_000);
+        assert_eq!(r.verified, None);
+        assert!(r.cost <= r.naive_cost);
+    }
+}

@@ -1,0 +1,35 @@
+//! Persistent autotuned kernel schedule library (the "ML library" PerfDojo
+//! generates, paper §1/§3.5): tuned transformation schedules keyed by
+//! canonical kernel signature, persisted in a versioned zero-dependency
+//! text format, built concurrently across a kernel suite × target grid, and
+//! served through exact-match + nearest-shape fallback dispatch.
+//!
+//! The pieces:
+//!
+//! - [`sig::KernelSig`] — canonical identity: shape-normalized structural
+//!   fingerprint + shapes + dtype + target, with a parseable textual key.
+//! - [`format`] — the on-disk format: replayable edit sequences, predicted
+//!   costs as exact bit patterns, machine-model version, provenance;
+//!   atomic saves, corrupt-block-tolerant loads.
+//! - [`library::Library`] — the keep-best map, with version-checked merge,
+//!   gc, stats, and nearest-shape search.
+//! - [`builder::LibraryBuilder`] — the concurrent, deterministic tuning
+//!   driver over `perfdojo_util::par`.
+//! - [`dispatch`] — `Library::lookup`: exact hit → fallback replay →
+//!   heuristic pass → naive, every served schedule re-validated and (when
+//!   small enough) numerically verified.
+//!
+//! The `perfdojo-lib` binary exposes `build` / `query` / `stats` / `gc`
+//! over libraries on disk.
+
+pub mod builder;
+pub mod dispatch;
+pub mod format;
+pub mod library;
+pub mod sig;
+
+pub use builder::{target_by_name, LibraryBuilder, Strategy, TuneOutcome};
+pub use dispatch::{DispatchResult, Disposition};
+pub use format::{FormatError, LoadStats, Provenance, ScheduleRecord};
+pub use library::{current_model_version, Library, LibraryStats, MergeReport};
+pub use sig::KernelSig;

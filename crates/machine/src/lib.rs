@@ -29,6 +29,11 @@ pub mod gpu;
 pub use config::{CacheLevel, GpuConfig, MachineConfig, MachineKind};
 pub use estimate::Estimate;
 
+/// Version of the analytical performance models. Bump whenever a model
+/// change can move predicted costs: persisted schedule libraries record it
+/// and treat entries tuned under another version as stale.
+pub const MODEL_VERSION: u32 = 1;
+
 use perfdojo_codegen::{lower, LoweredKernel};
 use perfdojo_ir::Program;
 use std::fmt;

@@ -122,6 +122,36 @@ impl History {
     }
 }
 
+/// Strict replay failure: which step broke and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReplayError {
+    /// Index (into the step sequence) of the first inapplicable step.
+    pub index: usize,
+    /// Why that step did not apply.
+    pub error: TransformError,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "step {} failed: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Strictly re-apply a recorded edit sequence to `initial`: every step must
+/// apply, in order, or the replay fails with the index of the first
+/// inapplicable step. This is what the schedule library uses to reconstruct
+/// a persisted schedule (and to transplant one onto a near-shape program,
+/// where a clean error beats a silently shortened schedule).
+pub fn replay(initial: &Program, steps: &[Action]) -> Result<Program, ReplayError> {
+    let mut program = initial.clone();
+    for (index, s) in steps.iter().enumerate() {
+        program = s.apply(&program).map_err(|error| ReplayError { index, error })?;
+    }
+    Ok(program)
+}
+
 /// Replay a sequence from `initial`, skipping inapplicable steps.
 pub fn replay_sequence(initial: &Program, steps: &[Action]) -> Replay {
     let mut program = initial.clone();
@@ -208,6 +238,37 @@ mod tests {
         assert!(err.is_err());
         // history unchanged on failure
         assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn strict_replay_reapplies_full_sequence() {
+        let p = base();
+        let steps = vec![
+            split(8, &[0, 0]),
+            Action { transform: Transform::Unroll, loc: Loc::Node(Path::from([0, 0, 0])) },
+            Action { transform: Transform::Parallelize, loc: Loc::Node(Path::from([0])) },
+        ];
+        // reference: the program a History reaches by pushing each step
+        let mut h = History::new(p.clone());
+        for s in &steps {
+            h.push(s.clone()).unwrap();
+        }
+        let q = replay(&p, &steps).unwrap();
+        assert_eq!(&q, h.current());
+        assert!(verify_equivalent(&p, &q, 2, 13).is_equivalent());
+    }
+
+    #[test]
+    fn strict_replay_reports_first_bad_index() {
+        let p = base();
+        // step 1 re-splits the already-consumed location: inapplicable
+        let steps = vec![split(8, &[0, 0]), split(8, &[0, 0, 0]), split(2, &[0])];
+        let err = replay(&p, &steps).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(matches!(err.error, TransformError::NotApplicable(_)));
+        assert!(err.to_string().contains("step 1"));
+        // empty sequences trivially replay
+        assert_eq!(replay(&p, &[]).unwrap(), p);
     }
 
     #[test]

@@ -22,9 +22,11 @@ pub mod deps;
 pub mod history;
 pub mod layout;
 pub mod scopes;
+pub mod serial;
 
-pub use history::History;
+pub use history::{replay, replay_sequence, History, Replay, ReplayError};
 pub use layout::BufDimLoc;
+pub use serial::{parse_action, parse_loc, parse_transform};
 
 use perfdojo_ir::{Location, Path, Program, ScopeKind};
 use std::fmt;

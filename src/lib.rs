@@ -31,6 +31,7 @@ pub use perfdojo_core as core;
 pub use perfdojo_interp as interp;
 pub use perfdojo_ir as ir;
 pub use perfdojo_kernels as kernels;
+pub use perfdojo_library as library;
 pub use perfdojo_machine as machine;
 pub use perfdojo_rl as rl;
 pub use perfdojo_search as search;
@@ -41,6 +42,7 @@ pub mod prelude {
     pub use perfdojo_core::{Dojo, Target};
     pub use perfdojo_interp::{execute, random_inputs, verify_equivalent, Tensor};
     pub use perfdojo_ir::{parse_program, validate, Program, ProgramBuilder};
+    pub use perfdojo_library::{Library, LibraryBuilder, Strategy as LibraryStrategy};
     pub use perfdojo_machine::Machine;
     pub use perfdojo_rl::{optimize as perfllm_optimize, PerfLlmConfig};
     pub use perfdojo_transform::{available_actions, Action, Transform, TransformLibrary};
