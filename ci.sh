@@ -9,24 +9,28 @@
 #   4. The schedule-library pipeline must work end to end: build a
 #      mini-library with perfdojo-lib, dispatch an exact-shape query and a
 #      never-tuned-shape query against it, and report non-empty stats.
+#   5. Differential fuzz smoke: a fixed-seed run over random programs ×
+#      random transformation walks must find zero counterexamples, finish
+#      quickly, and produce a byte-identical report when repeated — the
+#      fuzzer itself must be deterministic or its findings are worthless.
 #
 # Usage: ./ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== 1/4 perfdojo-util: warning-free build (-D warnings) =="
+echo "== 1/5 perfdojo-util: warning-free build (-D warnings) =="
 RUSTFLAGS="-D warnings" cargo build -q -p perfdojo-util --offline
 RUSTFLAGS="-D warnings" cargo test -q -p perfdojo-util --offline
 
-echo "== 2/4 tier-1 verify: release build + tests =="
+echo "== 2/5 tier-1 verify: release build + tests =="
 cargo build --release --workspace --offline
 cargo test -q --offline
 
-echo "== 3/4 full workspace tests (offline) =="
+echo "== 3/5 full workspace tests (offline) =="
 cargo test -q --workspace --offline
 
-echo "== 4/4 schedule-library pipeline: build, dispatch, stats =="
+echo "== 4/5 schedule-library pipeline: build, dispatch, stats =="
 PDLIB_DIR=$(mktemp -d)
 trap 'rm -rf "$PDLIB_DIR"' EXIT
 PDLIB="$PDLIB_DIR/ci.pdl"
@@ -43,5 +47,20 @@ grep -q "disposition: fallback-replay" "$PDLIB_DIR/q2.txt"
 # stats must report the two tuned entries
 ./target/release/perfdojo-lib stats --lib "$PDLIB" | tee "$PDLIB_DIR/stats.txt"
 grep -q "entries:         2" "$PDLIB_DIR/stats.txt"
+
+echo "== 5/5 differential fuzz smoke: fixed seed, deterministic, clean =="
+./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz1.txt"
+./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz2.txt"
+# the report must be byte-identical across runs — no timestamps, no
+# thread-order dependence, nothing outside the seed
+cmp "$PDLIB_DIR/fuzz1.txt" "$PDLIB_DIR/fuzz2.txt"
+grep -q "findings 0" "$PDLIB_DIR/fuzz1.txt"
+# the sabotage harness must still catch a deliberately broken transform
+if ./target/release/fuzz --seed 0xC0FFEE --iters 60 --sabotage truncate-split \
+    > "$PDLIB_DIR/fuzz3.txt"; then
+    echo "ci.sh: sabotaged fuzz run reported no findings" >&2
+    exit 1
+fi
+grep -q "FINDING" "$PDLIB_DIR/fuzz3.txt"
 
 echo "ci.sh: all gates passed"

@@ -148,6 +148,24 @@ pub enum Lowered {
 }
 
 impl Lowered {
+    /// The node as a loop, when it is one. Lets callers that walk a lowered
+    /// tree (the differential fuzzer's virtual-ISA executor, tests) turn an
+    /// unexpected shape into a reportable error instead of a panic.
+    pub fn as_loop(&self) -> Option<&Loop> {
+        match self {
+            Lowered::Loop(l) => Some(l),
+            Lowered::Stmt(_) => None,
+        }
+    }
+
+    /// The node as a statement, when it is one.
+    pub fn as_stmt(&self) -> Option<&Stmt> {
+        match self {
+            Lowered::Stmt(s) => Some(s),
+            Lowered::Loop(_) => None,
+        }
+    }
+
     /// Iterate all statements in the subtree.
     pub fn stmts(&self) -> Vec<&Stmt> {
         let mut v = Vec::new();
@@ -359,22 +377,34 @@ mod tests {
     use perfdojo_ir::builder::*;
     use perfdojo_ir::ProgramBuilder;
 
+    /// The node as a loop, or a descriptive error — keeps structural
+    /// mismatches reportable instead of aborting (the fuzzer relies on the
+    /// same [`Lowered::as_loop`]/[`Lowered::as_stmt`] accessors).
+    fn loop_of(n: &Lowered) -> Result<&Loop, String> {
+        n.as_loop().ok_or_else(|| format!("expected loop, got {n:?}"))
+    }
+
+    fn stmt_of(n: &Lowered) -> Result<&Stmt, String> {
+        n.as_stmt().ok_or_else(|| format!("expected statement, got {n:?}"))
+    }
+
     #[test]
-    fn addresses_fold_strides() {
+    fn addresses_fold_strides() -> Result<(), String> {
         let mut b = ProgramBuilder::new("t");
         b.input("x", &[4, 8]).output("z", &[4, 8]);
         b.scopes(&[4, 8], |b| {
             b.op(out("z", &[0, 1]), mul(ld("x", &[0, 1]), cst(2.0)));
         });
-        let k = lower(&b.build()).unwrap();
-        let Lowered::Loop(l0) = &k.body[0] else { panic!("expected outer loop, got {:?}", k.body[0]) };
-        let Lowered::Loop(l1) = &l0.body[0] else { panic!("expected inner loop, got {:?}", l0.body[0]) };
-        let Lowered::Stmt(s) = &l1.body[0] else { panic!("expected statement, got {:?}", l1.body[0]) };
+        let k = lower(&b.build()).map_err(|e| e.to_string())?;
+        let l0 = loop_of(&k.body[0])?;
+        let l1 = loop_of(&l0.body[0])?;
+        let s = stmt_of(&l1.body[0])?;
         // row-major [4,8]: stride 8 on depth 0, stride 1 on depth 1
         assert_eq!(s.store.addr.stride(0), 8);
         assert_eq!(s.store.addr.stride(1), 1);
         assert_eq!(s.loads[0].addr.stride(1), 1);
         assert_eq!(s.flops, vec![OpClass::MulLike]);
+        Ok(())
     }
 
     #[test]
@@ -407,7 +437,7 @@ mod tests {
     }
 
     #[test]
-    fn reduction_accumulator_invariant_address() {
+    fn reduction_accumulator_invariant_address() -> Result<(), String> {
         let mut b = ProgramBuilder::new("t");
         b.input("x", &[4, 8]).output("s", &[4]);
         b.scope(4, |b| {
@@ -416,13 +446,14 @@ mod tests {
                 b.reduce(out("s", &[0]), perfdojo_ir::BinaryOp::Add, ld("x", &[0, 1]));
             });
         });
-        let k = lower(&b.build()).unwrap();
-        let Lowered::Loop(l0) = &k.body[0] else { panic!("expected outer loop, got {:?}", k.body[0]) };
-        let Lowered::Loop(l1) = &l0.body[1] else { panic!("expected reduction loop, got {:?}", l0.body[1]) };
-        let Lowered::Stmt(s) = &l1.body[0] else { panic!("expected statement, got {:?}", l1.body[0]) };
+        let k = lower(&b.build()).map_err(|e| e.to_string())?;
+        let l0 = loop_of(&k.body[0])?;
+        let l1 = loop_of(&l0.body[1])?;
+        let s = stmt_of(&l1.body[0])?;
         assert!(s.store.addr.invariant_to(1));
         assert!(!s.store.addr.invariant_to(0));
         assert!(s.reads_own_output);
+        Ok(())
     }
 
     #[test]
@@ -442,7 +473,7 @@ mod tests {
     }
 
     #[test]
-    fn kinds_and_flags_carried() {
+    fn kinds_and_flags_carried() -> Result<(), String> {
         let src = "\
 kernel k
 in x
@@ -452,10 +483,11 @@ z f32 [64] heap
 
 64:s:f | z[{0}] = (x[{0}] * 2.0)
 ";
-        let p = perfdojo_ir::parse_program(src).unwrap();
-        let k = lower(&p).unwrap();
-        let Lowered::Loop(l) = &k.body[0] else { panic!("expected ssr/frep loop, got {:?}", k.body[0]) };
+        let p = perfdojo_ir::parse_program(src).map_err(|e| format!("{e:?}"))?;
+        let k = lower(&p).map_err(|e| e.to_string())?;
+        let l = loop_of(&k.body[0])?;
         assert!(l.ssr && l.frep);
         assert_eq!(l.trip, 64);
+        Ok(())
     }
 }

@@ -1,0 +1,135 @@
+//! Textual reproducers for the regression corpus.
+//!
+//! A reproducer is the program in the standard textual format
+//! ([`perfdojo_ir::text::print_program`]) followed by an action list, one
+//! [`perfdojo_transform::Action`] per line in its `Display` form (the same
+//! notation `transform::serial` parses for schedule persistence):
+//!
+//! ```text
+//! # optional comment lines
+//! kernel shrunk
+//! out z
+//! z f32 [4] heap
+//!
+//! 4 | z[{0}] = 1.0
+//! --- actions
+//! split_scope(2) @ [0]
+//! ```
+//!
+//! Files live in `tests/corpus/*.repro`; the root integration test
+//! `tests/corpus_replay.rs` replays every one through the full differential
+//! oracle and expects **no** finding (they are fixed bugs / pinned
+//! behaviours, not open failures).
+
+use perfdojo_ir::text::print_program;
+use perfdojo_ir::{parse_program, validate, Program};
+use perfdojo_transform::{parse_action, Action};
+
+/// Marker separating the program text from the action list.
+pub const ACTIONS_MARKER: &str = "--- actions";
+
+/// Serialize a reproducer. `note` becomes `#`-prefixed header comments.
+pub fn reproducer_text(p: &Program, actions: &[Action], note: &str) -> String {
+    let mut s = String::new();
+    for line in note.lines() {
+        s.push_str("# ");
+        s.push_str(line);
+        s.push('\n');
+    }
+    s.push_str(&print_program(p));
+    s.push_str(ACTIONS_MARKER);
+    s.push('\n');
+    for a in actions {
+        s.push_str(&a.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Parse a reproducer back into a validated program and action list.
+pub fn parse_reproducer(text: &str) -> Result<(Program, Vec<Action>), String> {
+    let mut program_text = String::new();
+    let mut actions = Vec::new();
+    let mut in_actions = false;
+    for line in text.lines() {
+        if line.trim() == ACTIONS_MARKER {
+            in_actions = true;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // comment (action lines always start with a transform name)
+        }
+        if in_actions {
+            let t = line.trim();
+            if t.is_empty() {
+                continue;
+            }
+            let a = parse_action(t).ok_or_else(|| format!("unparseable action: {t:?}"))?;
+            actions.push(a);
+        } else {
+            program_text.push_str(line);
+            program_text.push('\n');
+        }
+    }
+    let p = parse_program(&program_text).map_err(|e| format!("program: {e:?}"))?;
+    validate(&p).map_err(|e| format!("program does not validate: {e}"))?;
+    Ok((p, actions))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_program, GenConfig};
+    use crate::walk::library_by_name;
+    use perfdojo_transform::available_actions;
+    use perfdojo_util::rng::Rng;
+
+    #[test]
+    fn roundtrips_generated_programs_with_actions() {
+        let lib = library_by_name("cpu").unwrap();
+        for seed in 0..30u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let p = gen_program(&mut rng, &GenConfig::default(), "rt");
+            let avail = available_actions(&p, &lib);
+            let actions: Vec<_> = avail.into_iter().take(3).collect();
+            let text = reproducer_text(&p, &actions, "roundtrip test\nsecond line");
+            let (p2, a2) = parse_reproducer(&text).unwrap_or_else(|e| {
+                panic!("seed {seed}: {e}\n---\n{text}")
+            });
+            assert_eq!(print_program(&p), print_program(&p2), "program drifted");
+            assert_eq!(actions, a2, "actions drifted");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_reproducer("not a program").is_err());
+        let bad_action = "\
+kernel k
+out z
+z f32 [2] heap
+
+2 | z[{0}] = 1.0
+--- actions
+definitely_not_a_transform @ [0]
+";
+        assert!(parse_reproducer(bad_action).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_program() {
+        // Parses, but z is declared an output and never written.
+        let text = "\
+kernel k
+in x
+out z
+x f32 [2] heap
+z f32 [2] heap
+t f32 [2] heap
+
+2 | t[{0}] = x[{0}]
+--- actions
+";
+        assert!(parse_reproducer(text).unwrap_err().contains("does not validate"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Minimization of failing (program, action-sequence) pairs.
+//!
+//! The search itself is `util::proptest_lite::minimize` (greedy
+//! first-improvement over candidate batches); this module contributes the
+//! domain-specific candidate moves, ordered cheapest/most-aggressive first:
+//!
+//! 1. drop actions (suffix first, then each interior index),
+//! 2. drop op leaves (pruning emptied ancestor scopes and orphaned buffers),
+//! 3. simplify op expressions to a single load / constant,
+//! 4. delete a whole scope level (iterator substituted with 0, deeper
+//!    depths shifted up),
+//! 5. halve scope trip counts.
+//!
+//! Every candidate must still `validate`, and must fail [`check_case`] with
+//! the **same finding kind** as the original — so the shrinker can never
+//! wander from, say, an interpreter mismatch onto an unrelated
+//! apply-rejection that a shorter action list happens to produce.
+
+use crate::walk::{check_case, CheckConfig, Finding};
+use perfdojo_ir::{path, validate, Affine, Expr, Node, Path, Program, ScopeSize};
+use perfdojo_transform::{Action, Loc};
+use perfdojo_util::proptest_lite::minimize;
+use std::collections::HashSet;
+
+/// A failing fuzz case: a base program plus the action sequence driven into
+/// it.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// The untransformed program.
+    pub program: Program,
+    /// Actions applied in order.
+    pub actions: Vec<Action>,
+}
+
+/// Minimize `case` (known to fail with `finding`) under `cfg`. Returns the
+/// smallest failing case found, its finding, and the number of shrink
+/// probes spent.
+pub fn shrink_case(
+    case: Case,
+    finding: Finding,
+    cfg: &CheckConfig,
+    budget: u32,
+) -> (Case, Finding, u32) {
+    let kind = finding.kind();
+    minimize(case, finding, budget, candidates, |c| {
+        check_case(&c.program, &c.actions, cfg).filter(|f| f.kind() == kind)
+    })
+}
+
+/// All single-step reductions of `case`, cheapest first. Only structurally
+/// valid programs are proposed; `check_case` decides which still fail.
+fn candidates(case: &Case) -> Vec<Case> {
+    let mut out = Vec::new();
+
+    // 1. Drop actions, last first (post-finding suffix goes immediately).
+    for i in (0..case.actions.len()).rev() {
+        let mut actions = case.actions.clone();
+        actions.remove(i);
+        out.push(Case { program: case.program.clone(), actions });
+    }
+
+    let op_paths: Vec<Path> = case.program.ops().into_iter().map(|(p, _, _)| p).collect();
+
+    // 2. Drop op leaves (with structural cleanup). Removing a whole root
+    // nest shifts later root indices, so action paths are remapped to keep
+    // pointing at the same nodes; actions into the removed tree kill the
+    // candidate (the action-drop moves above handle those).
+    for p in &op_paths {
+        if let Some((q, removed_root)) = drop_op(&case.program, p) {
+            let actions = match removed_root {
+                Some(r) => match remap_actions_after_root_drop(&case.actions, r) {
+                    Some(a) => a,
+                    None => continue,
+                },
+                None => case.actions.clone(),
+            };
+            out.push(Case { program: q, actions });
+        }
+    }
+
+    // 3. Simplify expressions.
+    for p in &op_paths {
+        for q in simplify_expr(&case.program, p) {
+            out.push(Case { program: q, actions: case.actions.clone() });
+        }
+    }
+
+    // 4. Remove whole scope levels.
+    for p in case.program.scope_paths() {
+        if let Some(q) = remove_scope_level(&case.program, &p) {
+            out.push(Case { program: q, actions: case.actions.clone() });
+        }
+    }
+
+    // 5. Halve trip counts.
+    for p in case.program.scope_paths() {
+        if let Some(q) = halve_scope(&case.program, &p) {
+            out.push(Case { program: q, actions: case.actions.clone() });
+        }
+    }
+
+    out.retain(|c| c.program.op_count() > 0 && validate(&c.program).is_ok());
+    out
+}
+
+/// Drop unread inputs, unwritten outputs, and unreferenced buffers after a
+/// structural change.
+fn cleanup_interfaces(q: &mut Program) {
+    let mut read: HashSet<String> = HashSet::new();
+    let mut written: HashSet<String> = HashSet::new();
+    for (_, op, _) in q.ops() {
+        written.insert(op.out.array.clone());
+        for acc in op.reads() {
+            read.insert(acc.array.clone());
+        }
+    }
+    q.inputs.retain(|a| read.contains(a));
+    q.outputs.retain(|a| written.contains(a));
+    q.buffers.retain(|b| {
+        let used = |n: &String| read.contains(n) || written.contains(n);
+        used(&b.name) || b.arrays.iter().any(used)
+    });
+}
+
+/// Remove the op at `path`, pruning any ancestor scopes left empty and any
+/// interface entries / buffers left unreferenced. The second value is the
+/// root index removed by the pruning, if it reached the top.
+fn drop_op(p: &Program, path: &Path) -> Option<(Program, Option<usize>)> {
+    let mut q = p.clone();
+    let mut removed_root = None;
+    {
+        let (sibs, idx) = path::siblings_mut(&mut q.roots, path)?;
+        sibs.remove(idx);
+    }
+    if path.len() == 1 {
+        removed_root = Some(path.0[0]);
+    }
+    let mut cur = path.parent();
+    while let Some(pp) = cur {
+        if pp.is_empty() {
+            break;
+        }
+        let empty = matches!(q.node(&pp), Some(Node::Scope(s)) if s.children.is_empty());
+        if !empty {
+            break;
+        }
+        let (sibs, idx) = path::siblings_mut(&mut q.roots, &pp)?;
+        sibs.remove(idx);
+        if pp.len() == 1 {
+            removed_root = Some(pp.0[0]);
+        }
+        cur = pp.parent();
+    }
+    cleanup_interfaces(&mut q);
+    Some((q, removed_root))
+}
+
+/// Shift action locations after root nest `removed` disappeared: indices
+/// past it move up by one; an action pointing *into* it has no target left
+/// (`None` — the candidate is abandoned).
+fn remap_actions_after_root_drop(actions: &[Action], removed: usize) -> Option<Vec<Action>> {
+    actions
+        .iter()
+        .map(|a| {
+            let remap = |p: &Path| -> Option<Path> {
+                match p.0.first() {
+                    Some(&f) if f == removed => None,
+                    Some(&f) if f > removed => {
+                        let mut v = p.0.clone();
+                        v[0] = f - 1;
+                        Some(Path(v))
+                    }
+                    _ => Some(p.clone()),
+                }
+            };
+            let loc = match &a.loc {
+                Loc::Node(p) => Loc::Node(remap(p)?),
+                Loc::NodeAt(p, i) => Loc::NodeAt(remap(p)?, *i),
+                other => other.clone(),
+            };
+            Some(Action { transform: a.transform.clone(), loc })
+        })
+        .collect()
+}
+
+/// Replace the expression of the op at `path` with (a) its first load and
+/// (b) a constant — two independent candidates.
+fn simplify_expr(p: &Program, path: &Path) -> Vec<Program> {
+    let Some(Node::Op(op)) = p.node(path) else { return Vec::new() };
+    if matches!(op.expr, Expr::Const(_)) {
+        return Vec::new();
+    }
+    let mut repls: Vec<Expr> = Vec::new();
+    if op.expr.op_count() > 0 {
+        if let Some(acc) = op.expr.accesses().first() {
+            repls.push(Expr::Load((*acc).clone()));
+        }
+    }
+    repls.push(Expr::Const(1.0));
+    repls
+        .into_iter()
+        .filter_map(|e| {
+            let mut q = p.clone();
+            match q.node_mut(path) {
+                Some(Node::Op(o)) => o.expr = e,
+                _ => return None,
+            }
+            cleanup_interfaces(&mut q);
+            Some(q)
+        })
+        .collect()
+}
+
+/// Rewrite a subtree after the scope at iterator depth `removed` vanished:
+/// its iterator becomes 0 and every deeper depth shifts up by one.
+fn erase_depth(node: &mut Node, removed: usize) {
+    let zero = Affine::cst(0);
+    let mut remap = |d: usize| if d > removed { d - 1 } else { d };
+    match node {
+        Node::Op(op) => {
+            op.out = op.out.substitute(removed, &zero).remap_depths(&mut remap);
+            op.expr = op.expr.substitute(removed, &zero).remap_depths(&mut remap);
+        }
+        Node::Scope(s) => {
+            for c in &mut s.children {
+                erase_depth(c, removed);
+            }
+        }
+    }
+}
+
+/// Delete the scope at `path`, splicing its (depth-rewritten) children into
+/// the parent in its place.
+fn remove_scope_level(p: &Program, path: &Path) -> Option<Program> {
+    let mut q = p.clone();
+    let removed_depth = path.len().checked_sub(1)?;
+    let mut children = match q.node(path)? {
+        Node::Scope(s) => s.children.clone(),
+        Node::Op(_) => return None,
+    };
+    for c in &mut children {
+        erase_depth(c, removed_depth);
+    }
+    let (sibs, idx) = path::siblings_mut(&mut q.roots, path)?;
+    sibs.splice(idx..=idx, children);
+    cleanup_interfaces(&mut q);
+    Some(q)
+}
+
+/// Halve the trip count of the scope at `path` (only when it stays >= 1 and
+/// actually shrinks).
+fn halve_scope(p: &Program, path: &Path) -> Option<Program> {
+    let mut q = p.clone();
+    match q.node_mut(path)? {
+        Node::Scope(s) => match s.size {
+            ScopeSize::Const(n) if n >= 2 => {
+                s.size = ScopeSize::Const(n / 2);
+                Some(q)
+            }
+            _ => None,
+        },
+        Node::Op(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{gen_program, GenConfig};
+    use crate::walk::{library_by_name, walk, Sabotage};
+    use perfdojo_ir::text::print_program;
+    use perfdojo_util::rng::Rng;
+
+    #[test]
+    fn candidates_only_propose_valid_smaller_programs() {
+        let mut rng = Rng::seed_from_u64(5);
+        let p = gen_program(&mut rng, &GenConfig::default(), "c");
+        let case = Case { program: p.clone(), actions: Vec::new() };
+        let cands = candidates(&case);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            validate(&c.program).expect("candidate must validate");
+            assert!(
+                c.program.op_count() < p.op_count()
+                    || c.program.scope_paths().len() < p.scope_paths().len()
+                    || c.program.dynamic_op_instances() <= p.dynamic_op_instances(),
+                "candidate did not get smaller"
+            );
+        }
+    }
+
+    #[test]
+    fn drop_op_prunes_empty_scopes_and_orphans() {
+        let src = "\
+kernel two
+in x
+out z
+x f32 [4] heap
+t f32 [4] stack
+z f32 [4] heap
+
+4 | t[{0}] = x[{0}]
+4 | z[{0}] = 2.0
+";
+        let p = perfdojo_ir::parse_program(src).unwrap();
+        // Dropping the first op orphans t AND the input x, and empties the
+        // first root scope.
+        let (q, removed_root) = drop_op(&p, &Path::root().child(0).child(0)).unwrap();
+        assert_eq!(removed_root, Some(0), "pruning emptied the first root nest");
+        assert_eq!(q.roots.len(), 1);
+        assert!(q.inputs.is_empty());
+        assert!(q.buffer_of("t").is_none());
+        assert!(q.buffer_of("x").is_none());
+        validate(&q).unwrap();
+    }
+
+    #[test]
+    fn remove_scope_level_rewrites_depths() {
+        let src = "\
+kernel nest
+in x
+out z
+x f32 [3, 5] heap
+z f32 [3, 5] heap
+
+3 | 5 | z[{0},{1}] = x[{0},{1}]
+";
+        let p = perfdojo_ir::parse_program(src).unwrap();
+        // Remove the outer scope: {0} becomes constant 0, {1} shifts to {0}.
+        let q = remove_scope_level(&p, &Path::root().child(0)).unwrap();
+        let printed = print_program(&q);
+        assert!(printed.contains("5 | z[0,{0}] = x[0,{0}]"), "got:\n{printed}");
+    }
+
+    #[test]
+    fn shrinks_a_sabotaged_walk_to_a_small_reproducer() {
+        // Acceptance: a deliberately broken split must shrink to <= 10
+        // printed IR lines while still failing the same way.
+        let lib = library_by_name("cpu").unwrap();
+        let cfg = CheckConfig {
+            sabotage: Some(Sabotage::TruncateSplit),
+            ..CheckConfig::default()
+        };
+        let gcfg = GenConfig { max_dims: 2, max_trip: 6, max_stages: 2, ..GenConfig::default() };
+        for seed in 0..80u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let p = gen_program(&mut rng, &gcfg, "shrink");
+            let out = walk(&p, &lib, 8, &mut rng, &cfg);
+            let Some(finding) = out.finding else { continue };
+            let case = Case { program: p, actions: out.actions };
+            let (min, min_finding, _spent) = shrink_case(case, finding.clone(), &cfg, 400);
+            assert_eq!(min_finding.kind(), finding.kind());
+            assert_eq!(
+                check_case(&min.program, &min.actions, &cfg).map(|f| f.kind()),
+                Some(finding.kind()),
+                "minimized case must still fail identically"
+            );
+            let lines = print_program(&min.program).lines().count();
+            assert!(
+                lines <= 10,
+                "reproducer too large ({lines} lines):\n{}",
+                print_program(&min.program)
+            );
+            assert!(min.actions.len() <= 2, "actions not minimized: {:?}", min.actions);
+            return;
+        }
+        panic!("no sabotaged walk produced a finding in 80 seeds");
+    }
+}

@@ -1,0 +1,120 @@
+//! Golden-value coverage for **every** `kernels::tune_suite()` entry.
+//!
+//! `golden.rs` pins three representative kernels element-by-element at toy
+//! shapes; this file extends the net to the whole Table 3 suite at its real
+//! tuning shapes. Full element dumps would be megabytes, so each output is
+//! pinned by four exact probes — first, middle, and last element plus the
+//! f64 sum over all elements (sequential accumulation order, so it is
+//! deterministic and catches any single-element drift anywhere in the
+//! tensor).
+//!
+//! Constants were produced by this interpreter at seed 42 (regenerate with
+//! `cargo test -p perfdojo-interp --test golden_tune -- --ignored
+//! --nocapture` and paste the printed table).
+
+use perfdojo_interp::{execute, random_inputs};
+use perfdojo_kernels::tune_suite;
+
+const SEED: u64 = 42;
+/// Probes are reproduced bit-for-bit today; the slack only allows a
+/// reassociation-free arithmetic refactor of the interpreter.
+const ELEM_TOL: f64 = 1e-12;
+/// The sum accumulates up to ~100k elements, so give it three more digits.
+const SUM_TOL: f64 = 1e-9;
+
+struct Golden {
+    label: &'static str,
+    output: &'static str,
+    len: usize,
+    first: f64,
+    mid: f64,
+    last: f64,
+    sum: f64,
+}
+
+#[rustfmt::skip]
+const GOLDEN: &[Golden] = &[
+    Golden { label: "add", output: "z", len: 16384, first: 1.332248908205891, mid: 1.3100914704427358, last: 0.5277011106972453, sum: 19556.54150704385 },
+    Golden { label: "batchnorm 1", output: "y", len: 6144, first: 0.6944202490680879, mid: 0.5442362061995338, last: 0.7725099087261843, sum: 3580.763359576908 },
+    Golden { label: "batchnorm 2", output: "y", len: 4608, first: 0.6032884210459666, mid: 1.0910877605695848, last: 0.0975829153766421, sum: 1729.6704505682214 },
+    Golden { label: "bmm", output: "z", len: 1024, first: 7.893377902350152, mid: 4.134823727806803, last: 5.949218455871325, sum: 5773.853379874817 },
+    Golden { label: "conv 1", output: "z", len: 784, first: 11.015767847962573, mid: 10.841936378276557, last: 12.892065123905985, sum: 10030.925965817822 },
+    Golden { label: "conv 2", output: "z", len: 600, first: 20.01802792104892, mid: 19.381992736174706, last: 16.904549031567406, sum: 11840.17022317408 },
+    Golden { label: "layernorm 1", output: "y", len: 4096, first: 0.4502957975599632, mid: 0.7207370226524035, last: 0.7648251096807959, sum: 2587.9934784843863 },
+    Golden { label: "layernorm 2", output: "y", len: 4096, first: 0.7128908208805983, mid: 0.9549984561213191, last: 0.46923837083890685, sum: 2402.3950866581044 },
+    Golden { label: "matmul", output: "z", len: 2304, first: 18.20675664607382, mid: 16.488837284189756, last: 17.0326336968977, sum: 38955.03195280562 },
+    Golden { label: "mul", output: "z", len: 16384, first: 0.4239240881270013, mid: 0.428227144164105, last: 0.06900011279531255, sum: 5839.48681573502 },
+    Golden { label: "reducemean", output: "y", len: 64, first: 0.6047125596354618, mid: 0.5636854114385841, last: 0.5538399443275165, sum: 38.072398053819605 },
+    Golden { label: "relu", output: "z", len: 16384, first: 0.5254201534332578, mid: 0.6843334641807353, last: 0.23901101504562897, sum: 9800.723237862674 },
+    Golden { label: "relu_ffn", output: "z", len: 2048, first: 1.2525893473606389, mid: 1.638881952988413, last: 0.4876370527846426, sum: 2072.0240413355464 },
+    Golden { label: "rmsnorm", output: "y", len: 4096, first: 0.21486665908530836, mid: 0.3372673464702411, last: 0.5073983846622936, sum: 2121.7654055393036 },
+    Golden { label: "softmax", output: "y", len: 4096, first: 0.013788830157362764, mid: 0.018452507363161334, last: 0.020016391466409565, sum: 63.99999999999998 },
+    Golden { label: "swiglu", output: "y", len: 512, first: 504.60669998149933, mid: 372.29926526829, last: 489.9366515489962, sum: 264334.83532992407 },
+];
+
+#[test]
+fn every_tune_suite_entry_matches_golden_probes() {
+    let suite = tune_suite();
+    let mut rows_used = 0usize;
+    for ki in &suite {
+        let inputs = random_inputs(&ki.program, SEED);
+        let got = execute(&ki.program, &inputs)
+            .unwrap_or_else(|e| panic!("{}: exec failed: {e}", ki.label));
+        for out_name in &ki.program.outputs {
+            let g = GOLDEN
+                .iter()
+                .find(|g| g.label == ki.label && g.output == out_name.as_str())
+                .unwrap_or_else(|| panic!("no golden row for '{}' output '{out_name}'", ki.label));
+            rows_used += 1;
+            let t = &got[out_name];
+            assert_eq!(t.data.len(), g.len, "{}/{out_name}: output length", ki.label);
+            let probes = [
+                ("first", t.data[0], g.first),
+                ("mid", t.data[t.data.len() / 2], g.mid),
+                ("last", t.data[t.data.len() - 1], g.last),
+            ];
+            for (what, got_v, want_v) in probes {
+                assert!(
+                    (got_v - want_v).abs() <= ELEM_TOL,
+                    "{}/{out_name} {what}: got {got_v:.17e}, expected {want_v:.17e}",
+                    ki.label
+                );
+            }
+            let sum: f64 = t.data.iter().sum();
+            assert!(
+                (sum - g.sum).abs() <= SUM_TOL,
+                "{}/{out_name} sum: got {sum:.17e}, expected {:.17e}",
+                ki.label,
+                g.sum
+            );
+        }
+    }
+    // No stale rows: the table covers exactly the suite's outputs.
+    assert_eq!(rows_used, GOLDEN.len(), "golden table has unused rows");
+    assert_eq!(suite.len(), 16, "tune_suite changed size; regenerate the table");
+}
+
+/// Regenerator: prints the `GOLDEN` table body. Run with `--ignored
+/// --nocapture` after an *intentional* numeric change, and paste the output.
+#[test]
+#[ignore = "generator for the GOLDEN table"]
+fn print_golden_table() {
+    for ki in tune_suite() {
+        let inputs = random_inputs(&ki.program, SEED);
+        let got = execute(&ki.program, &inputs).expect("exec");
+        for out_name in &ki.program.outputs {
+            let t = &got[out_name];
+            let sum: f64 = t.data.iter().sum();
+            println!(
+                "    Golden {{ label: {:?}, output: {:?}, len: {}, first: {:?}, mid: {:?}, last: {:?}, sum: {:?} }},",
+                ki.label,
+                out_name,
+                t.data.len(),
+                t.data[0],
+                t.data[t.data.len() / 2],
+                t.data[t.data.len() - 1],
+                sum,
+            );
+        }
+    }
+}

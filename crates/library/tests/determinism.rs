@@ -1,0 +1,117 @@
+//! Dispatch determinism: the same store and query must resolve to the
+//! identical tier, edit sequence, program, and cost **bit for bit** — across
+//! repeated calls, and regardless of how many threads issue lookups
+//! concurrently. A library that served different schedules depending on
+//! timing or call history would make every benchmark irreproducible.
+
+use perfdojo_core::{Dojo, Target};
+use perfdojo_library::{
+    current_model_version, DispatchResult, KernelSig, Library, Provenance, ScheduleRecord,
+};
+use perfdojo_util::par::par_map;
+
+/// Tune `softmax(rows, cols)` with the deterministic heuristic pass and wrap
+/// the result as a store record.
+fn tuned_record(rows: usize, cols: usize, target: &Target) -> ScheduleRecord {
+    let p = perfdojo_kernels::softmax(rows, cols);
+    let mut dojo = Dojo::for_target(p.clone(), target).expect("dojo");
+    let cost = perfdojo_search::heuristic_pass(&mut dojo);
+    let steps = dojo.history.steps.clone();
+    assert!(!steps.is_empty(), "heuristic found nothing to do on softmax");
+    ScheduleRecord {
+        sig: KernelSig::of(&p, &target.name),
+        label: "softmax".into(),
+        steps,
+        cost,
+        naive_cost: dojo.initial_runtime(),
+        model_version: current_model_version(),
+        provenance: Provenance { strategy: "heuristic".into(), seed: 0, budget: 1 },
+    }
+}
+
+/// Everything observable about a dispatch, flattened to a comparable string.
+/// Costs enter as exact f64 bit patterns — "about the same cost" is not
+/// determinism.
+fn fingerprint(r: &DispatchResult) -> String {
+    format!(
+        "{}\n{}\n{}\ncost={:016x} naive={:016x} verified={:?}",
+        r.disposition,
+        r.steps.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(";"),
+        perfdojo_ir::text::print_program(&r.program),
+        r.cost.to_bits(),
+        r.naive_cost.to_bits(),
+        r.verified,
+    )
+}
+
+fn store(target: &Target) -> Library {
+    let mut lib = Library::new();
+    let report = lib.merge([tuned_record(64, 64, target), tuned_record(32, 128, target)]);
+    assert_eq!(report.inserted, 2);
+    lib
+}
+
+#[test]
+fn nearest_shape_fallback_is_deterministic_across_runs_and_threads() {
+    let target = Target::x86();
+    let lib = store(&target);
+    // 48x96 was never tuned: resolution must go through the nearest-shape
+    // fallback tier, which involves distance ranking and lenient replay —
+    // the most re-entrant machinery dispatch has.
+    let query = perfdojo_kernels::softmax(48, 96);
+
+    let reference = lib.lookup(&query, &target);
+    assert_eq!(
+        reference.disposition.tag(),
+        "fallback-replay",
+        "query was expected to resolve via the nearest-shape tier, got {}",
+        reference.disposition
+    );
+    let want = fingerprint(&reference);
+
+    // Repeated sequential lookups.
+    for run in 0..4 {
+        let got = fingerprint(&lib.lookup(&query, &target));
+        assert_eq!(got, want, "sequential lookup {run} diverged");
+    }
+
+    // Concurrent lookups from a worker pool (thread count = machine
+    // dependent): shared-nothing reads must not observe any difference.
+    let results = par_map(vec![(); 16], |()| fingerprint(&lib.lookup(&query, &target)));
+    for (i, got) in results.iter().enumerate() {
+        assert_eq!(got, &want, "concurrent lookup {i} diverged");
+    }
+}
+
+#[test]
+fn exact_hit_is_deterministic_and_distinct_from_fallback() {
+    let target = Target::x86();
+    let lib = store(&target);
+    let query = perfdojo_kernels::softmax(64, 64);
+
+    let first = lib.lookup(&query, &target);
+    assert_eq!(first.disposition.tag(), "exact-hit", "got {}", first.disposition);
+    let want = fingerprint(&first);
+    for _ in 0..3 {
+        assert_eq!(fingerprint(&lib.lookup(&query, &target)), want);
+    }
+}
+
+#[test]
+fn fallback_ranking_is_independent_of_insertion_order() {
+    // The nearest-shape choice must depend on the store *contents*, not on
+    // the order records were merged in.
+    let target = Target::x86();
+    let (a, b) = (tuned_record(64, 64, &target), tuned_record(32, 128, &target));
+    let mut fwd = Library::new();
+    fwd.merge([a.clone(), b.clone()]);
+    let mut rev = Library::new();
+    rev.merge([b, a]);
+
+    let query = perfdojo_kernels::softmax(48, 96);
+    assert_eq!(
+        fingerprint(&fwd.lookup(&query, &target)),
+        fingerprint(&rev.lookup(&query, &target)),
+        "lookup depends on record insertion order"
+    );
+}

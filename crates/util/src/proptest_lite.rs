@@ -221,6 +221,41 @@ fn base_seed(name: &str) -> u64 {
     h
 }
 
+/// Greedy minimization engine: repeatedly replace the failing value with
+/// the first candidate from `shrink` that still fails, until no candidate
+/// fails or `budget` re-executions of `fails` have been spent.
+///
+/// Returns the minimized value, the failure report associated with it, and
+/// how much of the budget was spent. This is the machinery shared between
+/// [`run_cases`] and external shrinkers (the differential fuzzer's
+/// reproducer minimizer in `perfdojo-fuzz` is built on it).
+pub fn minimize<T: Clone, R>(
+    initial: T,
+    first_failure: R,
+    budget: u32,
+    shrink: impl Fn(&T) -> Vec<T>,
+    fails: impl Fn(&T) -> Option<R>,
+) -> (T, R, u32) {
+    let mut failing = initial;
+    let mut report = first_failure;
+    let mut left = budget;
+    'minimize: while left > 0 {
+        for cand in shrink(&failing) {
+            if left == 0 {
+                break 'minimize;
+            }
+            left -= 1;
+            if let Some(r) = fails(&cand) {
+                failing = cand;
+                report = r;
+                continue 'minimize;
+            }
+        }
+        break;
+    }
+    (failing, report, budget - left)
+}
+
 /// Execute a property over `cfg.cases` sampled inputs; panics with a seed
 /// report and a minimized counterexample on the first failure.
 ///
@@ -241,25 +276,13 @@ pub fn run_cases<S: Strategy>(name: &str, cfg: &ProptestConfig, strat: &S, test:
         let original = strat.sample(&mut rng);
         let Some(first_msg) = fails(&original) else { continue };
 
-        // minimize: repeatedly take the first shrink candidate that still
-        // fails, within the shrink budget
-        let mut failing = original.clone();
-        let mut msg = first_msg;
-        let mut budget = cfg.max_shrink_iters;
-        'minimize: while budget > 0 {
-            for cand in strat.shrink(&failing) {
-                if budget == 0 {
-                    break 'minimize;
-                }
-                budget -= 1;
-                if let Some(m) = fails(&cand) {
-                    failing = cand;
-                    msg = m;
-                    continue 'minimize;
-                }
-            }
-            break;
-        }
+        let (failing, msg, _) = minimize(
+            original.clone(),
+            first_msg,
+            cfg.max_shrink_iters,
+            |v| strat.shrink(v),
+            &fails,
+        );
         panic!(
             "proptest_lite: property '{name}' failed at case {case}/{cases} \
              (base seed {seed}; rerun with PERFDOJO_PT_SEED={seed})\n\
@@ -332,13 +355,41 @@ macro_rules! prop_assert_ne {
 
 /// Everything a property-test file needs.
 pub mod prelude {
-    pub use super::{run_cases, vec, ProptestConfig, Strategy};
+    pub use super::{minimize, run_cases, vec, ProptestConfig, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn minimize_reaches_fixpoint_within_budget() {
+        // "fails when >= 11": shrinking by decrement must stop exactly at 11.
+        let (v, r, spent) = minimize(
+            100u64,
+            "start".to_string(),
+            1000,
+            |&v| if v > 0 { std::vec![v - 1] } else { Vec::new() },
+            |&v| (v >= 11).then(|| format!("too big: {v}")),
+        );
+        assert_eq!(v, 11);
+        assert_eq!(r, "too big: 11");
+        assert!(spent >= 90, "spent {spent}");
+    }
+
+    #[test]
+    fn minimize_respects_budget() {
+        let (v, _, spent) = minimize(
+            100u64,
+            (),
+            5,
+            |&v| if v > 0 { std::vec![v - 1] } else { Vec::new() },
+            |&v| (v >= 11).then_some(()),
+        );
+        assert_eq!(spent, 5);
+        assert_eq!(v, 95);
+    }
 
     #[test]
     fn passing_property_runs_all_cases() {

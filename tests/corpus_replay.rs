@@ -1,0 +1,62 @@
+//! Replay every reproducer in `tests/corpus/` through the full differential
+//! oracle (validate → interpret vs. reference → lowered ISA vs. interpreter).
+//!
+//! Corpus entries are *fixed* bugs and pinned behaviours: a finding here
+//! means a regression. New entries come from `fuzz --write-corpus` after the
+//! underlying bug is fixed, or are hand-written to pin a subtle interaction.
+
+use perfdojo_fuzz::walk::{check_case, CheckConfig};
+use perfdojo_fuzz::parse_reproducer;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_is_nonempty_and_replays_clean() {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "repro"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "tests/corpus holds no .repro files");
+
+    for path in entries {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let (program, actions) = parse_reproducer(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Replay under two input seeds so a coincidental numeric match on
+        // one input set cannot hide a regression.
+        for input_seed in [0u64, 0xC0FFEE] {
+            let cfg = CheckConfig { input_seed, check_codegen: true, sabotage: None };
+            if let Some(finding) = check_case(&program, &actions, &cfg) {
+                panic!(
+                    "{} regressed (input seed {input_seed}): {finding}",
+                    path.display()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_actions_are_nontrivial() {
+    // Every reproducer must actually exercise the transformation layer —
+    // an empty action list only tests the generator grammar.
+    for entry in std::fs::read_dir(corpus_dir()).expect("tests/corpus") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_none_or(|e| e != "repro") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let (_, actions) = parse_reproducer(&text).expect("parseable");
+        assert!(
+            !actions.is_empty(),
+            "{}: reproducer has no actions",
+            path.display()
+        );
+    }
+}
