@@ -13,24 +13,28 @@
 #      random transformation walks must find zero counterexamples, finish
 #      quickly, and produce a byte-identical report when repeated — the
 #      fuzzer itself must be deterministic or its findings are worthless.
+#   6. Search-engine smoke: the A/B determinism suite must hold (incremental
+#      engine bit-identical to naive), and a fixed-seed `--exp searchperf`
+#      run must show an effective cost cache and emit a report whose
+#      non-timing content is byte-identical across two runs.
 #
 # Usage: ./ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== 1/5 perfdojo-util: warning-free build (-D warnings) =="
+echo "== 1/6 perfdojo-util: warning-free build (-D warnings) =="
 RUSTFLAGS="-D warnings" cargo build -q -p perfdojo-util --offline
 RUSTFLAGS="-D warnings" cargo test -q -p perfdojo-util --offline
 
-echo "== 2/5 tier-1 verify: release build + tests =="
+echo "== 2/6 tier-1 verify: release build + tests =="
 cargo build --release --workspace --offline
 cargo test -q --offline
 
-echo "== 3/5 full workspace tests (offline) =="
+echo "== 3/6 full workspace tests (offline) =="
 cargo test -q --workspace --offline
 
-echo "== 4/5 schedule-library pipeline: build, dispatch, stats =="
+echo "== 4/6 schedule-library pipeline: build, dispatch, stats =="
 PDLIB_DIR=$(mktemp -d)
 trap 'rm -rf "$PDLIB_DIR"' EXIT
 PDLIB="$PDLIB_DIR/ci.pdl"
@@ -48,7 +52,7 @@ grep -q "disposition: fallback-replay" "$PDLIB_DIR/q2.txt"
 ./target/release/perfdojo-lib stats --lib "$PDLIB" | tee "$PDLIB_DIR/stats.txt"
 grep -q "entries:         2" "$PDLIB_DIR/stats.txt"
 
-echo "== 5/5 differential fuzz smoke: fixed seed, deterministic, clean =="
+echo "== 5/6 differential fuzz smoke: fixed seed, deterministic, clean =="
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz1.txt"
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz2.txt"
 # the report must be byte-identical across runs — no timestamps, no
@@ -62,5 +66,30 @@ if ./target/release/fuzz --seed 0xC0FFEE --iters 60 --sabotage truncate-split \
     exit 1
 fi
 grep -q "FINDING" "$PDLIB_DIR/fuzz3.txt"
+
+echo "== 6/6 search-engine smoke: A/B determinism + searchperf report =="
+# the incremental engine must be bit-identical to the naive one on every
+# tune-suite kernel and strategy
+cargo test -q -p perfdojo-search --offline --test incremental_ab
+# fixed-seed searchperf: run twice from scratch; everything except wall-time
+# fields must be byte-identical, the cache must actually fire, and both
+# engines must have agreed on every result
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp searchperf > sp1.txt)
+mv "$PDLIB_DIR/BENCH_searchperf.json" "$PDLIB_DIR/sp1.json"
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp searchperf > sp2.txt)
+mv "$PDLIB_DIR/BENCH_searchperf.json" "$PDLIB_DIR/sp2.json"
+strip_timing() { grep -v 'wall_s\|evals_per_sec\|speedup_target_met' "$1"; }
+diff <(strip_timing "$PDLIB_DIR/sp1.json") <(strip_timing "$PDLIB_DIR/sp2.json")
+grep -q '"all_identical": true' "$PDLIB_DIR/sp1.json"
+grep -q '"cache_effective": true' "$PDLIB_DIR/sp1.json"
+if grep -q '"identical_results": false' "$PDLIB_DIR/sp1.json"; then
+    echo "ci.sh: searchperf engines diverged" >&2
+    exit 1
+fi
+# cache hit rate must be > 0 on every row (no zero-hit caches)
+if grep -q '"cache_hits": 0,' "$PDLIB_DIR/sp1.json"; then
+    echo "ci.sh: searchperf cache never fired" >&2
+    exit 1
+fi
 
 echo "ci.sh: all gates passed"

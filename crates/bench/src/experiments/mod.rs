@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod gpu;
 pub mod library;
 pub mod repr;
+pub mod searchperf;
 pub mod snitch;
 pub mod tables;
 pub mod x86;
@@ -12,6 +13,7 @@ pub use ablations::*;
 pub use gpu::*;
 pub use library::*;
 pub use repr::*;
+pub use searchperf::*;
 pub use snitch::*;
 pub use tables::*;
 pub use x86::*;
@@ -36,6 +38,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
         ("fig13", gpu::exp_fig13),
         ("fig14", gpu::exp_fig14),
         ("library", library::exp_library),
+        ("searchperf", searchperf::exp_searchperf),
         ("ablate_maxq", ablations::exp_ablate_maxq),
         ("ablate_reward", ablations::exp_ablate_reward),
         ("ablate_dqn", ablations::exp_ablate_dqn),

@@ -20,6 +20,7 @@ use perfdojo_interp::{verify_equivalent, VerifyReport};
 use perfdojo_ir::{validate, Program};
 use perfdojo_machine::{Machine, MachineError};
 use perfdojo_transform::{available_actions, Action, History, TransformError, TransformLibrary};
+use perfdojo_util::lru::LruCache;
 use std::fmt;
 
 /// Dojo construction/step failure.
@@ -79,7 +80,55 @@ pub enum VerifyMode {
 /// practical inside a search loop.
 const VERIFY_WORK_LIMIT: u64 = 2_000_000;
 
+/// Default capacity of the fingerprint-keyed cost cache. Sized so the
+/// working set of a multi-thousand-evaluation SA run fits while a chain's
+/// clone stays tens of megabytes at worst (keys are full program texts).
+pub const DEFAULT_COST_CACHE_CAPACITY: usize = 2048;
+
+/// Which evaluation engine the Dojo runs.
+///
+/// `Incremental` (the default) is the production engine: prefix-replay
+/// `load_sequence`, fingerprint-keyed cost caching, snapshot-restoring
+/// `undo`. `Naive` is the pre-incremental engine kept as a measurable
+/// baseline for the `searchperf` experiment and the A/B determinism suite:
+/// full replay from the initial program, a second re-apply pass while
+/// recording history, re-evaluation on undo, no cache. Both engines
+/// produce bit-identical search results; only the work they spend differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Full replay, no caching (pre-incremental baseline).
+    Naive,
+    /// Prefix replay + cost cache (default).
+    Incremental,
+}
+
+/// Counters of the Dojo's cost cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache (no lower + cost pass).
+    pub hits: u64,
+    /// Evaluations that ran the machine model (and populated the cache).
+    pub misses: u64,
+    /// Live cached entries.
+    pub entries: usize,
+    /// Configured cache capacity (0 when the cache is disabled).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of evaluations served from cache (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// The optimization game for one kernel on one target.
+#[derive(Clone)]
 pub struct Dojo {
     /// Transformation history (also holds the initial + current programs).
     pub history: History,
@@ -90,6 +139,16 @@ pub struct Dojo {
     current_runtime: f64,
     best: (Program, f64),
     evaluations: u64,
+    engine: Engine,
+    /// Exact program text → model runtime. `None` disables caching.
+    cache: Option<LruCache<String, f64>>,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// `prior_runtimes[i]` is the runtime of the state *before* history
+    /// step `i` — `None` when that state was reached via `load_sequence`
+    /// (intermediate states are not evaluated there). `undo` restores from
+    /// this instead of re-evaluating.
+    prior_runtimes: Vec<Option<f64>>,
 }
 
 impl Dojo {
@@ -98,6 +157,8 @@ impl Dojo {
         validate(&program).map_err(DojoError::Invalid)?;
         let est = machine.evaluate(&program).map_err(DojoError::Machine)?;
         let runtime = est.seconds;
+        let mut cache = LruCache::new(DEFAULT_COST_CACHE_CAPACITY);
+        cache.insert(perfdojo_ir::exact_text(&program), runtime);
         Ok(Dojo {
             history: History::new(program.clone()),
             machine,
@@ -107,6 +168,11 @@ impl Dojo {
             current_runtime: runtime,
             best: (program, runtime),
             evaluations: 1,
+            engine: Engine::Incremental,
+            cache: Some(cache),
+            cache_hits: 0,
+            cache_misses: 1, // the initial evaluation above
+            prior_runtimes: Vec::new(),
         })
     }
 
@@ -120,6 +186,89 @@ impl Dojo {
     pub fn with_verification(mut self, trials: usize) -> Self {
         self.verify = VerifyMode::Sampled { trials };
         self
+    }
+
+    /// Run the pre-incremental evaluation engine: full replays, no cost
+    /// cache, re-evaluating undo. Exists as the measurable baseline for
+    /// `figures --exp searchperf` and the A/B determinism suite — both
+    /// engines produce bit-identical search results by construction.
+    pub fn with_naive_engine(mut self) -> Self {
+        self.engine = Engine::Naive;
+        self.cache = None;
+        self.cache_hits = 0;
+        self.cache_misses = 0;
+        self
+    }
+
+    /// Override the cost-cache capacity (entries). A tiny capacity still
+    /// yields correct (bit-identical) results — it only lowers the hit
+    /// rate; eviction correctness is pinned by tests.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        if self.engine == Engine::Incremental {
+            let mut cache = LruCache::new(capacity);
+            cache.insert(perfdojo_ir::exact_text(&self.history.initial), self.initial_runtime);
+            self.cache = Some(cache);
+        }
+        self
+    }
+
+    /// The active evaluation engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Cost-cache counters (all zero under the naive engine).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits,
+            misses: self.cache_misses,
+            entries: self.cache.as_ref().map_or(0, |c| c.len()),
+            capacity: self.cache.as_ref().map_or(0, |c| c.capacity()),
+        }
+    }
+
+    /// Charge `n` machine evaluations that happened outside this Dojo to
+    /// its budget — the multi-chain searches (`perfdojo-search`) run K
+    /// cloned dojos in parallel and account their spend back here so
+    /// callers like `LibraryBuilder` see the true total.
+    pub fn charge_evaluations(&mut self, n: u64) {
+        self.evaluations += n;
+    }
+
+    /// Cached cost lookup (static so callers can split borrows against
+    /// `self.history`): exact program text → model runtime. A hit skips
+    /// the whole lower + analytical-cost pass; text keys make collisions
+    /// impossible, so cached and uncached engines agree bit-for-bit.
+    fn cost_lookup(
+        cache: &mut Option<LruCache<String, f64>>,
+        hits: &mut u64,
+        misses: &mut u64,
+        machine: &Machine,
+        p: &Program,
+    ) -> Result<f64, MachineError> {
+        let Some(cache) = cache.as_mut() else {
+            return machine.evaluate(p).map(|e| e.seconds);
+        };
+        let key = perfdojo_ir::exact_text(p);
+        if let Some(&c) = cache.get(&key) {
+            *hits += 1;
+            return Ok(c);
+        }
+        let c = machine.evaluate(p)?.seconds;
+        *misses += 1;
+        cache.insert(key, c);
+        Ok(c)
+    }
+
+    /// Cost of the current history state through the cache.
+    fn cost_of_current(&mut self) -> Result<f64, MachineError> {
+        Self::cost_lookup(
+            &mut self.cache,
+            &mut self.cache_hits,
+            &mut self.cache_misses,
+            &self.machine,
+            self.history.current(),
+        )
     }
 
     /// The current program state.
@@ -175,10 +324,20 @@ impl Dojo {
         self.initial_runtime / runtime
     }
 
-    /// Score a candidate program without committing to it.
+    /// Score a candidate program without committing to it. A cache hit
+    /// still counts one evaluation: the paper's budgets (Figs. 10–12) are
+    /// *evaluation* budgets, and keeping the accounting identical between
+    /// cached and uncached engines is what makes their traces bit-equal.
     pub fn evaluate(&mut self, p: &Program) -> Result<f64, DojoError> {
         self.evaluations += 1;
-        Ok(self.machine.evaluate(p).map_err(DojoError::Machine)?.seconds)
+        Self::cost_lookup(
+            &mut self.cache,
+            &mut self.cache_hits,
+            &mut self.cache_misses,
+            &self.machine,
+            p,
+        )
+        .map_err(DojoError::Machine)
     }
 
     /// Preview a move: the runtime it would lead to (counts one
@@ -191,35 +350,34 @@ impl Dojo {
 
     /// Play a move.
     pub fn step(&mut self, action: Action) -> Result<StepResult, DojoError> {
-        let before = self.current().clone();
+        let prior_runtime = self.current_runtime;
         self.history.push(action).map_err(DojoError::Transform)?;
         if let VerifyMode::Sampled { trials } = self.verify {
             let small = self.history.initial.dynamic_op_instances() <= VERIFY_WORK_LIMIT;
             if small {
                 let rep = verify_equivalent(&self.history.initial, self.current(), trials, 0xD0);
                 if !rep.is_equivalent() {
-                    // roll back the corrupted state
+                    // roll back the corrupted state (O(1) snapshot restore)
                     self.history.pop();
-                    debug_assert_eq!(self.current(), &before);
                     return Err(DojoError::VerificationFailed(rep));
                 }
             }
         }
-        let runtime = match self.machine.evaluate(self.current()) {
-            Ok(est) => {
+        let runtime = match self.cost_of_current() {
+            Ok(rt) => {
                 self.evaluations += 1;
-                est.seconds
+                rt
             }
             Err(e) => {
                 self.history.pop();
                 return Err(DojoError::Machine(e));
             }
         };
+        self.prior_runtimes.push(Some(prior_runtime));
         self.current_runtime = runtime;
         if runtime < self.best.1 {
             self.best = (self.current().clone(), runtime);
         }
-        let _ = before;
         Ok(StepResult {
             runtime,
             reward: self.reward_of(runtime),
@@ -228,26 +386,65 @@ impl Dojo {
     }
 
     /// Undo the last move (the non-destructive property, §2).
+    ///
+    /// The incremental engine restores the runtime recorded when the step
+    /// was played — no machine evaluation, no budget spend. Only a state
+    /// whose prior runtime was never measured (reached via
+    /// [`Dojo::load_sequence`], which does not evaluate intermediate
+    /// states) is re-evaluated, and that evaluation is *counted*: the
+    /// naive engine's silent, uncounted re-evaluation here was a budget
+    /// undercounting bug.
     pub fn undo(&mut self) -> Option<Action> {
         let a = self.history.pop()?;
-        self.current_runtime = self
-            .machine
-            .evaluate(self.current())
-            .map(|e| e.seconds)
-            .unwrap_or(self.current_runtime);
+        let recorded = self.prior_runtimes.pop().flatten();
+        self.current_runtime = match (self.engine, recorded) {
+            (Engine::Incremental, Some(rt)) => rt,
+            (Engine::Incremental, None) => {
+                self.evaluations += 1;
+                self.cost_of_current().unwrap_or(self.current_runtime)
+            }
+            (Engine::Naive, _) => {
+                // pre-PR behaviour, kept as the measurable baseline: a full
+                // re-evaluation that never hit the budget counter
+                self.machine
+                    .evaluate(self.history.current())
+                    .map(|e| e.seconds)
+                    .unwrap_or(self.current_runtime)
+            }
+        };
         Some(a)
     }
 
-    /// Restart the game from the initial program (keeps the best record).
+    /// Restart the game from the initial program (keeps the best record
+    /// and the cost cache — RL episodes reset every episode and profit
+    /// from earlier episodes' evaluations).
     pub fn reset(&mut self) {
-        self.history = History::new(self.history.initial.clone());
+        self.history.truncate_to(0);
+        self.prior_runtimes.clear();
         self.current_runtime = self.initial_runtime;
     }
 
     /// Replace the whole transformation sequence (used by sequence-mutating
     /// searches, §4.2.1's *heuristic* space). Inapplicable steps are
     /// skipped; returns the resulting runtime.
+    ///
+    /// The incremental engine diffs `steps` against the applied history,
+    /// undoes back to the longest common prefix (O(1) per dropped step —
+    /// the §2 non-destructive property) and applies only the suffix,
+    /// instead of replaying everything from the initial program and then
+    /// re-applying it all a second time while recording history. On an
+    /// evaluation error the dojo is left at the longest applicable prefix.
     pub fn load_sequence(&mut self, steps: &[Action]) -> Result<f64, DojoError> {
+        match self.engine {
+            Engine::Naive => self.load_sequence_naive(steps),
+            Engine::Incremental => self.load_sequence_incremental(steps),
+        }
+    }
+
+    /// The pre-incremental `load_sequence`: full replay to find skips, a
+    /// second full application pass to record history. Kept verbatim as
+    /// the `searchperf` baseline.
+    fn load_sequence_naive(&mut self, steps: &[Action]) -> Result<f64, DojoError> {
         let replay = perfdojo_transform::history::replay_sequence(&self.history.initial, steps);
         let runtime = self.evaluate(&replay.program)?;
         let mut h = History::new(self.history.initial.clone());
@@ -256,7 +453,40 @@ impl Dojo {
                 h.push(s.clone()).map_err(DojoError::Transform)?;
             }
         }
+        self.prior_runtimes = vec![None; h.len()];
         self.history = h;
+        self.current_runtime = runtime;
+        if runtime < self.best.1 {
+            self.best = (self.current().clone(), runtime);
+        }
+        Ok(runtime)
+    }
+
+    /// Prefix-replay `load_sequence`: because applications are pure, the
+    /// state after the shared prefix is identical whether reached by full
+    /// replay or by truncation, and each remaining step's skip decision
+    /// depends only on the current program — so the reached program, the
+    /// recorded (filtered) history and the evaluated cost are all exactly
+    /// what the naive engine produces.
+    fn load_sequence_incremental(&mut self, steps: &[Action]) -> Result<f64, DojoError> {
+        let k = self
+            .history
+            .steps
+            .iter()
+            .zip(steps.iter())
+            .take_while(|(applied, requested)| applied == requested)
+            .count();
+        self.history.truncate_to(k);
+        self.prior_runtimes.truncate(k);
+        for s in &steps[k..] {
+            // skip-on-inapplicable, matching `replay_sequence` semantics;
+            // intermediate runtimes are unknown (not evaluated)
+            if self.history.push(s.clone()).is_ok() {
+                self.prior_runtimes.push(None);
+            }
+        }
+        self.evaluations += 1;
+        let runtime = self.cost_of_current().map_err(DojoError::Machine)?;
         self.current_runtime = runtime;
         if runtime < self.best.1 {
             self.best = (self.current().clone(), runtime);
@@ -326,6 +556,105 @@ mod tests {
         let steps = vec![a0.clone(), a0.clone(), a0];
         let rt = d.load_sequence(&steps).unwrap();
         assert!(rt > 0.0);
+    }
+
+    #[test]
+    fn cache_hits_on_revisit_and_still_counts_budget() {
+        let mut d = softmax_dojo();
+        let a = d.actions().into_iter().next().unwrap();
+        d.step(a.clone()).unwrap();
+        let seq = d.history.steps.clone();
+        let evals = d.evaluations();
+        let s0 = d.cache_stats();
+        // revisit the exact same state twice: both must hit the cache and
+        // both must still consume evaluation budget
+        d.load_sequence(&seq).unwrap();
+        d.load_sequence(&seq).unwrap();
+        let s1 = d.cache_stats();
+        assert_eq!(d.evaluations(), evals + 2, "cached hits must still count");
+        assert_eq!(s1.hits, s0.hits + 2);
+        assert_eq!(s1.misses, s0.misses);
+        assert!(s1.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn naive_engine_has_no_cache() {
+        let mut d = softmax_dojo().with_naive_engine();
+        assert_eq!(d.engine(), Engine::Naive);
+        let a = d.actions().into_iter().next().unwrap();
+        d.step(a).unwrap();
+        let s = d.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.capacity), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn undo_after_step_restores_recorded_runtime_without_evaluating() {
+        let mut d = softmax_dojo();
+        let rt0 = d.runtime();
+        let a = d.actions().into_iter().next().unwrap();
+        d.step(a).unwrap();
+        let evals = d.evaluations();
+        d.undo().unwrap();
+        assert_eq!(d.evaluations(), evals, "undo of a stepped move is free");
+        assert_eq!(d.runtime(), rt0);
+    }
+
+    #[test]
+    fn undo_after_load_sequence_counts_its_evaluation() {
+        // intermediate states of a loaded sequence were never evaluated, so
+        // undoing into one is a real (counted) evaluation — the naive
+        // engine's silent re-evaluation here undercounted budgets
+        let mut d = softmax_dojo();
+        let mut seq = Vec::new();
+        for _ in 0..2 {
+            let a = d.actions().into_iter().next().unwrap();
+            d.step(a.clone()).unwrap();
+            seq.push(a);
+        }
+        d.reset();
+        d.load_sequence(&seq).unwrap();
+        let evals = d.evaluations();
+        d.undo().unwrap();
+        assert_eq!(d.evaluations(), evals + 1, "unknown prior runtime must be re-measured on budget");
+    }
+
+    #[test]
+    fn tiny_cache_capacity_is_still_exact() {
+        // capacity 2 forces constant eviction; results must not drift
+        let mut small = softmax_dojo().with_cache_capacity(2);
+        let mut naive = softmax_dojo().with_naive_engine();
+        for round in 0..3 {
+            let acts = small.actions();
+            let a = acts.into_iter().nth(round).unwrap();
+            let r1 = small.step(a.clone()).unwrap();
+            let r2 = naive.step(a).unwrap();
+            assert_eq!(r1.runtime.to_bits(), r2.runtime.to_bits());
+            small.undo().unwrap();
+            naive.undo().unwrap();
+            assert_eq!(small.runtime().to_bits(), naive.runtime().to_bits());
+        }
+        assert!(small.cache_stats().entries <= 2);
+    }
+
+    #[test]
+    fn reset_keeps_cache_warm() {
+        let mut d = softmax_dojo();
+        let a = d.actions().into_iter().next().unwrap();
+        d.step(a.clone()).unwrap();
+        d.reset();
+        assert_eq!(d.history.len(), 0);
+        assert_eq!(d.runtime(), d.initial_runtime());
+        let misses_before = d.cache_stats().misses;
+        d.step(a).unwrap(); // same state again: must be a hit
+        assert_eq!(d.cache_stats().misses, misses_before);
+    }
+
+    #[test]
+    fn charge_evaluations_adds_to_budget() {
+        let mut d = softmax_dojo();
+        let e = d.evaluations();
+        d.charge_evaluations(41);
+        assert_eq!(d.evaluations(), e + 41);
     }
 
     #[test]

@@ -79,6 +79,24 @@ fn normalize_expr(e: &mut Expr) {
     }
 }
 
+/// Render the *exact* textual identity of a program: the full printed
+/// form, shapes, constants and name included. Unlike [`structure_text`]
+/// nothing is normalized away — two programs share an exact text iff the
+/// printer cannot tell them apart, which for this IR means they are the
+/// same program. This is the key of the Dojo's cost cache
+/// (`perfdojo-core`): analytical cost is a pure function of the printed
+/// program, so equal texts are guaranteed equal costs.
+pub fn exact_text(p: &Program) -> String {
+    print_program(p)
+}
+
+/// FNV-1a of [`exact_text`] — a compact exact-identity fingerprint for
+/// logs and reports (the cost cache itself keys on the full text so a hash
+/// collision can never alias two programs' costs).
+pub fn exact_hash(p: &Program) -> u64 {
+    fnv1a(exact_text(p).as_bytes())
+}
+
 /// FNV-1a over arbitrary bytes (stable across platforms and releases).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -148,6 +166,17 @@ mod tests {
         let body = std::mem::take(&mut inner.children);
         inner.children = vec![Node::Scope(crate::node::Scope::new(4, body))];
         assert_ne!(structure_hash(&p), structure_hash(&q));
+    }
+
+    #[test]
+    fn exact_hash_distinguishes_shapes_structure_hash_conflates() {
+        let a = scaled(4, 8, 0.25);
+        let b = scaled(64, 128, 0.25);
+        assert_eq!(structure_hash(&a), structure_hash(&b));
+        assert_ne!(exact_hash(&a), exact_hash(&b));
+        // and exact identity is reflexive/deterministic
+        assert_eq!(exact_hash(&a), exact_hash(&a.clone()));
+        assert_eq!(exact_text(&a), exact_text(&a.clone()));
     }
 
     #[test]

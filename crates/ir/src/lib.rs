@@ -38,7 +38,7 @@ pub use affine::Affine;
 pub use buffer::{BufDim, BufferDecl, DType, Location};
 pub use builder::ProgramBuilder;
 pub use expr::{Access, BinaryOp, Expr, IndexExpr, UnaryOp};
-pub use fingerprint::{structure_hash, structure_text};
+pub use fingerprint::{exact_hash, exact_text, structure_hash, structure_text};
 pub use node::{Node, OpNode, Scope, ScopeKind, ScopeSize};
 pub use parse::{parse_program, ParseError};
 pub use path::Path;

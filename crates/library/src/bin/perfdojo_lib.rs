@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! perfdojo-lib build --out lib.pdl [--kernels softmax,matmul] \
-//!     [--targets x86,gh200] [--strategy heuristic|anneal[:N]|perfllm[:N]] \
+//!     [--targets x86,gh200] [--strategy heuristic|anneal[:N[:K]]|perfllm[:N]] \
 //!     [--seed N] [--paper-shapes]
 //! perfdojo-lib query --lib lib.pdl --target x86 --kernel softmax [--shape 128x64]
 //! perfdojo-lib stats --lib lib.pdl
@@ -44,7 +44,8 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   perfdojo-lib build --out <file> [--kernels a,b] [--targets x86,gh200]
-                     [--strategy heuristic|anneal[:N]|perfllm[:N]]
+                     [--strategy heuristic|anneal[:N[:K]]|perfllm[:N]]
+                     (anneal:N:K runs K parallel chains of N evals each)
                      [--seed N] [--paper-shapes]
   perfdojo-lib query --lib <file> --target <name> --kernel <label> [--shape DxD...]
   perfdojo-lib stats --lib <file>

@@ -26,6 +26,16 @@ pub enum Strategy {
         /// Evaluation budget per job.
         budget: u64,
     },
+    /// K independent SA chains per job, run concurrently on the
+    /// incremental engine and merged keep-best (`perfdojo-search`'s
+    /// `anneal_heuristic_parallel`) — parallelism *within* a kernel on top
+    /// of the builder's across-kernel fan-out.
+    AnnealMulti {
+        /// Evaluation budget per chain.
+        budget: u64,
+        /// Independent deterministically-seeded chains.
+        chains: usize,
+    },
     /// The PerfLLM RL driver (§3.4).
     PerfLlm {
         /// Training episodes per job.
@@ -39,6 +49,7 @@ impl Strategy {
         match self {
             Strategy::Heuristic => "heuristic",
             Strategy::Anneal { .. } => "anneal",
+            Strategy::AnnealMulti { .. } => "anneal-multi",
             Strategy::PerfLlm { .. } => "perfllm",
         }
     }
@@ -48,12 +59,13 @@ impl Strategy {
         match self {
             Strategy::Heuristic => 0,
             Strategy::Anneal { budget } => *budget,
+            Strategy::AnnealMulti { budget, chains } => budget * *chains as u64,
             Strategy::PerfLlm { episodes } => *episodes as u64,
         }
     }
 
     /// Parse a CLI strategy spec: `heuristic`, `anneal[:budget]`,
-    /// `perfllm[:episodes]`.
+    /// `anneal:<budget>:<chains>` (multi-chain), `perfllm[:episodes]`.
     pub fn parse(s: &str) -> Option<Strategy> {
         let (name, arg) = match s.split_once(':') {
             Some((n, a)) => (n, Some(a)),
@@ -61,12 +73,22 @@ impl Strategy {
         };
         match name {
             "heuristic" if arg.is_none() => Some(Strategy::Heuristic),
-            "anneal" => Some(Strategy::Anneal {
-                budget: match arg {
-                    Some(a) => a.parse().ok()?,
-                    None => 150,
+            "anneal" => match arg {
+                None => Some(Strategy::Anneal { budget: 150 }),
+                Some(a) => match a.split_once(':') {
+                    None => Some(Strategy::Anneal { budget: a.parse().ok()? }),
+                    Some((b, c)) => Some(Strategy::AnnealMulti {
+                        budget: b.parse().ok()?,
+                        chains: {
+                            let chains: usize = c.parse().ok()?;
+                            if chains == 0 {
+                                return None;
+                            }
+                            chains
+                        },
+                    }),
                 },
-            }),
+            },
             "perfllm" => Some(Strategy::PerfLlm {
                 episodes: match arg {
                     Some(a) => a.parse().ok()?,
@@ -150,6 +172,10 @@ impl LibraryBuilder {
                 let r = perfdojo_search::anneal_heuristic(&mut dojo, *budget, seed);
                 (r.best_steps, r.best_runtime)
             }
+            Strategy::AnnealMulti { budget, chains } => {
+                let r = perfdojo_search::anneal_heuristic_parallel(&mut dojo, *chains, *budget, seed);
+                (r.best_steps, r.best_runtime)
+            }
             Strategy::PerfLlm { episodes } => {
                 let cfg = PerfLlmConfig { episodes: *episodes, ..PerfLlmConfig::default() };
                 let r = perfdojo_rl::optimize(&mut dojo, &cfg, seed);
@@ -216,10 +242,32 @@ mod tests {
         assert_eq!(Strategy::parse("heuristic"), Some(Strategy::Heuristic));
         assert_eq!(Strategy::parse("anneal:40"), Some(Strategy::Anneal { budget: 40 }));
         assert_eq!(Strategy::parse("anneal"), Some(Strategy::Anneal { budget: 150 }));
+        assert_eq!(
+            Strategy::parse("anneal:40:4"),
+            Some(Strategy::AnnealMulti { budget: 40, chains: 4 })
+        );
         assert_eq!(Strategy::parse("perfllm:2"), Some(Strategy::PerfLlm { episodes: 2 }));
         assert_eq!(Strategy::parse("bogus"), None);
         assert_eq!(Strategy::parse("anneal:x"), None);
+        assert_eq!(Strategy::parse("anneal:40:0"), None);
+        assert_eq!(Strategy::parse("anneal:40:x"), None);
         assert_eq!(Strategy::parse("heuristic:3"), None);
+    }
+
+    #[test]
+    fn anneal_multi_builds_deterministically_and_beats_or_matches_naive() {
+        let kernels = tune(&["softmax"]);
+        let targets = [Target::x86()];
+        let run = || {
+            let mut lib = Library::new();
+            LibraryBuilder::new(Strategy::AnnealMulti { budget: 30, chains: 3 }, 5)
+                .build_into(&mut lib, &kernels, &targets);
+            lib.to_text()
+        };
+        let a = run();
+        assert_eq!(a, run(), "multi-chain builds must be reproducible");
+        // provenance records the summed budget and the multi name
+        assert!(a.contains("anneal-multi"), "{a}");
     }
 
     #[test]

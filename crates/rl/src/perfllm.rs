@@ -71,6 +71,10 @@ pub fn optimize(dojo: &mut Dojo, cfg: &PerfLlmConfig, seed: u64) -> PerfLlmResul
     let mut episode_best = Vec::with_capacity(cfg.episodes);
 
     for _ep in 0..cfg.episodes {
+        // `reset` rewinds the history but keeps the incremental engine's
+        // cost cache warm, so later episodes revisiting states explored by
+        // earlier ones skip the lower+cost work (the budget still counts
+        // every evaluation, cached or not).
         dojo.reset();
         let mut state_emb = embed(dojo.current());
         for _step in 0..cfg.max_steps {

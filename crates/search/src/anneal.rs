@@ -54,7 +54,6 @@ pub fn simulated_annealing(
         }
         trace.push((dojo.evaluations() - start_evals, best_runtime));
     }
-    let _ = &best_steps;
     SearchResult { best_steps, best_runtime, trace }
 }
 

@@ -8,11 +8,16 @@
 
 pub mod anneal;
 pub mod manual;
+pub mod parallel;
 pub mod passes;
 pub mod sampling;
 pub mod space;
 
 pub use anneal::{anneal_edges, anneal_heuristic, simulated_annealing};
+pub use parallel::{
+    anneal_edges_parallel, anneal_heuristic_parallel, anneal_parallel, chain_seed,
+    random_sampling_parallel,
+};
 pub use passes::{greedy_pass, heuristic_pass, naive_pass};
 pub use sampling::random_sampling;
 pub use space::{EdgesSpace, HeuristicSpace, SearchSpace};

@@ -1,0 +1,183 @@
+//! Parallel multi-chain search: K independent, deterministically-seeded
+//! chains of a classical search run concurrently over cloned dojos, merged
+//! keep-best.
+//!
+//! This parallelizes *within* a kernel the way `perfdojo-library`'s
+//! `LibraryBuilder` already parallelizes *across* kernels: each chain owns
+//! a full `Dojo` clone (history, cost cache and all), runs on
+//! `perfdojo_util::par::par_map`'s scoped thread pool, and derives its
+//! seed purely from the caller's seed and its chain index. Because
+//! `par_map` returns results in input order and per-chain work is
+//! self-contained, the merged result is a pure function of
+//! `(dojo, chains, budget, seed)` — the same no matter how many worker
+//! threads the machine offers.
+//!
+//! Chain evaluations are charged back to the caller's dojo
+//! ([`perfdojo_core::Dojo::charge_evaluations`]) so budget accounting
+//! (e.g. `LibraryBuilder`'s per-job totals) stays truthful.
+
+use crate::{SearchResult, SearchSpace};
+use perfdojo_core::Dojo;
+use perfdojo_ir::fingerprint::fnv1a;
+use perfdojo_util::par::par_map;
+
+/// Seed for one chain: mixed from the global seed and the chain index so
+/// chains are decorrelated and insensitive to how work lands on threads.
+pub fn chain_seed(seed: u64, chain: usize) -> u64 {
+    seed ^ fnv1a(format!("chain|{chain}").as_bytes())
+}
+
+/// Merge per-chain results keep-best. Ties break toward the lowest chain
+/// index (strict `<`), so the merge is deterministic; the winning chain's
+/// convergence trace is kept, and `evaluations` reports the summed spend.
+pub fn merge_chains(results: Vec<SearchResult>) -> (SearchResult, u64) {
+    let total_evals: u64 = results.iter().map(|r| r.trace.last().map_or(0, |t| t.0)).sum();
+    let mut best: Option<SearchResult> = None;
+    for r in results {
+        match &best {
+            Some(b) if r.best_runtime >= b.best_runtime => {}
+            _ => best = Some(r),
+        }
+    }
+    (best.expect("at least one chain"), total_evals)
+}
+
+/// Run `chains` independent simulated-annealing chains of
+/// `budget_per_chain` evaluations each, concurrently, and keep the best.
+///
+/// Chain `c` is seeded by [`chain_seed`]`(seed, c)` and runs on its own
+/// clone of `dojo`, so results are bit-reproducible regardless of thread
+/// count. The summed chain spend is charged to `dojo`'s evaluation budget.
+pub fn anneal_parallel(
+    dojo: &mut Dojo,
+    space: &dyn SearchSpace,
+    chains: usize,
+    budget_per_chain: u64,
+    seed: u64,
+) -> SearchResult {
+    parallel_search(dojo, chains, |chain_dojo, c| {
+        crate::simulated_annealing(chain_dojo, space, budget_per_chain, chain_seed(seed, c))
+    })
+}
+
+/// Convenience: parallel SA over the edges space.
+pub fn anneal_edges_parallel(
+    dojo: &mut Dojo,
+    chains: usize,
+    budget_per_chain: u64,
+    seed: u64,
+) -> SearchResult {
+    anneal_parallel(dojo, &crate::EdgesSpace, chains, budget_per_chain, seed)
+}
+
+/// Convenience: parallel SA over the heuristic space.
+pub fn anneal_heuristic_parallel(
+    dojo: &mut Dojo,
+    chains: usize,
+    budget_per_chain: u64,
+    seed: u64,
+) -> SearchResult {
+    anneal_parallel(dojo, &crate::HeuristicSpace, chains, budget_per_chain, seed)
+}
+
+/// Batched global random sampling: `chains` independent sampling runs of
+/// `budget_per_chain` evaluations each, merged keep-best.
+pub fn random_sampling_parallel(
+    dojo: &mut Dojo,
+    chains: usize,
+    budget_per_chain: u64,
+    seed: u64,
+) -> SearchResult {
+    parallel_search(dojo, chains, |chain_dojo, c| {
+        crate::random_sampling(chain_dojo, budget_per_chain, chain_seed(seed, c))
+    })
+}
+
+/// Common driver: clone the dojo per chain, fan out, merge keep-best,
+/// charge the spend back.
+fn parallel_search(
+    dojo: &mut Dojo,
+    chains: usize,
+    run_chain: impl Fn(&mut Dojo, usize) -> SearchResult + Sync,
+) -> SearchResult {
+    let chains = chains.max(1);
+    let results = par_map((0..chains).collect::<Vec<_>>(), |c| {
+        let mut chain_dojo = dojo.clone();
+        run_chain(&mut chain_dojo, c)
+    });
+    let (best, total_evals) = merge_chains(results);
+    dojo.charge_evaluations(total_evals);
+    if best.best_runtime < dojo.best().1 {
+        // make the merged winner visible through the caller's dojo too
+        let _ = dojo.load_sequence(&best.best_steps);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_core::Target;
+
+    fn dojo(label: &str) -> Dojo {
+        let k = perfdojo_kernels::small_suite()
+            .into_iter()
+            .find(|k| k.label == label)
+            .unwrap();
+        Dojo::for_target(k.program, &Target::x86()).unwrap()
+    }
+
+    #[test]
+    fn parallel_anneal_matches_best_sequential_chain() {
+        let chains = 3;
+        let (budget, seed) = (60, 9);
+        let mut d = dojo("softmax");
+        let par = anneal_edges_parallel(&mut d, chains, budget, seed);
+        // the merged best must equal the min over the same chains run
+        // sequentially with the same derived seeds
+        let mut best = f64::INFINITY;
+        for c in 0..chains {
+            let mut dc = dojo("softmax");
+            let r = crate::anneal_edges(&mut dc, budget, chain_seed(seed, c));
+            best = best.min(r.best_runtime);
+        }
+        assert_eq!(par.best_runtime.to_bits(), best.to_bits());
+    }
+
+    #[test]
+    fn parallel_anneal_is_seed_deterministic() {
+        let run = || {
+            let mut d = dojo("rmsnorm");
+            let r = anneal_heuristic_parallel(&mut d, 4, 40, 123);
+            (r.best_runtime.to_bits(), r.best_steps, d.evaluations())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_sampling_never_worsens_and_charges_budget() {
+        let mut d = dojo("softmax");
+        let init = d.initial_runtime();
+        let evals_before = d.evaluations();
+        let r = random_sampling_parallel(&mut d, 3, 40, 7);
+        assert!(r.best_runtime <= init);
+        assert!(
+            d.evaluations() >= evals_before + 3 * 40,
+            "summed chain spend must be charged to the parent dojo"
+        );
+    }
+
+    #[test]
+    fn winner_sequence_is_loaded_into_parent_dojo() {
+        let mut d = dojo("softmax");
+        let r = anneal_heuristic_parallel(&mut d, 2, 50, 31);
+        assert!((d.best().1 - r.best_runtime).abs() <= r.best_runtime * 1e-12);
+    }
+
+    #[test]
+    fn zero_chains_clamps_to_one() {
+        let mut d = dojo("rmsnorm");
+        let r = anneal_edges_parallel(&mut d, 0, 30, 5);
+        assert!(r.best_runtime <= d.initial_runtime());
+    }
+}

@@ -11,8 +11,10 @@ use perfdojo_core::Dojo;
 use perfdojo_transform::{Action, Loc, Transform};
 use perfdojo_util::rng::{IndexedRandom, Rng};
 
-/// A structure over candidate transformation sequences.
-pub trait SearchSpace {
+/// A structure over candidate transformation sequences. `Sync` so one
+/// space instance can serve the K concurrent chains of the parallel
+/// searches ([`crate::parallel`]).
+pub trait SearchSpace: Sync {
     /// The starting candidate.
     fn initial(&self, dojo: &mut Dojo) -> Vec<Action>;
 

@@ -15,6 +15,13 @@ use crate::{Action, TransformError};
 use perfdojo_ir::Program;
 
 /// A recorded, replayable transformation sequence.
+///
+/// Every applied step keeps its *pre-state* program, so undoing the most
+/// recent step — or truncating back to any prefix — is O(1) snapshot
+/// restoration rather than an O(n) replay from the initial program. The
+/// snapshots are moves, not extra clones: `push` already owns the outgoing
+/// program and simply retains it. This is what makes the Dojo's prefix
+/// replay (`perfdojo-core`) incremental.
 #[derive(Clone, Debug)]
 pub struct History {
     /// The untransformed program.
@@ -22,6 +29,8 @@ pub struct History {
     /// Applied actions, in order.
     pub steps: Vec<Action>,
     current: Program,
+    /// `pre[i]` is the program state *before* `steps[i]` was applied.
+    pre: Vec<Program>,
 }
 
 /// Result of replaying an edited sequence: the reached program plus the
@@ -37,7 +46,7 @@ pub struct Replay {
 impl History {
     /// Start a history at `initial`.
     pub fn new(initial: Program) -> Self {
-        History { current: initial.clone(), initial, steps: Vec::new() }
+        History { current: initial.clone(), initial, steps: Vec::new(), pre: Vec::new() }
     }
 
     /// The current (fully transformed) program.
@@ -55,19 +64,46 @@ impl History {
         self.steps.is_empty()
     }
 
-    /// Apply and record one action.
+    /// Apply and record one action. The outgoing program is retained as the
+    /// step's pre-state snapshot (a move, not a clone).
     pub fn push(&mut self, action: Action) -> Result<&Program, TransformError> {
         let next = action.apply(&self.current)?;
         self.steps.push(action);
-        self.current = next;
+        self.pre.push(std::mem::replace(&mut self.current, next));
         Ok(&self.current)
     }
 
-    /// Undo the most recent action (replays the prefix).
+    /// Undo the most recent action (O(1): restores the step's pre-state
+    /// snapshot; application purity makes this identical to a replay).
     pub fn pop(&mut self) -> Option<Action> {
         let last = self.steps.pop()?;
-        self.current = replay_sequence(&self.initial, &self.steps).program;
+        self.current = self.pre.pop().expect("pre-state recorded per step");
         Some(last)
+    }
+
+    /// Truncate back to the first `len` steps (O(steps dropped), no
+    /// replay). No-op when `len >= self.len()`.
+    pub fn truncate_to(&mut self, len: usize) {
+        if len < self.steps.len() {
+            self.steps.truncate(len);
+            self.pre.truncate(len + 1);
+            self.current = self.pre.pop().expect("pre-state recorded per step");
+        }
+    }
+
+    /// Rebuild this history by strictly re-pushing an edited sequence,
+    /// skipping inapplicable steps (single pass — each step applied once).
+    fn rebuild(&mut self, edited: Vec<Action>) -> Replay {
+        let mut h = History::new(self.initial.clone());
+        let mut skipped = Vec::new();
+        for (i, s) in edited.into_iter().enumerate() {
+            if h.push(s).is_err() {
+                skipped.push(i);
+            }
+        }
+        let program = h.current.clone();
+        *self = h;
+        Replay { program, skipped }
     }
 
     /// Undo the action at `index`, keeping all later steps in place where
@@ -78,17 +114,7 @@ impl History {
         }
         let mut edited = self.steps.clone();
         edited.remove(index);
-        let replay = replay_sequence(&self.initial, &edited);
-        // drop the skipped steps from the recorded sequence
-        let mut kept = Vec::new();
-        for (i, s) in edited.into_iter().enumerate() {
-            if !replay.skipped.contains(&i) {
-                kept.push(s);
-            }
-        }
-        self.steps = kept;
-        self.current = replay.program.clone();
-        Ok(replay)
+        Ok(self.rebuild(edited))
     }
 
     /// Replace the action at `index` with `action`, keeping later steps
@@ -99,21 +125,14 @@ impl History {
         }
         let mut edited = self.steps.clone();
         edited[index] = action;
-        let replay = replay_sequence(&self.initial, &edited);
-        if replay.skipped.contains(&index) {
+        // check applicability of the replacement in place before mutating
+        let probe = replay_sequence(&self.initial, &edited);
+        if probe.skipped.contains(&index) {
             return Err(TransformError::NotApplicable(
                 "replacement action is not applicable at its position".into(),
             ));
         }
-        let mut kept = Vec::new();
-        for (i, s) in edited.into_iter().enumerate() {
-            if !replay.skipped.contains(&i) {
-                kept.push(s);
-            }
-        }
-        self.steps = kept;
-        self.current = replay.program.clone();
-        Ok(replay)
+        Ok(self.rebuild(edited))
     }
 
     /// Fork a new history continuing from the current state of this one.
@@ -195,6 +214,46 @@ mod tests {
         h.pop().unwrap();
         assert_eq!(h.current(), &p);
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn truncate_to_restores_prefix_state() {
+        let p = base();
+        let mut h = History::new(p.clone());
+        h.push(split(8, &[0, 0])).unwrap();
+        let after_one = h.current().clone();
+        h.push(Action { transform: Transform::Unroll, loc: Loc::Node(Path::from([0, 0, 0])) })
+            .unwrap();
+        h.push(Action { transform: Transform::Parallelize, loc: Loc::Node(Path::from([0])) })
+            .unwrap();
+        h.truncate_to(1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.current(), &after_one);
+        // truncating to the full length (or beyond) is a no-op
+        h.truncate_to(5);
+        assert_eq!(h.len(), 1);
+        h.truncate_to(0);
+        assert_eq!(h.current(), &p);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn pop_restores_snapshot_exactly() {
+        // pop is O(1) snapshot restoration; the apply-count regression test
+        // pinning "zero applies" lives in perfdojo-core's isolated
+        // integration binary, where no concurrent test pollutes the counter
+        let p = base();
+        let mut h = History::new(p.clone());
+        h.push(split(8, &[0, 0])).unwrap();
+        h.push(Action { transform: Transform::Parallelize, loc: Loc::Node(Path::from([0])) })
+            .unwrap();
+        let mid = {
+            let mut g = History::new(p);
+            g.push(split(8, &[0, 0])).unwrap();
+            g.current().clone()
+        };
+        h.pop().unwrap();
+        assert_eq!(h.current(), &mid);
     }
 
     #[test]

@@ -251,9 +251,22 @@ pub struct Action {
     pub loc: Loc,
 }
 
+/// Process-wide count of [`Action::apply`] calls. Transform application is
+/// the unit of replay work the incremental engine exists to avoid, so tests
+/// pin engine behaviour (e.g. "reloading an identical sequence applies
+/// nothing") against deltas of this counter.
+static APPLY_COUNT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total [`Action::apply`] calls so far in this process (all threads).
+/// Compare deltas, not absolute values — other tests run concurrently.
+pub fn apply_count() -> u64 {
+    APPLY_COUNT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 impl Action {
     /// Apply this action to a program.
     pub fn apply(&self, p: &Program) -> Result<Program, TransformError> {
+        APPLY_COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.transform.apply(p, &self.loc)
     }
 }

@@ -11,6 +11,7 @@
 //! * [`rng`] — seedable SplitMix64/xoshiro256++ PRNG with range sampling,
 //!   shuffling, choosing and Gaussian draws (replaces `rand`);
 //! * [`par`] — scoped-thread parallel map / for-each (replaces `rayon`);
+//! * [`lru`] — bounded O(1) least-recently-used cache (replaces `lru`);
 //! * [`proptest_lite`] — a small property-testing harness with strategies,
 //!   seed reporting and shrink-by-halving (replaces `proptest`);
 //! * [`timer`] — a warmup+median micro-benchmark runner (replaces
@@ -19,6 +20,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod lru;
 pub mod par;
 pub mod proptest_lite;
 pub mod rng;
