@@ -17,24 +17,29 @@
 #      engine bit-identical to naive), and a fixed-seed `--exp searchperf`
 #      run must show an effective cost cache and emit a report whose
 #      non-timing content is byte-identical across two runs.
+#   7. Checkpoint/resume smoke: a fixed-seed checkpointed `perfdojo-lib
+#      build` paused at a step limit (exit code 4) and resumed must produce
+#      a library and event trace byte-identical to an uninterrupted build's
+#      (modulo the cache_hit field — a resumed process starts cache-cold),
+#      and a zero-budget anneal must stay NaN-free.
 #
 # Usage: ./ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== 1/6 perfdojo-util: warning-free build (-D warnings) =="
+echo "== 1/7 perfdojo-util: warning-free build (-D warnings) =="
 RUSTFLAGS="-D warnings" cargo build -q -p perfdojo-util --offline
 RUSTFLAGS="-D warnings" cargo test -q -p perfdojo-util --offline
 
-echo "== 2/6 tier-1 verify: release build + tests =="
+echo "== 2/7 tier-1 verify: release build + tests =="
 cargo build --release --workspace --offline
 cargo test -q --offline
 
-echo "== 3/6 full workspace tests (offline) =="
+echo "== 3/7 full workspace tests (offline) =="
 cargo test -q --workspace --offline
 
-echo "== 4/6 schedule-library pipeline: build, dispatch, stats =="
+echo "== 4/7 schedule-library pipeline: build, dispatch, stats =="
 PDLIB_DIR=$(mktemp -d)
 trap 'rm -rf "$PDLIB_DIR"' EXIT
 PDLIB="$PDLIB_DIR/ci.pdl"
@@ -52,7 +57,7 @@ grep -q "disposition: fallback-replay" "$PDLIB_DIR/q2.txt"
 ./target/release/perfdojo-lib stats --lib "$PDLIB" | tee "$PDLIB_DIR/stats.txt"
 grep -q "entries:         2" "$PDLIB_DIR/stats.txt"
 
-echo "== 5/6 differential fuzz smoke: fixed seed, deterministic, clean =="
+echo "== 5/7 differential fuzz smoke: fixed seed, deterministic, clean =="
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz1.txt"
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz2.txt"
 # the report must be byte-identical across runs — no timestamps, no
@@ -67,7 +72,7 @@ if ./target/release/fuzz --seed 0xC0FFEE --iters 60 --sabotage truncate-split \
 fi
 grep -q "FINDING" "$PDLIB_DIR/fuzz3.txt"
 
-echo "== 6/6 search-engine smoke: A/B determinism + searchperf report =="
+echo "== 6/7 search-engine smoke: A/B determinism + searchperf report =="
 # the incremental engine must be bit-identical to the naive one on every
 # tune-suite kernel and strategy
 cargo test -q -p perfdojo-search --offline --test incremental_ab
@@ -91,5 +96,48 @@ if grep -q '"cache_hits": 0,' "$PDLIB_DIR/sp1.json"; then
     echo "ci.sh: searchperf cache never fired" >&2
     exit 1
 fi
+
+echo "== 7/7 checkpoint/resume smoke: pause at step limit, resume, compare =="
+CKPT_ARGS=(--kernels softmax,matmul --targets x86 --strategy anneal:40 --seed 7)
+# reference: one uninterrupted checkpointed build
+./target/release/perfdojo-lib build --out "$PDLIB_DIR/full.pdl" \
+    "${CKPT_ARGS[@]}" --checkpoint-dir "$PDLIB_DIR/ck-full"
+# step-limited build: the first run must pause with exit code 4, and
+# rerunning the identical command must eventually finish (bounded retries)
+rc=4
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    set +e
+    ./target/release/perfdojo-lib build --out "$PDLIB_DIR/sliced.pdl" \
+        "${CKPT_ARGS[@]}" --checkpoint-dir "$PDLIB_DIR/ck-sliced" --step-limit 25
+    rc=$?
+    set -e
+    [ "$rc" -eq 0 ] && break
+    if [ "$rc" -ne 4 ]; then
+        echo "ci.sh: checkpointed build should pause with exit 4, got $rc" >&2
+        exit 1
+    fi
+done
+if [ "$rc" -ne 0 ]; then
+    echo "ci.sh: checkpointed build never finished within retry budget" >&2
+    exit 1
+fi
+# a paused run must not have written the output library prematurely; the
+# finished libraries and traces must be byte-identical (cache_hit is the
+# one lawfully different field: a resumed process starts cache-cold)
+cmp "$PDLIB_DIR/full.pdl" "$PDLIB_DIR/sliced.pdl"
+strip_cache_hit() { sed 's/,"cache_hit":[a-z]*//g' "$1"; }
+diff <(strip_cache_hit "$PDLIB_DIR/ck-full/trace.jsonl") \
+     <(strip_cache_hit "$PDLIB_DIR/ck-sliced/trace.jsonl")
+grep -q '"ev":"tuned"' "$PDLIB_DIR/ck-full/trace.jsonl"
+# zero-budget anneal is a defined no-op: must finish cleanly, NaN-free
+./target/release/perfdojo-lib build --out "$PDLIB_DIR/zero.pdl" \
+    --kernels softmax --targets x86 --strategy anneal:0 --seed 7 \
+    > "$PDLIB_DIR/zero.txt"
+if grep -qi "nan" "$PDLIB_DIR/zero.txt" "$PDLIB_DIR/zero.pdl"; then
+    echo "ci.sh: zero-budget anneal produced NaN" >&2
+    exit 1
+fi
+# and the unit pin for the cooling-schedule division guard
+cargo test -q -p perfdojo-search --offline zero_budget
 
 echo "ci.sh: all gates passed"

@@ -74,8 +74,12 @@ pub fn exp_library() -> String {
     let mut replay_speedups = Vec::new();
     let unseen = unseen_shapes();
     for (label, dims) in &unseen {
-        let query = perfdojo_kernels::by_label_with_shape(label, dims)
-            .unwrap_or_else(|| panic!("no kernel {label:?} at {dims:?}"));
+        let Some(query) = perfdojo_kernels::by_label_with_shape(label, dims) else {
+            return format!(
+                "error: no kernel {label:?} at shape {dims:?}; valid tune-suite labels: {}\n",
+                crate::experiments::tune_suite_labels()
+            );
+        };
         let r = lib.lookup(&query, &target);
         if matches!(r.disposition, Disposition::FallbackReplay { .. }) {
             replays += 1;

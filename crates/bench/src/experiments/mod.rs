@@ -4,6 +4,7 @@ pub mod ablations;
 pub mod gpu;
 pub mod library;
 pub mod repr;
+pub mod resume;
 pub mod searchperf;
 pub mod snitch;
 pub mod tables;
@@ -13,10 +14,21 @@ pub use ablations::*;
 pub use gpu::*;
 pub use library::*;
 pub use repr::*;
+pub use resume::*;
 pub use searchperf::*;
 pub use snitch::*;
 pub use tables::*;
 pub use x86::*;
+
+/// Comma-separated labels of the tuning suite, for error messages when an
+/// experiment asks for a kernel the suite does not contain.
+pub(crate) fn tune_suite_labels() -> String {
+    perfdojo_kernels::tune_suite()
+        .iter()
+        .map(|k| k.label.clone())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 /// Registry: experiment id → runner producing the printed report.
 pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
@@ -39,6 +51,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
         ("fig14", gpu::exp_fig14),
         ("library", library::exp_library),
         ("searchperf", searchperf::exp_searchperf),
+        ("resume", resume::exp_resume),
         ("ablate_maxq", ablations::exp_ablate_maxq),
         ("ablate_reward", ablations::exp_ablate_reward),
         ("ablate_dqn", ablations::exp_ablate_dqn),

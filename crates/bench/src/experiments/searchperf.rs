@@ -192,18 +192,27 @@ fn emit_json(rows: &[EngineRow], mc: &MultiChainRow) -> String {
 }
 
 fn run_searchperf(json_path: Option<&std::path::Path>) -> String {
+    match try_run_searchperf(json_path) {
+        Ok(report) => report,
+        Err(e) => format!("error: {e}\n"),
+    }
+}
+
+fn try_run_searchperf(json_path: Option<&std::path::Path>) -> Result<String, String> {
     let suite = perfdojo_kernels::tune_suite();
     let pick = |label: &str| {
-        suite
-            .iter()
-            .find(|k| k.label == label)
-            .unwrap_or_else(|| panic!("no kernel {label:?} in tune suite"))
+        suite.iter().find(|k| k.label == label).ok_or_else(|| {
+            format!(
+                "no kernel {label:?} in tune suite; valid labels: {}",
+                crate::experiments::tune_suite_labels()
+            )
+        })
     };
-    let headline = pick("softmax");
+    let headline = pick("softmax")?;
     let rows = vec![
         measure_kernel(headline, HEADLINE_BUDGET),
-        measure_kernel(pick("matmul"), SIDE_BUDGET),
-        measure_kernel(pick("layernorm 1"), SIDE_BUDGET),
+        measure_kernel(pick("matmul")?, SIDE_BUDGET),
+        measure_kernel(pick("layernorm 1")?, SIDE_BUDGET),
     ];
     let mc = measure_multi_chain(headline);
 
@@ -242,7 +251,7 @@ fn run_searchperf(json_path: Option<&std::path::Path>) -> String {
             Err(e) => t.note(format!("could not write {}: {e}", path.display())),
         }
     }
-    t.render()
+    Ok(t.render())
 }
 
 /// Search-performance experiment: emits `BENCH_searchperf.json` in the

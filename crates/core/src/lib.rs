@@ -433,7 +433,9 @@ impl Dojo {
     /// the §2 non-destructive property) and applies only the suffix,
     /// instead of replaying everything from the initial program and then
     /// re-applying it all a second time while recording history. On an
-    /// evaluation error the dojo is left at the longest applicable prefix.
+    /// evaluation error the dojo rolls back to the pre-call sequence, so a
+    /// rejected candidate can never leave the environment stranded at a
+    /// partially-applied state.
     pub fn load_sequence(&mut self, steps: &[Action]) -> Result<f64, DojoError> {
         match self.engine {
             Engine::Naive => self.load_sequence_naive(steps),
@@ -476,6 +478,10 @@ impl Dojo {
             .zip(steps.iter())
             .take_while(|(applied, requested)| applied == requested)
             .count();
+        // the part of the applied sequence the diff will drop, kept so a
+        // failed evaluation can roll the dojo back to the pre-call sequence
+        let undone_steps = self.history.steps[k..].to_vec();
+        let undone_runtimes = self.prior_runtimes[k..].to_vec();
         self.history.truncate_to(k);
         self.prior_runtimes.truncate(k);
         for s in &steps[k..] {
@@ -486,7 +492,22 @@ impl Dojo {
             }
         }
         self.evaluations += 1;
-        let runtime = self.cost_of_current().map_err(DojoError::Machine)?;
+        let runtime = match self.cost_of_current() {
+            Ok(rt) => rt,
+            Err(e) => {
+                // roll back: rewind to the shared prefix and re-apply the
+                // dropped suffix — pure applications that already succeeded
+                // once from this exact prefix state, so they succeed again
+                self.history.truncate_to(k);
+                self.prior_runtimes.truncate(k);
+                for s in undone_steps {
+                    let reapplied = self.history.push(s);
+                    debug_assert!(reapplied.is_ok(), "rollback replays a previously-applied step");
+                }
+                self.prior_runtimes.extend(undone_runtimes);
+                return Err(DojoError::Machine(e));
+            }
+        };
         self.current_runtime = runtime;
         if runtime < self.best.1 {
             self.best = (self.current().clone(), runtime);
@@ -512,6 +533,33 @@ mod tests {
     fn initial_reward_is_one() {
         let d = softmax_dojo();
         assert!((d.reward_of(d.runtime()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_load_sequence_rolls_back_to_pre_call_sequence() {
+        let mut d = softmax_dojo();
+        let a = d.actions().into_iter().next().unwrap();
+        d.step(a).unwrap();
+        let steps_before = d.history.steps.clone();
+        let program_before = d.current().clone();
+        let runtime_before = d.runtime();
+
+        // a GPU binding applies structurally but is unschedulable on x86,
+        // so the machine evaluation inside load_sequence fails
+        let gpu = Transform::BindGpu(perfdojo_ir::ScopeKind::GpuGrid);
+        let loc = gpu.find_locations(d.current()).into_iter().next().unwrap();
+        let mut bad_seq = steps_before.clone();
+        bad_seq.push(Action { transform: gpu, loc });
+
+        assert!(d.load_sequence(&bad_seq).is_err());
+        assert_eq!(d.history.steps, steps_before, "history must roll back");
+        assert_eq!(d.current(), &program_before);
+        assert_eq!(d.runtime().to_bits(), runtime_before.to_bits());
+        assert_eq!(d.prior_runtimes.len(), d.history.len());
+        // and the dojo stays fully usable: reloading the good sequence is
+        // a no-op replay that reproduces the pre-failure runtime
+        let rt = d.load_sequence(&steps_before).unwrap();
+        assert_eq!(rt.to_bits(), runtime_before.to_bits());
     }
 
     #[test]

@@ -97,6 +97,29 @@ fn undo_and_truncation_apply_nothing() {
 }
 
 #[test]
+fn failed_evaluation_rolls_back_and_later_loads_stay_incremental() {
+    let _g = COUNTER_LOCK.lock().unwrap();
+    let mut d = softmax_dojo();
+    let seq = warm_sequence(&mut d, 3);
+
+    // a GPU grid binding applies structurally but x86 cost evaluation
+    // rejects it, so load_sequence fails after mutating history — the
+    // error path must restore the exact pre-call sequence
+    let gpu = perfdojo_transform::Transform::BindGpu(perfdojo_ir::ScopeKind::GpuGrid);
+    let loc = gpu.find_locations(d.current()).into_iter().next().expect("a bindable scope");
+    let mut bad = seq.clone();
+    bad.push(perfdojo_transform::Action { transform: gpu, loc });
+    assert!(d.load_sequence(&bad).is_err());
+    assert_eq!(d.history.steps, seq, "failed load must not strand a partial sequence");
+
+    // because the rollback restored the full prefix, re-loading the good
+    // sequence is still a zero-apply no-op
+    let before = apply_count();
+    d.load_sequence(&seq).unwrap();
+    assert_eq!(apply_count() - before, 0, "rollback must preserve incremental reloads");
+}
+
+#[test]
 fn mutated_midpoint_applies_only_from_divergence() {
     let _g = COUNTER_LOCK.lock().unwrap();
     let mut d = softmax_dojo();

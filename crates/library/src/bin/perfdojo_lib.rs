@@ -15,25 +15,31 @@
 
 use perfdojo_core::Target;
 use perfdojo_kernels::KernelInstance;
-use perfdojo_library::{target_by_name, Library, LibraryBuilder, Strategy};
+use perfdojo_library::{
+    target_by_name, BuildCheckpoint, BuildProgress, Library, LibraryBuilder, Strategy,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// Exit code of a checkpointed build that paused at `--step-limit` (the
+/// work is not done, but nothing failed — rerun to continue).
+const EXIT_PAUSED: u8 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
-        Some("query") => cmd_query(&args[1..]),
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("gc") => cmd_gc(&args[1..]),
+        Some("query") => cmd_query(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("stats") => cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("gc") => cmd_gc(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("perfdojo-lib: {e}");
             ExitCode::FAILURE
@@ -47,6 +53,11 @@ usage:
                      [--strategy heuristic|anneal[:N[:K]]|perfllm[:N]]
                      (anneal:N:K runs K parallel chains of N evals each)
                      [--seed N] [--paper-shapes]
+                     [--checkpoint-dir <dir> [--step-limit N]]
+                     (crash-safe sequential build: progress persists in
+                      <dir>; an interrupted build resumes where it stopped;
+                      --step-limit pauses cleanly after N tuning steps,
+                      exit code 4)
   perfdojo-lib query --lib <file> --target <name> --kernel <label> [--shape DxD...]
   perfdojo-lib stats --lib <file>
   perfdojo-lib gc    --lib <file>
@@ -83,7 +94,7 @@ fn parse_targets(spec: Option<String>) -> Result<Vec<Target>, String> {
         .collect()
 }
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
+fn cmd_build(args: &[String]) -> Result<ExitCode, String> {
     let out = PathBuf::from(required(args, "--out")?);
     let targets = parse_targets(flag_value(args, "--targets")?)?;
     let strategy = match flag_value(args, "--strategy")? {
@@ -114,18 +125,49 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         }
     };
 
+    let ckpt_dir = flag_value(args, "--checkpoint-dir")?;
+    let step_limit: Option<u64> = match flag_value(args, "--step-limit")? {
+        None => None,
+        Some(s) => {
+            if ckpt_dir.is_none() {
+                return Err("--step-limit requires --checkpoint-dir".to_string());
+            }
+            Some(s.parse().map_err(|_| format!("bad step limit {s:?}"))?)
+        }
+    };
+
     let mut lib = match Library::load(&out) {
         Ok((l, _)) => l,
         Err(_) => Library::new(),
     };
     let builder = LibraryBuilder::new(strategy, seed);
-    let (report, outcomes) = builder.build_into(&mut lib, &kernels, &targets);
-    lib.save(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let (progress, report, outcomes) = match &ckpt_dir {
+        None => {
+            let (report, outcomes) = builder.build_into(&mut lib, &kernels, &targets);
+            (BuildProgress::Finished, report, outcomes)
+        }
+        Some(dir) => {
+            let ckpt = BuildCheckpoint::open(std::path::Path::new(dir))
+                .map_err(|e| format!("{dir}: {e}"))?;
+            builder.build_into_checkpointed(&mut lib, &kernels, &targets, &ckpt, step_limit)?
+        }
+    };
 
     let evals: u64 = outcomes.iter().map(|o| o.evaluations).sum();
     for o in outcomes.iter().filter(|o| o.error.is_some()) {
         eprintln!("warning: {} on {}: {}", o.label, o.target, o.error.as_ref().unwrap());
     }
+    if progress == BuildProgress::Paused {
+        println!(
+            "paused {}: {} jobs finished this run, {} evaluations; resume with the same \
+             --checkpoint-dir",
+            ckpt_dir.as_deref().unwrap_or("?"),
+            outcomes.len(),
+            evals
+        );
+        return Ok(ExitCode::from(EXIT_PAUSED));
+    }
+    lib.save(&out).map_err(|e| format!("{}: {e}", out.display()))?;
     println!(
         "built {}: {} jobs, {} evaluations; +{} inserted, {} improved, {} kept, \
          {} invalidated; {} entries total",
@@ -138,7 +180,7 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
         report.invalidated,
         lib.len()
     );
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {

@@ -8,6 +8,7 @@
 //! two same-seed builds produce byte-identical libraries regardless of
 //! thread scheduling.
 
+use crate::checkpoint::BuildCheckpoint;
 use crate::format::{Provenance, ScheduleRecord};
 use crate::library::{current_model_version, Library, MergeReport};
 use crate::sig::KernelSig;
@@ -15,9 +16,17 @@ use perfdojo_core::{Dojo, Target};
 use perfdojo_ir::fingerprint::fnv1a;
 use perfdojo_kernels::KernelInstance;
 use perfdojo_rl::PerfLlmConfig;
+use perfdojo_search::checkpoint::{parse_anneal, parse_chains, serialize_anneal, serialize_chains};
+use perfdojo_search::parallel::merge_chains;
+use perfdojo_search::{
+    anneal_parallel_resumable, anneal_resume, AnnealProgress, AnnealState, HeuristicSpace,
+    SearchResult,
+};
+use perfdojo_transform::Action;
+use perfdojo_util::trace::TraceSink;
 
 /// Which tuner a build runs per (kernel, target) job.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
     /// The deterministic heuristic pass (fast, no search).
     Heuristic,
@@ -183,24 +192,38 @@ impl LibraryBuilder {
             }
         };
         out.evaluations = dojo.evaluations();
-        // Only keep schedules that actually transform and actually help —
-        // a no-op or regressing schedule would just waste dispatch time.
-        if !steps.is_empty() && cost < naive_cost {
-            out.record = Some(ScheduleRecord {
-                sig: KernelSig::of(&kernel.program, &target.name),
-                label: kernel.label.clone(),
-                steps,
-                cost,
-                naive_cost,
-                model_version: current_model_version(),
-                provenance: Provenance {
-                    strategy: self.strategy.name().to_string(),
-                    seed,
-                    budget: self.strategy.budget(),
-                },
-            });
-        }
+        out.record = self.make_record(kernel, target, seed, naive_cost, steps, cost);
         out
+    }
+
+    /// Build the [`ScheduleRecord`] for a tuning result. Only schedules
+    /// that actually transform and actually help are kept — a no-op or
+    /// regressing schedule would just waste dispatch time.
+    fn make_record(
+        &self,
+        kernel: &KernelInstance,
+        target: &Target,
+        seed: u64,
+        naive_cost: f64,
+        steps: Vec<Action>,
+        cost: f64,
+    ) -> Option<ScheduleRecord> {
+        if steps.is_empty() || cost >= naive_cost {
+            return None;
+        }
+        Some(ScheduleRecord {
+            sig: KernelSig::of(&kernel.program, &target.name),
+            label: kernel.label.clone(),
+            steps,
+            cost,
+            naive_cost,
+            model_version: current_model_version(),
+            provenance: Provenance {
+                strategy: self.strategy.name().to_string(),
+                seed,
+                budget: self.strategy.budget(),
+            },
+        })
     }
 
     /// Tune the full `kernels` × `targets` grid concurrently and return the
@@ -223,6 +246,246 @@ impl LibraryBuilder {
         let outcomes = self.tune_all(kernels, targets);
         let report = lib.merge(outcomes.iter().filter_map(|o| o.record.clone()));
         (report, outcomes)
+    }
+
+    /// Crash-safe build: tune the grid **sequentially** in grid order,
+    /// persisting progress to `ckpt` after every completed job (and after
+    /// every pause), so a killed build resumes where it stopped instead of
+    /// starting over.
+    ///
+    /// - Jobs listed in the checkpoint's `done.list` are skipped; the
+    ///   partially-built library is reloaded from `partial.pdl` (replacing
+    ///   `lib`'s contents when present).
+    /// - A job interrupted mid-search resumes from `inflight.ckpt`
+    ///   bit-identically (same RNG words, same best-so-far, same budget
+    ///   spend) — see `perfdojo-search`/`perfdojo-rl` checkpoints.
+    /// - `step_limit` bounds the tuning steps executed in *this call*: one
+    ///   annealing iteration, one RL episode, or one whole SA chain /
+    ///   heuristic pass each count as one step. When the limit runs out
+    ///   the build pauses cleanly (this is also how tests exercise the
+    ///   kill/resume path without signals).
+    /// - Trajectory events append to the checkpoint's `trace.jsonl` with
+    ///   continuing step numbers: the finished trace of a paused+resumed
+    ///   build is byte-identical to an uninterrupted one, except the
+    ///   `cache_hit` field (a resumed process starts with a cold
+    ///   evaluation cache; values and decisions are unaffected).
+    ///
+    /// Jobs run sequentially because per-job parallelism cannot persist
+    /// incrementally; `Strategy::AnnealMulti` still runs its finished
+    /// chains concurrently on resume-free segments. Returns the progress,
+    /// the accumulated merge report, and the outcomes of jobs completed in
+    /// this call.
+    pub fn build_into_checkpointed(
+        &self,
+        lib: &mut Library,
+        kernels: &[KernelInstance],
+        targets: &[Target],
+        ckpt: &BuildCheckpoint,
+        step_limit: Option<u64>,
+    ) -> Result<(BuildProgress, MergeReport, Vec<TuneOutcome>), String> {
+        let partial = ckpt.partial_path();
+        if partial.exists() {
+            let (loaded, _) = Library::load(&partial)
+                .map_err(|e| format!("{}: {e}", partial.display()))?;
+            *lib = loaded;
+        }
+        let done = ckpt.done_jobs();
+        let mut sink = ckpt.load_trace();
+        let mut remaining = step_limit;
+        let mut inflight = ckpt.load_inflight();
+        let mut outcomes = Vec::new();
+        let mut report = MergeReport::default();
+        let io_err = |e: std::io::Error| format!("checkpoint dir {}: {e}", ckpt.dir().display());
+        for kernel in kernels {
+            for target in targets {
+                if done.iter().any(|(l, t, _)| l == &kernel.label && t == &target.name) {
+                    continue;
+                }
+                let sliced =
+                    self.tune_kernel_sliced(kernel, target, inflight.take(), &mut remaining, &mut sink)?;
+                match sliced {
+                    Sliced::Done(out) => {
+                        let r = lib.merge(out.record.clone());
+                        report.inserted += r.inserted;
+                        report.improved += r.improved;
+                        report.kept_existing += r.kept_existing;
+                        report.invalidated += r.invalidated;
+                        report.rejected_stale += r.rejected_stale;
+                        lib.save(&partial).map_err(|e| format!("{}: {e}", partial.display()))?;
+                        ckpt.save_trace(&sink).map_err(io_err)?;
+                        ckpt.mark_done(&out.label, &out.target, out.evaluations).map_err(io_err)?;
+                        ckpt.clear_inflight().map_err(io_err)?;
+                        outcomes.push(out);
+                    }
+                    Sliced::Paused(state_text) => {
+                        match &state_text {
+                            Some(text) => ckpt.save_inflight(text).map_err(io_err)?,
+                            None => ckpt.clear_inflight().map_err(io_err)?,
+                        }
+                        ckpt.save_trace(&sink).map_err(io_err)?;
+                        return Ok((BuildProgress::Paused, report, outcomes));
+                    }
+                }
+            }
+        }
+        ckpt.save_trace(&sink).map_err(io_err)?;
+        Ok((BuildProgress::Finished, report, outcomes))
+    }
+
+    /// Run one job for at most `remaining` tuning steps, resuming from a
+    /// serialized `inflight` state when given.
+    fn tune_kernel_sliced(
+        &self,
+        kernel: &KernelInstance,
+        target: &Target,
+        inflight: Option<String>,
+        remaining: &mut Option<u64>,
+        sink: &mut TraceSink,
+    ) -> Result<Sliced, String> {
+        // pausing *before* a job starts needs no in-flight state at all
+        if matches!(remaining, Some(0)) {
+            return Ok(Sliced::Paused(inflight));
+        }
+        let mut dojo = match Dojo::for_target(kernel.program.clone(), target) {
+            Ok(d) => d,
+            Err(e) => {
+                return Ok(Sliced::Done(TuneOutcome {
+                    record: None,
+                    label: kernel.label.clone(),
+                    target: target.name.clone(),
+                    evaluations: 0,
+                    error: Some(e.to_string()),
+                }))
+            }
+        };
+        let naive_cost = dojo.initial_runtime();
+        let base_evals = dojo.evaluations();
+        let seed = self.job_seed(&kernel.label, &target.name);
+        let ctx = |e: String| format!("{} on {}: {e}", kernel.label, target.name);
+        if inflight.is_none() {
+            sink.event("job")
+                .str("kernel", &kernel.label)
+                .str("target", &target.name)
+                .str("strategy", self.strategy.name())
+                .emit();
+        }
+        let (steps, cost, evaluations) = match &self.strategy {
+            Strategy::Heuristic => {
+                take_step(remaining);
+                let runtime = perfdojo_search::heuristic_pass(&mut dojo);
+                (dojo.history.steps.clone(), runtime, dojo.evaluations())
+            }
+            Strategy::Anneal { budget } => {
+                let mut st = match &inflight {
+                    Some(text) => {
+                        let s = parse_anneal(text).map_err(&ctx)?;
+                        s.reattach(&mut dojo);
+                        s
+                    }
+                    None => AnnealState::start(&mut dojo, &HeuristicSpace, seed),
+                };
+                loop {
+                    // a zero-step probe distinguishes "budget spent" from
+                    // "out of step allotment" without running anything
+                    if anneal_resume(&mut dojo, &HeuristicSpace, *budget, &mut st, None, Some(0))
+                        == AnnealProgress::Finished
+                    {
+                        break;
+                    }
+                    if !take_step(remaining) {
+                        return Ok(Sliced::Paused(Some(serialize_anneal(&st))));
+                    }
+                    anneal_resume(&mut dojo, &HeuristicSpace, *budget, &mut st, Some(sink), Some(1));
+                }
+                let evaluations = base_evals + st.spent;
+                let r = st.into_result();
+                (r.best_steps, r.best_runtime, evaluations)
+            }
+            Strategy::AnnealMulti { budget, chains } => {
+                let mut done_chains: Vec<SearchResult> = match &inflight {
+                    Some(text) => parse_chains(text).map_err(&ctx)?,
+                    None => Vec::new(),
+                };
+                let mut best = None;
+                while done_chains.len() < *chains {
+                    if !take_step(remaining) {
+                        return Ok(Sliced::Paused(Some(serialize_chains(&done_chains))));
+                    }
+                    let upto = done_chains.len() + 1;
+                    best = Some(anneal_parallel_resumable(
+                        &mut dojo,
+                        &HeuristicSpace,
+                        upto,
+                        *budget,
+                        seed,
+                        &mut done_chains,
+                        Some(sink),
+                    ));
+                }
+                let chain_evals: u64 =
+                    done_chains.iter().map(|r| r.trace.last().map_or(0, |t| t.0)).sum();
+                let best = best.unwrap_or_else(|| merge_chains(done_chains).0);
+                (best.best_steps, best.best_runtime, base_evals + chain_evals)
+            }
+            Strategy::PerfLlm { episodes } => {
+                let cfg = PerfLlmConfig { episodes: *episodes, ..PerfLlmConfig::default() };
+                let mut st = match &inflight {
+                    Some(text) => perfdojo_rl::parse_train(text).map_err(&ctx)?,
+                    None => perfdojo_rl::TrainState::start(&dojo, &cfg, seed),
+                };
+                while st.episodes_done < cfg.episodes {
+                    if !take_step(remaining) {
+                        return Ok(Sliced::Paused(Some(perfdojo_rl::serialize_train(&st))));
+                    }
+                    perfdojo_rl::train_episodes(&mut dojo, &cfg, &mut st, Some(1), Some(sink));
+                }
+                let evaluations = st.spent;
+                let r = st.into_result();
+                (r.best_steps, r.best_runtime, evaluations)
+            }
+        };
+        sink.event("tuned")
+            .str("kernel", &kernel.label)
+            .str("target", &target.name)
+            .u64("evals", evaluations)
+            .f64("cost", cost)
+            .emit();
+        Ok(Sliced::Done(TuneOutcome {
+            record: self.make_record(kernel, target, seed, naive_cost, steps, cost),
+            label: kernel.label.clone(),
+            target: target.name.clone(),
+            evaluations,
+            error: None,
+        }))
+    }
+}
+
+/// Whether a checkpointed build ran to completion or paused at the step
+/// limit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildProgress {
+    /// Every grid job is done and the checkpoint is complete.
+    Finished,
+    /// The step limit ran out; call again (or rerun the CLI) to continue.
+    Paused,
+}
+
+/// One sliced tuning attempt: job completed, or paused with the state to
+/// persist (`None` = paused between jobs, nothing in flight).
+enum Sliced {
+    Done(TuneOutcome),
+    Paused(Option<String>),
+}
+
+/// Consume one step of the allotment; `false` when exhausted.
+fn take_step(remaining: &mut Option<u64>) -> bool {
+    match remaining {
+        None => true,
+        Some(0) => false,
+        Some(n) => {
+            *n -= 1;
+            true
+        }
     }
 }
 
@@ -315,5 +578,96 @@ mod tests {
         assert_ne!(b.job_seed("softmax", "x86"), b.job_seed("softmax", "gh200"));
         assert_ne!(b.job_seed("softmax", "x86"), b.job_seed("matmul", "x86"));
         assert_eq!(b.job_seed("softmax", "x86"), b.job_seed("softmax", "x86"));
+    }
+
+    fn ckpt_tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("pdl-bld-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Run a checkpointed build to completion in `step_limit`-sized slices,
+    /// returning the final library text and the cache_hit-stripped trace.
+    fn run_checkpointed(
+        strategy: Strategy,
+        kernels: &[KernelInstance],
+        targets: &[Target],
+        dir: &std::path::Path,
+        step_limit: Option<u64>,
+    ) -> (String, String) {
+        let builder = LibraryBuilder::new(strategy, 5);
+        let ckpt = BuildCheckpoint::open(dir).unwrap();
+        loop {
+            let mut lib = match Library::load(&ckpt.partial_path()) {
+                Ok((l, _)) => l,
+                Err(_) => Library::new(),
+            };
+            let (progress, _, _) = builder
+                .build_into_checkpointed(&mut lib, kernels, targets, &ckpt, step_limit)
+                .unwrap();
+            if progress == BuildProgress::Finished {
+                let trace = std::fs::read_to_string(ckpt.trace_path()).unwrap();
+                return (lib.to_text(), perfdojo_util::trace::strip_field(&trace, "cache_hit"));
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_build_matches_plain_build() {
+        for strategy in [
+            Strategy::Anneal { budget: 12 },
+            Strategy::AnnealMulti { budget: 8, chains: 2 },
+            Strategy::Heuristic,
+        ] {
+            let kernels = tune(&["softmax"]);
+            let targets = [Target::x86()];
+            let mut plain = Library::new();
+            LibraryBuilder::new(strategy, 5).build_into(&mut plain, &kernels, &targets);
+
+            let dir = ckpt_tmpdir("plain-eq");
+            let (ckpt_text, _) = run_checkpointed(strategy, &kernels, &targets, &dir, None);
+            assert_eq!(plain.to_text(), ckpt_text, "{strategy:?}");
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn paused_and_resumed_build_is_byte_identical_to_uninterrupted() {
+        let kernels = tune(&["softmax", "matmul"]);
+        let targets = [Target::x86()];
+        let strategy = Strategy::Anneal { budget: 10 };
+
+        let full_dir = ckpt_tmpdir("full");
+        let (full_lib, full_trace) =
+            run_checkpointed(strategy, &kernels, &targets, &full_dir, None);
+
+        let sliced_dir = ckpt_tmpdir("sliced");
+        let (sliced_lib, sliced_trace) =
+            run_checkpointed(strategy, &kernels, &targets, &sliced_dir, Some(3));
+
+        assert_eq!(full_lib, sliced_lib, "library bytes must not depend on pausing");
+        assert_eq!(full_trace, sliced_trace, "trace (minus cache_hit) must not depend on pausing");
+        std::fs::remove_dir_all(&full_dir).unwrap();
+        std::fs::remove_dir_all(&sliced_dir).unwrap();
+    }
+
+    #[test]
+    fn paused_and_resumed_perfllm_build_is_byte_identical() {
+        let kernels = tune(&["softmax"]);
+        let targets = [Target::x86()];
+        let strategy = Strategy::PerfLlm { episodes: 3 };
+
+        let full_dir = ckpt_tmpdir("llm-full");
+        let (full_lib, full_trace) =
+            run_checkpointed(strategy, &kernels, &targets, &full_dir, None);
+
+        let sliced_dir = ckpt_tmpdir("llm-sliced");
+        let (sliced_lib, sliced_trace) =
+            run_checkpointed(strategy, &kernels, &targets, &sliced_dir, Some(1));
+
+        assert_eq!(full_lib, sliced_lib);
+        assert_eq!(full_trace, sliced_trace);
+        std::fs::remove_dir_all(&full_dir).unwrap();
+        std::fs::remove_dir_all(&sliced_dir).unwrap();
     }
 }

@@ -1,0 +1,176 @@
+//! On-disk checkpoint directory for crash-safe library builds.
+//!
+//! A checkpoint directory holds four files, each updated atomically
+//! (write-tmp-rename via `perfdojo_util::trace::atomic_write`), so a crash
+//! at any point leaves a consistent prior state:
+//!
+//! - `done.list` — one line per completed (kernel, target) job:
+//!   `<label>|<target> <evaluations>`; resumed builds skip these.
+//! - `partial.pdl` — the library with every completed job's record merged,
+//!   in the normal on-disk format.
+//! - `inflight.ckpt` — the serialized search/training state of the job
+//!   that was running when the build paused (a `perfdojo-checkpoint v1`
+//!   text from `perfdojo-search` or `perfdojo-rl`); absent when the build
+//!   stopped at a job boundary.
+//! - `trace.jsonl` — the structured trajectory event log so far; resumed
+//!   builds append to it with continuing step numbers, so the finished
+//!   trace is byte-comparable to an uninterrupted run's.
+//!
+//! Because every file is replaced atomically and jobs re-run idempotently
+//! (the merge is keep-best), the worst a kill can cost is repeating the
+//! in-flight job.
+
+use perfdojo_util::trace::{atomic_write, TraceSink};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Handle to a build checkpoint directory.
+#[derive(Clone, Debug)]
+pub struct BuildCheckpoint {
+    dir: PathBuf,
+}
+
+impl BuildCheckpoint {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn open(dir: &Path) -> io::Result<BuildCheckpoint> {
+        std::fs::create_dir_all(dir)?;
+        Ok(BuildCheckpoint { dir: dir.to_path_buf() })
+    }
+
+    /// The directory path.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the partially-built library.
+    pub fn partial_path(&self) -> PathBuf {
+        self.dir.join("partial.pdl")
+    }
+
+    /// Path of the trajectory event log.
+    pub fn trace_path(&self) -> PathBuf {
+        self.dir.join("trace.jsonl")
+    }
+
+    fn done_path(&self) -> PathBuf {
+        self.dir.join("done.list")
+    }
+
+    fn inflight_path(&self) -> PathBuf {
+        self.dir.join("inflight.ckpt")
+    }
+
+    /// Completed jobs as `(label, target, evaluations)`, in completion
+    /// order. Unparseable lines are skipped (the job merely re-runs).
+    pub fn done_jobs(&self) -> Vec<(String, String, u64)> {
+        let Ok(text) = std::fs::read_to_string(self.done_path()) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let (id, evals) = line.rsplit_once(' ')?;
+                let (label, target) = id.split_once('|')?;
+                Some((label.to_string(), target.to_string(), evals.parse().ok()?))
+            })
+            .collect()
+    }
+
+    /// Record a completed job (atomic rewrite of the whole list).
+    pub fn mark_done(&self, label: &str, target: &str, evaluations: u64) -> io::Result<()> {
+        let mut jobs = self.done_jobs();
+        jobs.push((label.to_string(), target.to_string(), evaluations));
+        let mut text = String::new();
+        for (l, t, e) in &jobs {
+            text.push_str(&format!("{l}|{t} {e}\n"));
+        }
+        atomic_write(&self.done_path(), &text)
+    }
+
+    /// The in-flight job's serialized state, if one was saved.
+    pub fn load_inflight(&self) -> Option<String> {
+        std::fs::read_to_string(self.inflight_path()).ok()
+    }
+
+    /// Atomically save the in-flight job's serialized state.
+    pub fn save_inflight(&self, text: &str) -> io::Result<()> {
+        atomic_write(&self.inflight_path(), text)
+    }
+
+    /// Remove the in-flight state (the job completed).
+    pub fn clear_inflight(&self) -> io::Result<()> {
+        match std::fs::remove_file(self.inflight_path()) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Load the event log so far (empty sink when none exists yet).
+    pub fn load_trace(&self) -> TraceSink {
+        match std::fs::read_to_string(self.trace_path()) {
+            Ok(text) => TraceSink::from_text(&text),
+            Err(_) => TraceSink::new(),
+        }
+    }
+
+    /// Atomically save the event log.
+    pub fn save_trace(&self, sink: &TraceSink) -> io::Result<()> {
+        sink.save(&self.trace_path())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pdl-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn done_list_round_trips_and_appends() {
+        let dir = tmpdir("done");
+        let c = BuildCheckpoint::open(&dir).unwrap();
+        assert!(c.done_jobs().is_empty());
+        c.mark_done("softmax", "x86", 42).unwrap();
+        c.mark_done("matmul", "gh200", 7).unwrap();
+        assert_eq!(
+            c.done_jobs(),
+            vec![("softmax".into(), "x86".into(), 42), ("matmul".into(), "gh200".into(), 7)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inflight_state_saves_loads_and_clears() {
+        let dir = tmpdir("inflight");
+        let c = BuildCheckpoint::open(&dir).unwrap();
+        assert!(c.load_inflight().is_none());
+        c.save_inflight("perfdojo-checkpoint v1 anneal\nend\n").unwrap();
+        assert_eq!(c.load_inflight().unwrap(), "perfdojo-checkpoint v1 anneal\nend\n");
+        c.clear_inflight().unwrap();
+        assert!(c.load_inflight().is_none());
+        // clearing twice is fine
+        c.clear_inflight().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_persists_with_continuing_step_numbers() {
+        let dir = tmpdir("trace");
+        let c = BuildCheckpoint::open(&dir).unwrap();
+        let mut sink = c.load_trace();
+        sink.event("job").str("kernel", "softmax").emit();
+        c.save_trace(&sink).unwrap();
+        let mut reloaded = c.load_trace();
+        assert_eq!(reloaded.next_step(), 1);
+        reloaded.event("tuned").str("kernel", "softmax").emit();
+        c.save_trace(&reloaded).unwrap();
+        let final_text = std::fs::read_to_string(c.trace_path()).unwrap();
+        assert!(final_text.lines().count() == 2);
+        assert!(final_text.contains("\"step\":0"));
+        assert!(final_text.contains("\"step\":1"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -14,7 +14,10 @@
 //! - [`library::Library`] — the keep-best map, with version-checked merge,
 //!   gc, stats, and nearest-shape search.
 //! - [`builder::LibraryBuilder`] — the concurrent, deterministic tuning
-//!   driver over `perfdojo_util::par`.
+//!   driver over `perfdojo_util::par`; `build_into_checkpointed` is the
+//!   crash-safe sequential variant that persists per-job progress.
+//! - [`checkpoint::BuildCheckpoint`] — the on-disk checkpoint directory
+//!   (done-job list, partial library, in-flight search state, event log).
 //! - [`dispatch`] — `Library::lookup`: exact hit → fallback replay →
 //!   heuristic pass → naive, every served schedule re-validated and (when
 //!   small enough) numerically verified.
@@ -23,12 +26,14 @@
 //! over libraries on disk.
 
 pub mod builder;
+pub mod checkpoint;
 pub mod dispatch;
 pub mod format;
 pub mod library;
 pub mod sig;
 
-pub use builder::{target_by_name, LibraryBuilder, Strategy, TuneOutcome};
+pub use builder::{target_by_name, BuildProgress, LibraryBuilder, Strategy, TuneOutcome};
+pub use checkpoint::BuildCheckpoint;
 pub use dispatch::{DispatchResult, Disposition};
 pub use format::{FormatError, LoadStats, Provenance, ScheduleRecord};
 pub use library::{current_model_version, Library, LibraryStats, MergeReport};

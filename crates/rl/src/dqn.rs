@@ -8,9 +8,10 @@
 //! state-value head — advantages are centred over the candidate action set
 //! at selection/bootstrapping time.
 
-use crate::nn::Mlp;
+use crate::nn::{next_line, parse_f32s, push_f32s, Mlp};
 use crate::replay::{ReplayBuffer, Transition};
 use perfdojo_util::rng::Rng;
+use perfdojo_util::trace::{f32_from_hex, f32_to_hex, f64_from_hex, f64_to_hex};
 
 /// DQN hyperparameters and ablation switches.
 #[derive(Clone, Debug)]
@@ -222,6 +223,166 @@ impl DqnAgent {
         }
         Some(loss / batch.len() as f32)
     }
+
+    /// Append a lossless text serialization of the whole agent: config
+    /// (floats as exact `f32` bit patterns), ε/sync counters, RNG words,
+    /// all four networks with their Adam state, and the replay buffer.
+    /// Restoring with [`DqnAgent::parse_text`] continues training
+    /// bit-identically.
+    pub fn write_text(&self, out: &mut String) {
+        let c = &self.cfg;
+        out.push_str(&format!(
+            "dqn {} {} {} {} {} {} {} {} {} {} {} {}\n",
+            c.state_dim,
+            f32_to_hex(c.gamma),
+            c.max_bellman as u8,
+            c.double_dqn as u8,
+            c.dueling as u8,
+            c.replay_capacity,
+            c.batch,
+            f32_to_hex(c.lr),
+            c.target_sync,
+            f32_to_hex(c.eps_start),
+            f32_to_hex(c.eps_end),
+            c.eps_decay_steps
+        ));
+        out.push_str("hidden");
+        for h in &c.hidden {
+            out.push_str(&format!(" {h}"));
+        }
+        out.push('\n');
+        out.push_str(&format!("steps {} {}\n", self.steps, self.train_steps));
+        let (s, spare) = self.rng.state();
+        out.push_str(&format!(
+            "rng {:016x} {:016x} {:016x} {:016x} {}\n",
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            spare.map_or_else(|| "-".to_string(), f64_to_hex)
+        ));
+        self.online.write_text(out);
+        self.target.write_text(out);
+        self.value_online.write_text(out);
+        self.value_target.write_text(out);
+        out.push_str(&format!(
+            "replay {} {} {}\n",
+            self.replay.capacity(),
+            self.replay.write_index(),
+            self.replay.len()
+        ));
+        for t in self.replay.transitions() {
+            out.push_str(&format!("trans {} {}\n", f32_to_hex(t.reward), t.next_actions.len()));
+            push_f32s(out, "s", &t.state);
+            push_f32s(out, "a", &t.action);
+            for na in &t.next_actions {
+                push_f32s(out, "n", na);
+            }
+        }
+    }
+
+    /// Restore an agent from [`DqnAgent::write_text`] lines, consuming
+    /// exactly the lines it wrote.
+    pub fn parse_text<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<DqnAgent, String> {
+        let head = next_line(lines, "`dqn`")?;
+        let rest = head.strip_prefix("dqn ").ok_or_else(|| format!("expected dqn, got {head:?}"))?;
+        let f: Vec<&str> = rest.split_whitespace().collect();
+        if f.len() != 12 {
+            return Err(format!("dqn header needs 12 fields, got {}", f.len()));
+        }
+        let int = |s: &str| s.parse::<usize>().map_err(|_| format!("bad dqn integer {s:?}"));
+        let int32 = |s: &str| s.parse::<u32>().map_err(|_| format!("bad dqn integer {s:?}"));
+        let flt = |s: &str| f32_from_hex(s).ok_or_else(|| format!("bad dqn f32 bits {s:?}"));
+        let flag = |s: &str| match s {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            _ => Err(format!("bad dqn flag {s:?}")),
+        };
+        let hline = next_line(lines, "`hidden`")?;
+        let hrest = hline
+            .strip_prefix("hidden")
+            .ok_or_else(|| format!("expected hidden, got {hline:?}"))?;
+        let hidden: Vec<usize> = hrest
+            .split_whitespace()
+            .map(|s| s.parse().map_err(|_| format!("bad hidden width {s:?}")))
+            .collect::<Result<_, String>>()?;
+        let cfg = DqnConfig {
+            state_dim: int(f[0])?,
+            hidden,
+            gamma: flt(f[1])?,
+            max_bellman: flag(f[2])?,
+            double_dqn: flag(f[3])?,
+            dueling: flag(f[4])?,
+            replay_capacity: int(f[5])?,
+            batch: int(f[6])?,
+            lr: flt(f[7])?,
+            target_sync: int32(f[8])?,
+            eps_start: flt(f[9])?,
+            eps_end: flt(f[10])?,
+            eps_decay_steps: int32(f[11])?,
+        };
+        let sline = next_line(lines, "`steps`")?;
+        let srest =
+            sline.strip_prefix("steps ").ok_or_else(|| format!("expected steps, got {sline:?}"))?;
+        let (st, tt) = srest.split_once(' ').ok_or("steps needs two counters")?;
+        let steps: u32 = st.parse().map_err(|_| "bad steps".to_string())?;
+        let train_steps: u32 = tt.trim().parse().map_err(|_| "bad train steps".to_string())?;
+        let rline = next_line(lines, "`rng`")?;
+        let rrest = rline.strip_prefix("rng ").ok_or_else(|| format!("expected rng, got {rline:?}"))?;
+        let parts: Vec<&str> = rrest.split_whitespace().collect();
+        if parts.len() != 5 {
+            return Err("rng needs 4 state words + spare".to_string());
+        }
+        let mut s = [0u64; 4];
+        for (i, p) in parts[..4].iter().enumerate() {
+            s[i] = u64::from_str_radix(p, 16).map_err(|_| "bad rng word".to_string())?;
+        }
+        let spare = match parts[4] {
+            "-" => None,
+            h => Some(f64_from_hex(h).ok_or_else(|| "bad rng spare".to_string())?),
+        };
+        let rng = Rng::from_state(s, spare);
+        let online = Mlp::parse_text(lines)?;
+        let target = Mlp::parse_text(lines)?;
+        let value_online = Mlp::parse_text(lines)?;
+        let value_target = Mlp::parse_text(lines)?;
+        let pline = next_line(lines, "`replay`")?;
+        let prest =
+            pline.strip_prefix("replay ").ok_or_else(|| format!("expected replay, got {pline:?}"))?;
+        let p: Vec<&str> = prest.split_whitespace().collect();
+        if p.len() != 3 {
+            return Err("replay needs capacity + write + len".to_string());
+        }
+        let (capacity, write, len) = (int(p[0])?, int(p[1])?, int(p[2])?);
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            let tline = next_line(lines, "`trans`")?;
+            let trest = tline
+                .strip_prefix("trans ")
+                .ok_or_else(|| format!("expected trans, got {tline:?}"))?;
+            let (rw, nn) = trest.split_once(' ').ok_or("trans needs reward + next count")?;
+            let reward = flt(rw)?;
+            let n_next: usize = nn.trim().parse().map_err(|_| "bad next count".to_string())?;
+            let state = parse_f32s(next_line(lines, "`s`")?, "s", cfg.state_dim)?;
+            let action = parse_f32s(next_line(lines, "`a`")?, "a", cfg.state_dim)?;
+            let mut next_actions = Vec::with_capacity(n_next);
+            for _ in 0..n_next {
+                next_actions.push(parse_f32s(next_line(lines, "`n`")?, "n", cfg.state_dim)?);
+            }
+            data.push(Transition { state, action, reward, next_actions });
+        }
+        Ok(DqnAgent {
+            replay: ReplayBuffer::restore(capacity, write, data),
+            online,
+            target,
+            value_online,
+            value_target,
+            rng,
+            steps,
+            train_steps,
+            cfg,
+        })
+    }
 }
 
 fn argmax(v: &[f32]) -> usize {
@@ -293,6 +454,49 @@ mod tests {
         let cfg = DqnConfig { state_dim: 4, batch: 8, ..DqnConfig::default() };
         let mut agent = DqnAgent::new(cfg, 2);
         assert!(agent.train_step().is_none());
+    }
+
+    #[test]
+    fn text_round_trip_continues_training_bit_identically() {
+        let cfg = DqnConfig {
+            state_dim: 4,
+            hidden: vec![8],
+            batch: 8,
+            eps_decay_steps: 50,
+            ..DqnConfig::default()
+        };
+        let mut agent = DqnAgent::new(cfg, 21);
+        let state = onehot(0, 4);
+        let actions = vec![onehot(1, 4), onehot(2, 4)];
+        let play = |agent: &mut DqnAgent, rounds: usize| {
+            for _ in 0..rounds {
+                let a = agent.select(&state, &actions);
+                agent.remember(Transition {
+                    state: state.clone(),
+                    action: actions[a].clone(),
+                    reward: if a == 1 { 1.0 } else { 0.1 },
+                    next_actions: actions.clone(),
+                });
+                agent.train_step();
+            }
+        };
+        play(&mut agent, 40);
+        let mut text = String::new();
+        agent.write_text(&mut text);
+        let mut restored = DqnAgent::parse_text(&mut text.lines()).unwrap();
+        // re-serialization is byte-identical
+        let mut text2 = String::new();
+        restored.write_text(&mut text2);
+        assert_eq!(text, text2);
+        // further play stays in lockstep: same selections, same weights
+        play(&mut agent, 40);
+        play(&mut restored, 40);
+        let (qa, qb) = (agent.q_values(&state, &actions), restored.q_values(&state, &actions));
+        assert_eq!(
+            qa.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            qb.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(agent.epsilon().to_bits(), restored.epsilon().to_bits());
     }
 
     #[test]

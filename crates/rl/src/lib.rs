@@ -17,6 +17,7 @@
 //! `Q(s,a) = E[max(r(s,a), γ·Q(s',a'))]`, which prioritizes the best
 //! achievable state in an episode over expected cumulative reward.
 
+pub mod checkpoint;
 pub mod dqn;
 pub mod embed;
 pub mod maxq;
@@ -24,6 +25,9 @@ pub mod nn;
 pub mod perfllm;
 pub mod replay;
 
+pub use checkpoint::{parse_train, serialize_train};
 pub use dqn::{DqnAgent, DqnConfig};
 pub use embed::{embed, EMBED_DIM};
-pub use perfllm::{optimize, PerfLlmConfig, PerfLlmResult};
+pub use perfllm::{
+    optimize, train_episodes, PerfLlmConfig, PerfLlmResult, TrainProgress, TrainState,
+};

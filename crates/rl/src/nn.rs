@@ -4,6 +4,39 @@
 //! linear output.
 
 use perfdojo_util::rng::Rng;
+use perfdojo_util::trace::{f32_from_hex, f32_to_hex};
+
+/// Append `key <hex> <hex> ...` with every `f32` as its exact bit pattern.
+pub(crate) fn push_f32s(out: &mut String, key: &str, v: &[f32]) {
+    out.push_str(key);
+    for x in v {
+        out.push(' ');
+        out.push_str(&f32_to_hex(*x));
+    }
+    out.push('\n');
+}
+
+/// Parse a [`push_f32s`] line, checking the key and the expected length.
+pub(crate) fn parse_f32s(line: &str, key: &str, n: usize) -> Result<Vec<f32>, String> {
+    let rest = line
+        .strip_prefix(key)
+        .and_then(|r| if n == 0 { Some(r) } else { r.strip_prefix(' ') })
+        .ok_or_else(|| format!("expected `{key} ...`, got {line:?}"))?;
+    let v: Option<Vec<f32>> = rest.split_whitespace().map(f32_from_hex).collect();
+    let v = v.ok_or_else(|| format!("bad f32 bits in `{key}` line"))?;
+    if v.len() != n {
+        return Err(format!("`{key}` expects {n} values, got {}", v.len()));
+    }
+    Ok(v)
+}
+
+/// Pull the next line or fail with context.
+pub(crate) fn next_line<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<&'a str, String> {
+    lines.next().ok_or_else(|| format!("unexpected end of checkpoint, expected {what}"))
+}
 
 /// One dense layer with Adam state.
 #[derive(Clone, Debug)]
@@ -174,6 +207,63 @@ impl Mlp {
             a.b.copy_from_slice(&b.b);
         }
     }
+
+    /// Append a lossless text serialization: weights, biases and Adam
+    /// moments as exact `f32` bit patterns, plus the Adam step counter.
+    ///
+    /// Gradient accumulators are *not* stored: [`Mlp::step`] flushes them
+    /// to zero, so at any step boundary (where checkpoints are taken) they
+    /// carry no information.
+    pub fn write_text(&self, out: &mut String) {
+        out.push_str(&format!("mlp {} {}\n", self.adam_t, self.layers.len()));
+        for l in &self.layers {
+            out.push_str(&format!("layer {} {}\n", l.nin, l.nout));
+            push_f32s(out, "w", &l.w);
+            push_f32s(out, "b", &l.b);
+            push_f32s(out, "mw", &l.mw);
+            push_f32s(out, "vw", &l.vw);
+            push_f32s(out, "mb", &l.mb);
+            push_f32s(out, "vb", &l.vb);
+        }
+    }
+
+    /// Restore a network from [`Mlp::write_text`] lines, consuming exactly
+    /// the lines it wrote (so agent-level parsers can compose).
+    pub fn parse_text<'a>(lines: &mut impl Iterator<Item = &'a str>) -> Result<Mlp, String> {
+        let head = next_line(lines, "`mlp`")?;
+        let rest = head.strip_prefix("mlp ").ok_or_else(|| format!("expected mlp, got {head:?}"))?;
+        let (t, n) = rest.split_once(' ').ok_or("mlp header needs adam_t + layer count")?;
+        let adam_t: u64 = t.parse().map_err(|_| "bad mlp adam_t".to_string())?;
+        let nlayers: usize = n.trim().parse().map_err(|_| "bad mlp layer count".to_string())?;
+        let mut layers = Vec::with_capacity(nlayers);
+        for _ in 0..nlayers {
+            let head = next_line(lines, "`layer`")?;
+            let rest =
+                head.strip_prefix("layer ").ok_or_else(|| format!("expected layer, got {head:?}"))?;
+            let (i, o) = rest.split_once(' ').ok_or("layer header needs nin + nout")?;
+            let nin: usize = i.parse().map_err(|_| "bad layer nin".to_string())?;
+            let nout: usize = o.trim().parse().map_err(|_| "bad layer nout".to_string())?;
+            let w = parse_f32s(next_line(lines, "`w`")?, "w", nin * nout)?;
+            let b = parse_f32s(next_line(lines, "`b`")?, "b", nout)?;
+            let mw = parse_f32s(next_line(lines, "`mw`")?, "mw", nin * nout)?;
+            let vw = parse_f32s(next_line(lines, "`vw`")?, "vw", nin * nout)?;
+            let mb = parse_f32s(next_line(lines, "`mb`")?, "mb", nout)?;
+            let vb = parse_f32s(next_line(lines, "`vb`")?, "vb", nout)?;
+            layers.push(Linear {
+                w,
+                b,
+                gw: vec![0.0; nin * nout],
+                gb: vec![0.0; nout],
+                mw,
+                vw,
+                mb,
+                vb,
+                nin,
+                nout,
+            });
+        }
+        Ok(Mlp { layers, adam_t })
+    }
 }
 
 #[cfg(test)]
@@ -229,6 +319,53 @@ mod tests {
         assert_ne!(a.forward(&[0.5, 0.5]), b.forward(&[0.5, 0.5]));
         b.copy_params_from(&a);
         assert_eq!(a.forward(&[0.5, 0.5]), b.forward(&[0.5, 0.5]));
+    }
+
+    #[test]
+    fn text_round_trip_mid_training_continues_bit_identically() {
+        let mut net = Mlp::new(&[2, 8, 1], 3);
+        let mut rng = Rng::seed_from_u64(4);
+        let sample = |rng: &mut Rng| {
+            let x = [rng.random_range(-1.0f32..1.0), rng.random_range(-1.0f32..1.0)];
+            (x, x[0] - 0.5 * x[1])
+        };
+        for _ in 0..40 {
+            let (x, y) = sample(&mut rng);
+            let err = net.forward(&x)[0] - y;
+            net.backward(&x, &[2.0 * err]);
+            net.step(1e-2, 1);
+        }
+        let mut text = String::new();
+        net.write_text(&mut text);
+        let mut restored = Mlp::parse_text(&mut text.lines()).unwrap();
+        // re-serialization is byte-identical (Adam moments included)
+        let mut text2 = String::new();
+        restored.write_text(&mut text2);
+        assert_eq!(text, text2);
+        // and further training diverges nowhere: same data -> same bits
+        let mut rng2 = rng.clone();
+        for _ in 0..40 {
+            let (x, y) = sample(&mut rng);
+            let err = net.forward(&x)[0] - y;
+            net.backward(&x, &[2.0 * err]);
+            net.step(1e-2, 1);
+            let (x2, y2) = sample(&mut rng2);
+            let err2 = restored.forward(&x2)[0] - y2;
+            restored.backward(&x2, &[2.0 * err2]);
+            restored.step(1e-2, 1);
+        }
+        let (a, b) = (net.forward(&[0.3, 0.7])[0], restored.forward(&[0.3, 0.7])[0]);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_text() {
+        let net = Mlp::new(&[2, 4, 1], 1);
+        let mut text = String::new();
+        net.write_text(&mut text);
+        assert!(Mlp::parse_text(&mut text[..text.len() / 2].lines()).is_err());
+        let bad = text.replacen("w ", "w zz", 1);
+        assert!(Mlp::parse_text(&mut bad.lines()).is_err());
     }
 
     #[test]

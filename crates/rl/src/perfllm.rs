@@ -13,6 +13,7 @@ use crate::replay::Transition;
 use perfdojo_core::Dojo;
 use perfdojo_transform::Action;
 use perfdojo_util::rng::{Rng, SliceRandom};
+use perfdojo_util::trace::TraceSink;
 
 /// PerfLLM driver configuration.
 #[derive(Clone, Debug)]
@@ -62,25 +63,99 @@ impl PerfLlmResult {
     }
 }
 
-/// Run PerfLLM on a Dojo.
-pub fn optimize(dojo: &mut Dojo, cfg: &PerfLlmConfig, seed: u64) -> PerfLlmResult {
-    let mut agent = DqnAgent::new(cfg.dqn.clone(), seed);
-    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9);
-    let mut best_runtime = dojo.initial_runtime();
-    let mut best_steps: Vec<Action> = Vec::new();
-    let mut episode_best = Vec::with_capacity(cfg.episodes);
+/// The full, resumable state of one PerfLLM training run: everything
+/// [`optimize`] accumulates between episodes. Checkpoints are taken at
+/// episode boundaries (the dojo is rewound by `reset` at the start of
+/// every episode, so no dojo state needs to be stored at all).
+pub struct TrainState {
+    /// The learning agent: networks, Adam state, replay, ε/sync counters.
+    pub agent: DqnAgent,
+    /// The driver's action-sampling RNG.
+    pub rng: Rng,
+    /// Best runtime discovered so far, seconds.
+    pub best_runtime: f64,
+    /// Transformation sequence reaching it.
+    pub best_steps: Vec<Action>,
+    /// Learning curve: best-so-far at the end of each finished episode.
+    pub episode_best: Vec<f64>,
+    /// Episodes completed so far.
+    pub episodes_done: usize,
+    /// Evaluations spent so far. Seeded with the dojo's pre-run counter so
+    /// [`TrainState::into_result`] reports exactly what the historical
+    /// `dojo.evaluations()` report did.
+    pub spent: u64,
+    /// Trajectory events emitted so far.
+    pub events: u64,
+}
 
-    for _ep in 0..cfg.episodes {
+impl TrainState {
+    /// Start a fresh run (spends nothing; the dojo is untouched).
+    pub fn start(dojo: &Dojo, cfg: &PerfLlmConfig, seed: u64) -> TrainState {
+        TrainState {
+            agent: DqnAgent::new(cfg.dqn.clone(), seed),
+            rng: Rng::seed_from_u64(seed ^ 0x9e37_79b9),
+            best_runtime: dojo.initial_runtime(),
+            best_steps: Vec::new(),
+            episode_best: Vec::with_capacity(cfg.episodes),
+            episodes_done: 0,
+            spent: dojo.evaluations(),
+            events: 0,
+        }
+    }
+
+    /// Consume the state into a [`PerfLlmResult`].
+    pub fn into_result(self) -> PerfLlmResult {
+        PerfLlmResult {
+            best_runtime: self.best_runtime,
+            best_steps: self.best_steps,
+            episode_best: self.episode_best,
+            evaluations: self.spent,
+        }
+    }
+}
+
+/// Whether [`train_episodes`] finished all configured episodes or paused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrainProgress {
+    /// All `cfg.episodes` episodes have completed.
+    Finished,
+    /// Paused after `max_episodes` episodes; call again to continue.
+    Paused,
+}
+
+/// Drive a [`TrainState`] forward, at most `max_episodes` episodes in this
+/// call (all remaining when `None`). Emits one `"rl"` event per
+/// environment step and one `"ep"` event per finished episode when `sink`
+/// is given. Resuming a restored state on a *fresh* dojo continues
+/// bit-identically: episodes always start from `reset`, and the cost
+/// model returns identical values whether or not the evaluation cache is
+/// warm.
+pub fn train_episodes(
+    dojo: &mut Dojo,
+    cfg: &PerfLlmConfig,
+    state: &mut TrainState,
+    max_episodes: Option<usize>,
+    mut sink: Option<&mut TraceSink>,
+) -> TrainProgress {
+    let base = state.spent;
+    let seg0 = dojo.evaluations();
+    let mut eps_this_call = 0usize;
+    while state.episodes_done < cfg.episodes {
+        if max_episodes.is_some_and(|m| eps_this_call >= m) {
+            return TrainProgress::Paused;
+        }
+        eps_this_call += 1;
+        let ep = state.episodes_done as u64;
         // `reset` rewinds the history but keeps the incremental engine's
         // cost cache warm, so later episodes revisiting states explored by
         // earlier ones skip the lower+cost work (the budget still counts
         // every evaluation, cached or not).
         dojo.reset();
         let mut state_emb = embed(dojo.current());
-        for _step in 0..cfg.max_steps {
+        for step_i in 0..cfg.max_steps {
             // enumerate + sample candidates
             let mut actions = dojo.actions();
-            actions.shuffle(&mut rng);
+            actions.shuffle(&mut state.rng);
             actions.truncate(cfg.action_sample);
             if actions.is_empty() {
                 break;
@@ -88,62 +163,102 @@ pub fn optimize(dojo: &mut Dojo, cfg: &PerfLlmConfig, seed: u64) -> PerfLlmResul
             // embed candidate next-states; slot 0 is the stop action
             // (identical embeddings, §3.1)
             let mut cand_embs: Vec<Vec<f32>> = vec![state_emb.clone()];
-            let mut cand_programs: Vec<Option<perfdojo_ir::Program>> = vec![None];
+            let mut cand_actions: Vec<Option<&Action>> = vec![None];
             for a in &actions {
                 if let Ok(next) = a.apply(dojo.current()) {
                     cand_embs.push(embed(&next));
-                    cand_programs.push(Some(next));
+                    cand_actions.push(Some(a));
                 }
             }
             if cand_embs.len() == 1 {
                 break;
             }
-            let choice = agent.select(&state_emb, &cand_embs);
+            let choice = state.agent.select(&state_emb, &cand_embs);
             if choice == 0 {
                 // stop: terminal transition rewarding the current state
                 let reward = dojo.reward_of(dojo.runtime()) as f32;
-                agent.remember(Transition {
+                state.agent.remember(Transition {
                     state: state_emb.clone(),
                     action: state_emb.clone(),
                     reward,
                     next_actions: vec![],
                 });
                 for _ in 0..cfg.train_per_step {
-                    agent.train_step();
+                    state.agent.train_step();
+                }
+                if let Some(sink) = sink.as_deref_mut() {
+                    sink.event("rl")
+                        .u64("ep", ep)
+                        .u64("step", step_i as u64)
+                        .u64("cands", (cand_embs.len() - 1) as u64)
+                        .str("action", "stop")
+                        .f64("reward", reward as f64)
+                        .f64("best", state.best_runtime)
+                        .emit();
+                    state.events = sink.next_step();
                 }
                 break;
             }
-            let action = actions[choice - 1].clone();
+            let action = cand_actions[choice].expect("non-stop choice has an action").clone();
             let Ok(step) = dojo.step(action.clone()) else { break };
             let next_emb = cand_embs[choice].clone();
             // bounded sample of next-state candidates for the bootstrapped
             // target (including stop)
             let mut next_actions = vec![next_emb.clone()];
             let mut nexts = dojo.actions();
-            nexts.shuffle(&mut rng);
+            nexts.shuffle(&mut state.rng);
             for a in nexts.into_iter().take(8) {
                 if let Ok(nn) = a.apply(dojo.current()) {
                     next_actions.push(embed(&nn));
                 }
             }
-            agent.remember(Transition {
+            state.agent.remember(Transition {
                 state: state_emb.clone(),
                 action: next_emb.clone(),
                 reward: step.reward as f32,
                 next_actions,
             });
             for _ in 0..cfg.train_per_step {
-                agent.train_step();
+                state.agent.train_step();
             }
             state_emb = next_emb;
-            if step.runtime < best_runtime {
-                best_runtime = step.runtime;
-                best_steps = dojo.history.steps.clone();
+            if step.runtime < state.best_runtime {
+                state.best_runtime = step.runtime;
+                state.best_steps = dojo.history.steps.clone();
+            }
+            if let Some(sink) = sink.as_deref_mut() {
+                sink.event("rl")
+                    .u64("ep", ep)
+                    .u64("step", step_i as u64)
+                    .u64("cands", (cand_embs.len() - 1) as u64)
+                    .str("action", &action.to_string())
+                    .f64("reward", step.reward)
+                    .f64("best", state.best_runtime)
+                    .emit();
+                state.events = sink.next_step();
             }
         }
-        episode_best.push(best_runtime);
+        state.spent = base + (dojo.evaluations() - seg0);
+        state.episode_best.push(state.best_runtime);
+        state.episodes_done += 1;
+        if let Some(sink) = sink.as_deref_mut() {
+            sink.event("ep")
+                .u64("ep", ep)
+                .f64("best", state.best_runtime)
+                .u64("evals", state.spent)
+                .emit();
+            state.events = sink.next_step();
+        }
     }
-    PerfLlmResult { best_runtime, best_steps, episode_best, evaluations: dojo.evaluations() }
+    state.spent = base + (dojo.evaluations() - seg0);
+    TrainProgress::Finished
+}
+
+/// Run PerfLLM on a Dojo.
+pub fn optimize(dojo: &mut Dojo, cfg: &PerfLlmConfig, seed: u64) -> PerfLlmResult {
+    let mut state = TrainState::start(dojo, cfg, seed);
+    train_episodes(dojo, cfg, &mut state, None, None);
+    state.into_result()
 }
 
 #[cfg(test)]

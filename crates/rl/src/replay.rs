@@ -59,6 +59,30 @@ impl ReplayBuffer {
     pub fn sample<'a>(&'a self, n: usize, rng: &mut Rng) -> Vec<&'a Transition> {
         (0..n).map(|_| &self.data[rng.random_range(0..self.data.len())]).collect()
     }
+
+    /// Capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Eviction cursor: the slot the next push overwrites once full.
+    pub fn write_index(&self) -> usize {
+        self.write
+    }
+
+    /// All stored transitions in slot order (checkpointing; slot order is
+    /// what [`ReplayBuffer::sample`] indexes, so preserving it preserves
+    /// the sampled stream bit-for-bit).
+    pub fn transitions(&self) -> &[Transition] {
+        &self.data
+    }
+
+    /// Rebuild a buffer from checkpointed parts, inverse of reading
+    /// [`ReplayBuffer::capacity`] / [`ReplayBuffer::write_index`] /
+    /// [`ReplayBuffer::transitions`].
+    pub fn restore(capacity: usize, write: usize, data: Vec<Transition>) -> Self {
+        ReplayBuffer { data, capacity, write }
+    }
 }
 
 #[cfg(test)]

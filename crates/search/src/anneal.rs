@@ -4,57 +4,194 @@
 //! its own runtime. The neighborhood structure is pluggable
 //! ([`crate::SearchSpace`]): *edges*-based or *heuristic*-based — the
 //! comparison of Fig. 12.
+//!
+//! The loop is factored into an explicit, serializable [`AnnealState`]
+//! (RNG words, current/best sequences, spend, cooling constants) driven by
+//! [`anneal_resume`], so a run can emit per-step trajectory events, pause
+//! at a step limit, be checkpointed to disk (`crate::checkpoint`) and later
+//! continue bit-identically to an uninterrupted run.
+//! [`simulated_annealing`] is the thin uninterrupted wrapper.
 
 use crate::{SearchResult, SearchSpace, TracePoint};
 use perfdojo_core::Dojo;
 use perfdojo_transform::Action;
 use perfdojo_util::rng::Rng;
+use perfdojo_util::trace::TraceSink;
+
+/// The full, resumable state of one simulated-annealing run.
+///
+/// Everything the loop needs to continue is here — except the `Dojo`,
+/// which a resumer re-establishes with [`AnnealState::reattach`]. The cost
+/// cache is deliberately *not* part of the state: a resumed process starts
+/// cold, which changes `cache_hit` telemetry but no value or decision
+/// (cache hits return the exact value the machine model would compute).
+#[derive(Clone, Debug)]
+pub struct AnnealState {
+    /// Search RNG (serialized via its xoshiro state words).
+    pub rng: Rng,
+    /// Current candidate sequence.
+    pub current: Vec<Action>,
+    /// Runtime of the current candidate.
+    pub current_cost: f64,
+    /// Best sequence seen so far.
+    pub best_steps: Vec<Action>,
+    /// Best runtime seen so far.
+    pub best_runtime: f64,
+    /// Evaluations spent so far (resume-invariant: tracked by deltas, so
+    /// the restore evaluation of a resumed run is not charged).
+    pub spent: u64,
+    /// Cooling start temperature.
+    pub t0: f64,
+    /// Cooling end temperature.
+    pub t_end: f64,
+    /// Convergence trace accumulated so far.
+    pub trace: Vec<TracePoint>,
+    /// Trajectory events emitted so far (trace-sink step counter).
+    pub events: u64,
+}
+
+/// Whether [`anneal_resume`] ran the budget dry or paused at a step limit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnnealProgress {
+    /// The evaluation budget is exhausted; the state holds the final result.
+    Finished,
+    /// The step limit was reached first; checkpoint and continue later.
+    Paused,
+}
+
+impl AnnealState {
+    /// Start a fresh run: seed the RNG, take the space's initial candidate
+    /// and evaluate it. Charges the initial work to `spent` exactly as the
+    /// historical loop did.
+    pub fn start(dojo: &mut Dojo, space: &dyn SearchSpace, seed: u64) -> AnnealState {
+        let rng = Rng::seed_from_u64(seed);
+        let start_evals = dojo.evaluations();
+        let current = space.initial(dojo);
+        let current_cost = match dojo.load_sequence(&current) {
+            Ok(rt) => rt,
+            Err(_) => dojo.initial_runtime(),
+        };
+        let spent = dojo.evaluations() - start_evals;
+        AnnealState {
+            rng,
+            best_steps: current.clone(),
+            best_runtime: current_cost,
+            current,
+            current_cost,
+            spent,
+            // geometric cooling from a temperature that accepts ~50% of 2x
+            // regressions down to near-greedy behaviour
+            t0: current_cost,
+            t_end: current_cost * 1e-3,
+            trace: vec![(spent, current_cost)],
+            events: 0,
+        }
+    }
+
+    /// Re-establish a restored state on a fresh `Dojo`: load the current
+    /// sequence so neighbor generation sees the right program. The one
+    /// evaluation this costs is *not* charged to `spent` — the
+    /// uninterrupted run never spent it — keeping resumed accounting
+    /// bit-identical.
+    pub fn reattach(&self, dojo: &mut Dojo) {
+        let _ = dojo.load_sequence(&self.current);
+    }
+
+    /// Consume the state into a [`SearchResult`].
+    pub fn into_result(self) -> SearchResult {
+        SearchResult {
+            best_steps: self.best_steps,
+            best_runtime: self.best_runtime,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Drive an [`AnnealState`] forward until the budget is spent, or until
+/// `max_steps` loop iterations have run (for step-limited checkpointing).
+///
+/// Each evaluated candidate appends a trace point and, when `sink` is
+/// given, one `"sa"` trajectory event (action, cost, temperature,
+/// accept/reject, best-so-far, cache hit). All decisions are pure
+/// functions of the state, so interrupt-and-resume replays the identical
+/// trajectory.
+pub fn anneal_resume(
+    dojo: &mut Dojo,
+    space: &dyn SearchSpace,
+    budget: u64,
+    state: &mut AnnealState,
+    mut sink: Option<&mut TraceSink>,
+    max_steps: Option<u64>,
+) -> AnnealProgress {
+    // `spent` is advanced by deltas of the dojo's counter relative to this
+    // segment's start, mirroring the historical `evals - start_evals`.
+    let base = state.spent;
+    let seg0 = dojo.evaluations();
+    let mut steps_done = 0u64;
+    loop {
+        state.spent = base + (dojo.evaluations() - seg0);
+        if state.spent >= budget {
+            return AnnealProgress::Finished;
+        }
+        if max_steps.is_some_and(|m| steps_done >= m) {
+            return AnnealProgress::Paused;
+        }
+        steps_done += 1;
+        let progress = state.spent as f64 / budget.max(1) as f64;
+        let temp = state.t0 * (state.t_end / state.t0).powf(progress);
+
+        let cand = space.neighbor(&state.current, dojo, &mut state.rng);
+        let hits_before = dojo.cache_stats().hits;
+        let Ok(cost) = dojo.load_sequence(&cand) else { continue };
+        let cache_hit = dojo.cache_stats().hits > hits_before;
+        let accept = cost <= state.current_cost || {
+            let d = (cost - state.current_cost) / temp.max(1e-30);
+            state.rng.random_bool((-d).exp().clamp(0.0, 1.0))
+        };
+        if accept {
+            state.current = cand;
+            state.current_cost = cost;
+        }
+        if cost < state.best_runtime {
+            state.best_runtime = cost;
+            state.best_steps = state.current.clone();
+        }
+        state.spent = base + (dojo.evaluations() - seg0);
+        state.trace.push((state.spent, state.best_runtime));
+        if let Some(sink) = sink.as_deref_mut() {
+            sink.event("sa")
+                .u64("evals", state.spent)
+                .str("action", &state.current.last().map_or_else(String::new, |a| a.to_string()))
+                .u64("seq", state.current.len() as u64)
+                .f64("cost", cost)
+                .f64("temp", temp)
+                .bool("accept", accept)
+                .f64("best", state.best_runtime)
+                .bool("cache_hit", cache_hit)
+                .emit();
+            state.events = sink.next_step();
+        }
+    }
+}
 
 /// Run simulated annealing for `budget` evaluations.
+///
+/// A zero budget is a no-op by definition: the initial program is returned
+/// untouched, with no evaluations spent and no NaN temperatures computed
+/// (the cooling schedule divides by the budget).
 pub fn simulated_annealing(
     dojo: &mut Dojo,
     space: &dyn SearchSpace,
     budget: u64,
     seed: u64,
 ) -> SearchResult {
-    let mut rng = Rng::seed_from_u64(seed);
-    let start_evals = dojo.evaluations();
-
-    let mut current = space.initial(dojo);
-    let mut current_cost = match dojo.load_sequence(&current) {
-        Ok(rt) => rt,
-        Err(_) => dojo.initial_runtime(),
-    };
-    let mut best_steps = current.clone();
-    let mut best_runtime = current_cost;
-    let mut trace: Vec<TracePoint> = vec![(dojo.evaluations() - start_evals, best_runtime)];
-
-    // geometric cooling from a temperature that accepts ~50% of 2x
-    // regressions down to near-greedy behaviour
-    let t0 = current_cost;
-    let t_end = current_cost * 1e-3;
-
-    while dojo.evaluations() - start_evals < budget {
-        let progress = (dojo.evaluations() - start_evals) as f64 / budget as f64;
-        let temp = t0 * (t_end / t0).powf(progress);
-
-        let cand = space.neighbor(&current, dojo, &mut rng);
-        let Ok(cost) = dojo.load_sequence(&cand) else { continue };
-        let accept = cost <= current_cost || {
-            let d = (cost - current_cost) / temp.max(1e-30);
-            rng.random_bool((-d).exp().clamp(0.0, 1.0))
-        };
-        if accept {
-            current = cand;
-            current_cost = cost;
-        }
-        if cost < best_runtime {
-            best_runtime = cost;
-            best_steps = current.clone();
-        }
-        trace.push((dojo.evaluations() - start_evals, best_runtime));
+    if budget == 0 {
+        let rt = dojo.initial_runtime();
+        return SearchResult { best_steps: Vec::new(), best_runtime: rt, trace: vec![(0, rt)] };
     }
-    SearchResult { best_steps, best_runtime, trace }
+    let mut state = AnnealState::start(dojo, space, seed);
+    anneal_resume(dojo, space, budget, &mut state, None, None);
+    state.into_result()
 }
 
 /// Convenience: SA over the edges space.
@@ -114,5 +251,75 @@ mod tests {
             anneal_edges(&mut d, 80, 17).best_runtime
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn zero_budget_returns_initial_program_untouched() {
+        // the historical loop computed progress = spent / budget, a 0/0 NaN
+        // at budget 0; now a zero budget must spend nothing, transform
+        // nothing and report the initial program
+        let p = perfdojo_kernels::softmax(8, 16);
+        let mut d = Dojo::for_target(p.clone(), &Target::x86()).unwrap();
+        let evals_before = d.evaluations();
+        for space in [&crate::EdgesSpace as &dyn SearchSpace, &crate::HeuristicSpace] {
+            let r = simulated_annealing(&mut d, space, 0, 42);
+            assert!(r.best_steps.is_empty(), "no steps may be taken at budget 0");
+            assert_eq!(r.best_runtime.to_bits(), d.initial_runtime().to_bits());
+            assert!(r.best_runtime.is_finite());
+            assert_eq!(r.trace, vec![(0, d.initial_runtime())]);
+        }
+        assert_eq!(d.evaluations(), evals_before, "budget 0 must spend nothing");
+        assert_eq!(d.current(), &p, "the dojo must be left untransformed");
+    }
+
+    #[test]
+    fn resumable_driver_matches_wrapper_bit_for_bit() {
+        // run the thin wrapper and the explicit state machine side by side
+        let mk = || {
+            let p = perfdojo_kernels::softmax(8, 16);
+            Dojo::for_target(p, &Target::x86()).unwrap()
+        };
+        let (budget, seed) = (90, 13);
+        let mut d1 = mk();
+        let a = simulated_annealing(&mut d1, &crate::EdgesSpace, budget, seed);
+        let mut d2 = mk();
+        let mut st = AnnealState::start(&mut d2, &crate::EdgesSpace, seed);
+        let p = anneal_resume(&mut d2, &crate::EdgesSpace, budget, &mut st, None, None);
+        assert_eq!(p, AnnealProgress::Finished);
+        let b = st.into_result();
+        assert_eq!(a.best_runtime.to_bits(), b.best_runtime.to_bits());
+        assert_eq!(a.best_steps, b.best_steps);
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (x, y) in a.trace.iter().zip(&b.trace) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+        assert_eq!(d1.evaluations(), d2.evaluations());
+    }
+
+    #[test]
+    fn step_limit_pauses_and_plain_continue_finishes_identically() {
+        let mk = || {
+            let p = perfdojo_kernels::mul(8, 32);
+            Dojo::for_target(p, &Target::x86()).unwrap()
+        };
+        let (budget, seed) = (80, 3);
+        let mut d1 = mk();
+        let full = simulated_annealing(&mut d1, &crate::EdgesSpace, budget, seed);
+
+        let mut d2 = mk();
+        let mut st = AnnealState::start(&mut d2, &crate::EdgesSpace, seed);
+        let mut pauses = 0;
+        while anneal_resume(&mut d2, &crate::EdgesSpace, budget, &mut st, None, Some(7))
+            == AnnealProgress::Paused
+        {
+            pauses += 1;
+            assert!(pauses < 1000, "must terminate");
+        }
+        assert!(pauses > 0, "a 7-step limit must pause at least once");
+        let r = st.into_result();
+        assert_eq!(full.best_runtime.to_bits(), r.best_runtime.to_bits());
+        assert_eq!(full.best_steps, r.best_steps);
+        assert_eq!(full.trace, r.trace);
     }
 }

@@ -7,19 +7,23 @@
 //! (§4.2.1–4.2.2, Fig. 12).
 
 pub mod anneal;
+pub mod checkpoint;
 pub mod manual;
 pub mod parallel;
 pub mod passes;
 pub mod sampling;
 pub mod space;
 
-pub use anneal::{anneal_edges, anneal_heuristic, simulated_annealing};
+pub use anneal::{
+    anneal_edges, anneal_heuristic, anneal_resume, simulated_annealing, AnnealProgress,
+    AnnealState,
+};
 pub use parallel::{
-    anneal_edges_parallel, anneal_heuristic_parallel, anneal_parallel, chain_seed,
-    random_sampling_parallel,
+    anneal_edges_parallel, anneal_heuristic_parallel, anneal_parallel,
+    anneal_parallel_resumable, chain_seed, random_sampling_parallel,
 };
 pub use passes::{greedy_pass, heuristic_pass, naive_pass};
-pub use sampling::random_sampling;
+pub use sampling::{random_sampling, sampling_resume, SamplingState};
 pub use space::{EdgesSpace, HeuristicSpace, SearchSpace};
 
 /// One point of a convergence curve: (evaluations so far, best runtime).

@@ -20,6 +20,7 @@ use crate::{SearchResult, SearchSpace};
 use perfdojo_core::Dojo;
 use perfdojo_ir::fingerprint::fnv1a;
 use perfdojo_util::par::par_map;
+use perfdojo_util::trace::TraceSink;
 
 /// Seed for one chain: mixed from the global seed and the chain index so
 /// chains are decorrelated and insensitive to how work lands on threads.
@@ -78,6 +79,53 @@ pub fn anneal_heuristic_parallel(
     seed: u64,
 ) -> SearchResult {
     anneal_parallel(dojo, &crate::HeuristicSpace, chains, budget_per_chain, seed)
+}
+
+/// Chain-granular resumable parallel SA: `completed` holds the results of
+/// chains already finished by an earlier (interrupted) run — typically
+/// restored via `crate::checkpoint::parse_chains` — and only the remaining
+/// chains `completed.len()..chains` are executed. Each newly-finished
+/// chain is appended to `completed` (serialize it after this returns to
+/// advance the checkpoint) and, when `sink` is given, emits one `"chain"`
+/// event, so the concatenated event stream of an interrupted + resumed run
+/// is byte-identical to an uninterrupted one.
+///
+/// Only the newly-run chains' spend is charged to `dojo` (the interrupted
+/// process already accounted for its own).
+pub fn anneal_parallel_resumable(
+    dojo: &mut Dojo,
+    space: &dyn SearchSpace,
+    chains: usize,
+    budget_per_chain: u64,
+    seed: u64,
+    completed: &mut Vec<SearchResult>,
+    sink: Option<&mut TraceSink>,
+) -> SearchResult {
+    let chains = chains.max(1);
+    completed.truncate(chains);
+    let start = completed.len();
+    let fresh = par_map((start..chains).collect::<Vec<_>>(), |c| {
+        let mut chain_dojo = dojo.clone();
+        crate::simulated_annealing(&mut chain_dojo, space, budget_per_chain, chain_seed(seed, c))
+    });
+    let fresh_evals: u64 = fresh.iter().map(|r| r.trace.last().map_or(0, |t| t.0)).sum();
+    dojo.charge_evaluations(fresh_evals);
+    if let Some(sink) = sink {
+        for (i, r) in fresh.iter().enumerate() {
+            sink.event("chain")
+                .u64("chain", (start + i) as u64)
+                .u64("evals", r.trace.last().map_or(0, |t| t.0))
+                .f64("best", r.best_runtime)
+                .u64("steps", r.best_steps.len() as u64)
+                .emit();
+        }
+    }
+    completed.extend(fresh);
+    let (best, _) = merge_chains(completed.clone());
+    if best.best_runtime < dojo.best().1 {
+        let _ = dojo.load_sequence(&best.best_steps);
+    }
+    best
 }
 
 /// Batched global random sampling: `chains` independent sampling runs of
@@ -179,5 +227,77 @@ mod tests {
         let mut d = dojo("rmsnorm");
         let r = anneal_edges_parallel(&mut d, 0, 30, 5);
         assert!(r.best_runtime <= d.initial_runtime());
+    }
+
+    #[test]
+    fn resumable_parallel_matches_uninterrupted_and_events_concatenate() {
+        use crate::checkpoint::{parse_chains, serialize_chains};
+        let (chains, budget, seed) = (3, 40, 9);
+
+        // uninterrupted run with events
+        let mut d1 = dojo("softmax");
+        let mut full_sink = TraceSink::new();
+        let full = anneal_parallel_resumable(
+            &mut d1,
+            &crate::EdgesSpace,
+            chains,
+            budget,
+            seed,
+            &mut Vec::new(),
+            Some(&mut full_sink),
+        );
+
+        // interrupted after chain 0, checkpointed, resumed elsewhere
+        let mut d2 = dojo("softmax");
+        let mut part_sink = TraceSink::new();
+        let mut done = Vec::new();
+        anneal_parallel_resumable(
+            &mut d2,
+            &crate::EdgesSpace,
+            1, // only the first chain "fits" before the interruption
+            budget,
+            seed,
+            &mut done,
+            Some(&mut part_sink),
+        );
+        let ckpt = serialize_chains(&done);
+
+        let mut d3 = dojo("softmax");
+        let mut restored = parse_chains(&ckpt).unwrap();
+        let mut resume_sink = TraceSink::with_start(part_sink.next_step());
+        let resumed = anneal_parallel_resumable(
+            &mut d3,
+            &crate::EdgesSpace,
+            chains,
+            budget,
+            seed,
+            &mut restored,
+            Some(&mut resume_sink),
+        );
+
+        assert_eq!(full.best_runtime.to_bits(), resumed.best_runtime.to_bits());
+        assert_eq!(full.best_steps, resumed.best_steps);
+        assert_eq!(full.trace, resumed.trace);
+        let concatenated = format!("{}{}", part_sink.to_text(), resume_sink.to_text());
+        assert_eq!(concatenated, full_sink.to_text());
+    }
+
+    #[test]
+    fn resumable_with_empty_completed_equals_plain_parallel() {
+        let mut d1 = dojo("rmsnorm");
+        let plain = anneal_edges_parallel(&mut d1, 3, 30, 11);
+        let mut d2 = dojo("rmsnorm");
+        let resumable = anneal_parallel_resumable(
+            &mut d2,
+            &crate::EdgesSpace,
+            3,
+            30,
+            11,
+            &mut Vec::new(),
+            None,
+        );
+        assert_eq!(plain.best_runtime.to_bits(), resumable.best_runtime.to_bits());
+        assert_eq!(plain.best_steps, resumable.best_steps);
+        assert_eq!(d1.evaluations(), d2.evaluations());
     }
 }

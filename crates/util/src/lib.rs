@@ -15,7 +15,9 @@
 //! * [`proptest_lite`] — a small property-testing harness with strategies,
 //!   seed reporting and shrink-by-halving (replaces `proptest`);
 //! * [`timer`] — a warmup+median micro-benchmark runner (replaces
-//!   `criterion`).
+//!   `criterion`);
+//! * [`trace`] — a clock-free JSONL telemetry sink with atomic saves and
+//!   bit-exact float codecs (the substrate of checkpoint/resume).
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,3 +27,4 @@ pub mod par;
 pub mod proptest_lite;
 pub mod rng;
 pub mod timer;
+pub mod trace;
