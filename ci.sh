@@ -22,24 +22,30 @@
 #      a library and event trace byte-identical to an uninterrupted build's
 #      (modulo the cache_hit field — a resumed process starts cache-cold),
 #      and a zero-budget anneal must stay NaN-free.
+#   8. Serving-tier smoke: a fixed-seed `--exp serve` load test must be
+#      byte-identical across two runs, a CLI `perfdojo-lib serve` run on two
+#      copies of the same library must produce identical reports AND
+#      identical hot-swapped libraries, a step-limited serve must pause with
+#      exit 4 and converge on resume to the uninterrupted library, and the
+#      reader/hot-swap stress test must pass under --release.
 #
 # Usage: ./ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== 1/7 perfdojo-util: warning-free build (-D warnings) =="
+echo "== 1/8 perfdojo-util: warning-free build (-D warnings) =="
 RUSTFLAGS="-D warnings" cargo build -q -p perfdojo-util --offline
 RUSTFLAGS="-D warnings" cargo test -q -p perfdojo-util --offline
 
-echo "== 2/7 tier-1 verify: release build + tests =="
+echo "== 2/8 tier-1 verify: release build + tests =="
 cargo build --release --workspace --offline
 cargo test -q --offline
 
-echo "== 3/7 full workspace tests (offline) =="
+echo "== 3/8 full workspace tests (offline) =="
 cargo test -q --workspace --offline
 
-echo "== 4/7 schedule-library pipeline: build, dispatch, stats =="
+echo "== 4/8 schedule-library pipeline: build, dispatch, stats =="
 PDLIB_DIR=$(mktemp -d)
 trap 'rm -rf "$PDLIB_DIR"' EXIT
 PDLIB="$PDLIB_DIR/ci.pdl"
@@ -57,7 +63,7 @@ grep -q "disposition: fallback-replay" "$PDLIB_DIR/q2.txt"
 ./target/release/perfdojo-lib stats --lib "$PDLIB" | tee "$PDLIB_DIR/stats.txt"
 grep -q "entries:         2" "$PDLIB_DIR/stats.txt"
 
-echo "== 5/7 differential fuzz smoke: fixed seed, deterministic, clean =="
+echo "== 5/8 differential fuzz smoke: fixed seed, deterministic, clean =="
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz1.txt"
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz2.txt"
 # the report must be byte-identical across runs — no timestamps, no
@@ -72,7 +78,7 @@ if ./target/release/fuzz --seed 0xC0FFEE --iters 60 --sabotage truncate-split \
 fi
 grep -q "FINDING" "$PDLIB_DIR/fuzz3.txt"
 
-echo "== 6/7 search-engine smoke: A/B determinism + searchperf report =="
+echo "== 6/8 search-engine smoke: A/B determinism + searchperf report =="
 # the incremental engine must be bit-identical to the naive one on every
 # tune-suite kernel and strategy
 cargo test -q -p perfdojo-search --offline --test incremental_ab
@@ -97,7 +103,7 @@ if grep -q '"cache_hits": 0,' "$PDLIB_DIR/sp1.json"; then
     exit 1
 fi
 
-echo "== 7/7 checkpoint/resume smoke: pause at step limit, resume, compare =="
+echo "== 7/8 checkpoint/resume smoke: pause at step limit, resume, compare =="
 CKPT_ARGS=(--kernels softmax,matmul --targets x86 --strategy anneal:40 --seed 7)
 # reference: one uninterrupted checkpointed build
 ./target/release/perfdojo-lib build --out "$PDLIB_DIR/full.pdl" \
@@ -139,5 +145,71 @@ if grep -qi "nan" "$PDLIB_DIR/zero.txt" "$PDLIB_DIR/zero.pdl"; then
 fi
 # and the unit pin for the cooling-schedule division guard
 cargo test -q -p perfdojo-search --offline zero_budget
+
+echo "== 8/8 serving-tier smoke: deterministic load gen, hot swap, pause =="
+# fixed-seed load-test experiment: two runs must emit byte-identical
+# reports (no wall-clock fields inside — plain cmp, no stripping)
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp serve > serve1.txt)
+mv "$PDLIB_DIR/BENCH_serve.json" "$PDLIB_DIR/serve1.json"
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp serve > serve2.txt)
+mv "$PDLIB_DIR/BENCH_serve.json" "$PDLIB_DIR/serve2.json"
+cmp "$PDLIB_DIR/serve1.json" "$PDLIB_DIR/serve2.json"
+grep -q '"miss_then_tuned"' "$PDLIB_DIR/serve1.json"
+# CLI serve determinism: same seed over two copies of the same base
+# library must serve the same report and hot-swap to the same library
+./target/release/perfdojo-lib build --out "$PDLIB_DIR/srv-base.pdl" \
+    --kernels softmax,matmul --targets x86 --strategy heuristic --seed 3
+cp "$PDLIB_DIR/srv-base.pdl" "$PDLIB_DIR/srv-a.pdl"
+cp "$PDLIB_DIR/srv-base.pdl" "$PDLIB_DIR/srv-b.pdl"
+SERVE_ARGS=(--target x86 --rounds 3 --requests 64 --seed 11 --strategy heuristic)
+./target/release/perfdojo-lib serve --lib "$PDLIB_DIR/srv-a.pdl" \
+    "${SERVE_ARGS[@]}" --report "$PDLIB_DIR/srv-a.json" > /dev/null
+./target/release/perfdojo-lib serve --lib "$PDLIB_DIR/srv-b.pdl" \
+    "${SERVE_ARGS[@]}" --report "$PDLIB_DIR/srv-b.json" > /dev/null
+cmp "$PDLIB_DIR/srv-a.json" "$PDLIB_DIR/srv-b.json"
+cmp "$PDLIB_DIR/srv-a.pdl" "$PDLIB_DIR/srv-b.pdl"
+# step-limited serve: background tuning must pause with exit 4 (leaving
+# the on-disk library untouched), and resuming the identical command must
+# converge to the same library an uninterrupted serve produces
+cp "$PDLIB_DIR/srv-base.pdl" "$PDLIB_DIR/srv-full.pdl"
+cp "$PDLIB_DIR/srv-base.pdl" "$PDLIB_DIR/srv-sliced.pdl"
+PAUSE_ARGS=(--target x86 --rounds 2 --requests 48 --seed 11 --strategy anneal:40)
+./target/release/perfdojo-lib serve --lib "$PDLIB_DIR/srv-full.pdl" \
+    "${PAUSE_ARGS[@]}" --checkpoint-dir "$PDLIB_DIR/ck-srv-full" > /dev/null
+# first run must pause, and a pause before the first swap must leave the
+# on-disk library byte-identical to the base
+set +e
+./target/release/perfdojo-lib serve --lib "$PDLIB_DIR/srv-sliced.pdl" \
+    "${PAUSE_ARGS[@]}" --checkpoint-dir "$PDLIB_DIR/ck-srv-sliced" \
+    --step-limit 25 > /dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 4 ]; then
+    echo "ci.sh: step-limited serve should pause with exit 4, got $rc" >&2
+    exit 1
+fi
+cmp "$PDLIB_DIR/srv-sliced.pdl" "$PDLIB_DIR/srv-base.pdl"
+# rerunning the identical command resumes; bounded retries until it finishes
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15; do
+    set +e
+    ./target/release/perfdojo-lib serve --lib "$PDLIB_DIR/srv-sliced.pdl" \
+        "${PAUSE_ARGS[@]}" --checkpoint-dir "$PDLIB_DIR/ck-srv-sliced" \
+        --step-limit 25 > /dev/null
+    rc=$?
+    set -e
+    [ "$rc" -eq 0 ] && break
+    if [ "$rc" -ne 4 ]; then
+        echo "ci.sh: step-limited serve should pause with exit 4, got $rc" >&2
+        exit 1
+    fi
+done
+if [ "$rc" -ne 0 ]; then
+    echo "ci.sh: step-limited serve never finished within retry budget" >&2
+    exit 1
+fi
+cmp "$PDLIB_DIR/srv-full.pdl" "$PDLIB_DIR/srv-sliced.pdl"
+# readers racing hot swaps must match the sequential oracle under the
+# release scheduler, not just the debug one
+cargo test -q --release -p perfdojo-library --offline --test serve_stress
 
 echo "ci.sh: all gates passed"

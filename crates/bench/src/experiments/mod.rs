@@ -6,6 +6,7 @@ pub mod library;
 pub mod repr;
 pub mod resume;
 pub mod searchperf;
+pub mod serve;
 pub mod snitch;
 pub mod tables;
 pub mod x86;
@@ -16,6 +17,7 @@ pub use library::*;
 pub use repr::*;
 pub use resume::*;
 pub use searchperf::*;
+pub use serve::*;
 pub use snitch::*;
 pub use tables::*;
 pub use x86::*;
@@ -51,6 +53,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
         ("fig14", gpu::exp_fig14),
         ("library", library::exp_library),
         ("searchperf", searchperf::exp_searchperf),
+        ("serve", serve::exp_serve),
         ("resume", resume::exp_resume),
         ("ablate_maxq", ablations::exp_ablate_maxq),
         ("ablate_reward", ablations::exp_ablate_reward),

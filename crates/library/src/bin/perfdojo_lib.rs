@@ -7,6 +7,9 @@
 //! perfdojo-lib query --lib lib.pdl --target x86 --kernel softmax [--shape 128x64]
 //! perfdojo-lib stats --lib lib.pdl
 //! perfdojo-lib gc --lib lib.pdl
+//! perfdojo-lib serve --lib lib.pdl --target x86 [--rounds N] [--requests N] \
+//!     [--seed N] [--zipf S] [--batch N] [--queue N] [--strategy ...] \
+//!     [--checkpoint-dir dir [--step-limit N]] [--report out.json]
 //! ```
 //!
 //! Arguments are hand-parsed (zero-dependency workspace policy). `build`
@@ -16,8 +19,11 @@
 use perfdojo_core::Target;
 use perfdojo_kernels::KernelInstance;
 use perfdojo_library::{
-    target_by_name, BuildCheckpoint, BuildProgress, Library, LibraryBuilder, Strategy,
+    target_by_name, BuildCheckpoint, BuildProgress, Library, LibraryBuilder, ServeConfig,
+    ServeQuery, Server, Strategy, TuneProgress,
 };
+use perfdojo_util::rng::Rng;
+use perfdojo_util::zipf::Zipf;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -32,6 +38,7 @@ fn main() -> ExitCode {
         Some("query") => cmd_query(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("stats") => cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("gc") => cmd_gc(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -61,6 +68,17 @@ usage:
   perfdojo-lib query --lib <file> --target <name> --kernel <label> [--shape DxD...]
   perfdojo-lib stats --lib <file>
   perfdojo-lib gc    --lib <file>
+  perfdojo-lib serve --lib <file> --target <name>
+                     [--rounds N] [--requests N] [--seed N] [--zipf S]
+                     [--batch N] [--queue N]
+                     [--strategy heuristic|anneal[:N[:K]]|perfllm[:N]]
+                     [--checkpoint-dir <dir> [--step-limit N]]
+                     [--report <out.json>]
+                     (fixed-seed Zipf load over a built-in query universe;
+                      tune-misses drain between rounds and hot-swap --lib
+                      atomically; with --checkpoint-dir the drain is
+                      crash-safe and --step-limit pauses it cleanly with
+                      exit code 4 — rerun the identical command to resume)
 ";
 
 /// Pull the value following `--flag` out of `args`, if present.
@@ -236,6 +254,186 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         println!("  {target}: {n}");
     }
     Ok(())
+}
+
+/// The built-in serve load universe, ranked hot-to-cold for the Zipf
+/// sampler: tuned shapes (exact hits), unseen shapes of tuned operators
+/// (nearest-shape replays), and never-tuned operators (misses that the
+/// between-round drains tune and hot-swap in).
+fn serve_universe() -> Vec<(&'static str, Vec<usize>)> {
+    vec![
+        ("softmax", vec![64, 64]),
+        ("matmul", vec![48, 48, 48]),
+        ("softmax", vec![96, 64]),
+        ("layernorm 1", vec![64, 64]),
+        ("matmul", vec![64, 32, 48]),
+        ("rmsnorm", vec![64, 64]),
+        ("reducemean", vec![48, 96]),
+        ("relu", vec![96, 192]),
+    ]
+}
+
+fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let (lib, path) = load_library(args)?;
+    let target_name = required(args, "--target")?;
+    let target =
+        target_by_name(&target_name).ok_or_else(|| format!("unknown target {target_name:?}"))?;
+    let parse_num = |flag: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, flag)? {
+            None => Ok(default),
+            Some(s) => s.parse().map_err(|_| format!("bad {flag} value {s:?}")),
+        }
+    };
+    let rounds = parse_num("--rounds", 3)?;
+    let requests = parse_num("--requests", 64)?;
+    let batch = parse_num("--batch", 32)?;
+    let queue = parse_num("--queue", 256)?;
+    let seed: u64 = match flag_value(args, "--seed")? {
+        None => 0,
+        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}"))?,
+    };
+    let zipf_s: f64 = match flag_value(args, "--zipf")? {
+        None => 1.1,
+        Some(s) => s.parse().map_err(|_| format!("bad zipf exponent {s:?}"))?,
+    };
+    let strategy = match flag_value(args, "--strategy")? {
+        None => Strategy::Heuristic,
+        Some(s) => Strategy::parse(&s).ok_or_else(|| format!("bad strategy {s:?}"))?,
+    };
+    let ckpt_dir = flag_value(args, "--checkpoint-dir")?;
+    let step_limit: Option<u64> = match flag_value(args, "--step-limit")? {
+        None => None,
+        Some(s) => {
+            if ckpt_dir.is_none() {
+                return Err("--step-limit requires --checkpoint-dir".to_string());
+            }
+            Some(s.parse().map_err(|_| format!("bad step limit {s:?}"))?)
+        }
+    };
+    let report_path = flag_value(args, "--report")?;
+
+    let config = ServeConfig {
+        queue_capacity: queue,
+        batch_size: batch,
+        strategy,
+        seed,
+        ..ServeConfig::default()
+    };
+    let server = Server::new(lib, target, config).with_disk(path.clone());
+    let ckpt = match &ckpt_dir {
+        None => None,
+        Some(dir) => Some(
+            BuildCheckpoint::open(std::path::Path::new(dir)).map_err(|e| format!("{dir}: {e}"))?,
+        ),
+    };
+
+    let queries: Vec<ServeQuery> = serve_universe()
+        .iter()
+        .map(|(label, dims)| {
+            ServeQuery::of(label, dims)
+                .ok_or_else(|| format!("no kernel {label:?} at shape {dims:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let zipf = Zipf::new(queries.len(), zipf_s);
+    let mut rng = Rng::seed_from_u64(seed);
+
+    let mut latencies: Vec<u64> = Vec::new();
+    for round in 0..rounds {
+        for _ in 0..requests {
+            let q = queries[zipf.sample(&mut rng)].clone();
+            if server.submit(q).is_err() {
+                // the queue is full: serve a batch to make room; this
+                // request stays shed (counted in the rejected stat)
+                server.serve_batch();
+            }
+        }
+        loop {
+            let replies = server.serve_batch();
+            if replies.is_empty() {
+                break;
+            }
+            latencies.extend(replies.iter().map(|r| r.latency_units));
+        }
+        let progress = match &ckpt {
+            None => server.drain_tunes()?,
+            Some(c) => server.drain_tunes_checkpointed(c, step_limit)?,
+        };
+        match progress {
+            TuneProgress::Paused => {
+                println!(
+                    "paused in round {round}: tune drain hit --step-limit; the library on \
+                     disk and the served snapshot are untouched; rerun the identical \
+                     command (same --checkpoint-dir) to resume"
+                );
+                return Ok(ExitCode::from(EXIT_PAUSED));
+            }
+            TuneProgress::Swapped { generation, tuned, unimproved } => {
+                println!(
+                    "round {round}: hot-swapped generation {generation} \
+                     (+{tuned} tuned, {unimproved} unimproved)"
+                );
+            }
+            TuneProgress::Idle => {}
+        }
+    }
+
+    latencies.sort_unstable();
+    let s = server.stats();
+    let snap = server.snapshot(0);
+    let p50 = nearest_rank(&latencies, 0.50);
+    let p99 = nearest_rank(&latencies, 0.99);
+    println!("served:   {} ({} submitted, {} shed)", s.served, s.submitted, s.rejected);
+    println!(
+        "tiers:    {} exact, {} nearest, {} heuristic, {} naive",
+        s.exact, s.nearest, s.heuristic, s.naive
+    );
+    println!(
+        "latency:  p50 {p50}, p99 {p99}, max {} (deterministic dispatch-work units)",
+        latencies.last().copied().unwrap_or(0)
+    );
+    println!(
+        "tuning:   {} jobs, {} tuned, {} hot swaps; library now {} entries (gen {})",
+        s.tune_jobs,
+        s.tuned,
+        s.swaps,
+        snap.library.len(),
+        snap.generation
+    );
+    if let Some(out) = report_path {
+        let mut j = String::from("{\n  \"experiment\": \"perfdojo-lib serve\",\n");
+        j.push_str(&format!("  \"seed\": {seed},\n"));
+        j.push_str(&format!("  \"rounds\": {rounds},\n"));
+        j.push_str(&format!("  \"requests_per_round\": {requests},\n"));
+        j.push_str(&format!("  \"zipf_exponent\": {zipf_s},\n"));
+        j.push_str(&format!("  \"submitted\": {},\n", s.submitted));
+        j.push_str(&format!("  \"rejected\": {},\n", s.rejected));
+        j.push_str(&format!("  \"served\": {},\n", s.served));
+        j.push_str(&format!(
+            "  \"tiers\": {{ \"exact\": {}, \"nearest\": {}, \"heuristic\": {}, \
+             \"naive\": {} }},\n",
+            s.exact, s.nearest, s.heuristic, s.naive
+        ));
+        j.push_str(&format!(
+            "  \"latency_units\": {{ \"p50\": {p50}, \"p99\": {p99}, \"max\": {} }},\n",
+            latencies.last().copied().unwrap_or(0)
+        ));
+        j.push_str(&format!("  \"tune_jobs\": {},\n", s.tune_jobs));
+        j.push_str(&format!("  \"tuned\": {},\n", s.tuned));
+        j.push_str(&format!("  \"swaps\": {},\n", s.swaps));
+        j.push_str(&format!("  \"final_entries\": {},\n", snap.library.len()));
+        j.push_str(&format!("  \"final_generation\": {}\n}}\n", snap.generation));
+        std::fs::write(&out, j).map_err(|e| format!("{out}: {e}"))?;
+        println!("report:   {out}");
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_gc(args: &[String]) -> Result<(), String> {

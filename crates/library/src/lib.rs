@@ -21,20 +21,32 @@
 //! - [`dispatch`] — `Library::lookup`: exact hit → fallback replay →
 //!   heuristic pass → naive, every served schedule re-validated and (when
 //!   small enough) numerically verified.
+//! - [`admission`] — the serving tier's bounded query queue and
+//!   deduplicating tune-miss queue.
+//! - [`serve::Server`] — the concurrent schedule-serving daemon core:
+//!   shared snapshot behind a sharded lock slot, batched admission,
+//!   background tune-miss drains with atomic hot swap.
 //!
-//! The `perfdojo-lib` binary exposes `build` / `query` / `stats` / `gc`
-//! over libraries on disk.
+//! The `perfdojo-lib` binary exposes `build` / `query` / `stats` / `gc` /
+//! `serve` over libraries on disk.
 
+pub mod admission;
 pub mod builder;
 pub mod checkpoint;
 pub mod dispatch;
 pub mod format;
 pub mod library;
+pub mod serve;
 pub mod sig;
 
+pub use admission::{AdmissionError, AdmissionQueue, TuneQueue};
 pub use builder::{target_by_name, BuildProgress, LibraryBuilder, Strategy, TuneOutcome};
 pub use checkpoint::BuildCheckpoint;
 pub use dispatch::{DispatchResult, Disposition};
 pub use format::{FormatError, LoadStats, Provenance, ScheduleRecord};
 pub use library::{current_model_version, Library, LibraryStats, MergeReport};
+pub use serve::{
+    latency_units, HitTier, ServeConfig, ServeQuery, ServeReply, ServeSnapshot, ServeStats,
+    Server, TuneJob, TuneProgress,
+};
 pub use sig::KernelSig;

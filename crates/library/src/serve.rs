@@ -1,0 +1,673 @@
+//! The schedule-serving tier: a long-running, concurrent front end over a
+//! shared read-mostly [`Library`].
+//!
+//! This is the paper's end product made operational: applications query a
+//! *generated ML library* at runtime, so the batch `perfdojo-lib` pipeline
+//! grows a daemon-shaped core here. The moving parts:
+//!
+//! - **Shared snapshot** — the current library lives in an immutable
+//!   [`ServeSnapshot`] behind a [`ShardedSlot`]: readers resolve against
+//!   whatever complete snapshot their shard holds; a hot swap can never
+//!   expose a half-merged library.
+//! - **Batched admission** — queries enter through a bounded
+//!   [`AdmissionQueue`] and are served in batches on the workspace thread
+//!   pool (`perfdojo_util::par`). At capacity the server sheds load
+//!   instead of buffering unboundedly.
+//! - **Tune-miss queue** — queries that resolved below the replay tiers
+//!   (fresh heuristic or naive) become deduplicated [`TuneJob`]s. A
+//!   background drain runs the normal [`LibraryBuilder`] — optionally
+//!   through the crash-safe checkpoint layer, so tuning is preemptible —
+//!   then merges keep-best and **hot-swaps**: the merged library is
+//!   written with the atomic write-tmp-rename idiom and published to the
+//!   snapshot slot. Readers are never blocked on a build; they keep
+//!   serving the old snapshot until the swap instant.
+//! - **Deterministic latency** — wall-clock latency of an in-process
+//!   dispatch is noise; reports need byte-reproducibility. Every reply
+//!   carries [`latency_units`], a deterministic work proxy derived from
+//!   the dispatch tier and replayed step count, so two fixed-seed load
+//!   runs produce identical p50/p99 numbers.
+
+use crate::admission::{AdmissionError, AdmissionQueue, TuneQueue};
+use crate::builder::{BuildProgress, LibraryBuilder, Strategy};
+use crate::checkpoint::BuildCheckpoint;
+use crate::dispatch::{DispatchResult, Disposition};
+use crate::library::Library;
+use crate::sig::KernelSig;
+use perfdojo_core::Target;
+use perfdojo_ir::fingerprint::fnv1a;
+use perfdojo_ir::Program;
+use perfdojo_kernels::KernelInstance;
+use perfdojo_util::par::par_map;
+use perfdojo_util::sharded::ShardedSlot;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Serving configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Lock shards for the snapshot slot.
+    pub shards: usize,
+    /// Admission queue bound; queries beyond it are shed.
+    pub queue_capacity: usize,
+    /// Queries drained per serving batch.
+    pub batch_size: usize,
+    /// Strategy for background tune-miss builds.
+    pub strategy: Strategy,
+    /// Seed for background builds (per-job seeds derive from it).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            shards: 8,
+            queue_capacity: 256,
+            batch_size: 32,
+            strategy: Strategy::Heuristic,
+            seed: 0,
+        }
+    }
+}
+
+/// An immutable published view of the library.
+#[derive(Clone, Debug)]
+pub struct ServeSnapshot {
+    /// The library this snapshot serves.
+    pub library: Library,
+    /// Publish generation: 0 for the initial snapshot, +1 per hot swap.
+    pub generation: u64,
+}
+
+/// One query: a kernel label plus constructor dimensions, resolved to the
+/// naive program to serve a schedule for.
+#[derive(Clone, Debug)]
+pub struct ServeQuery {
+    /// Tune-suite kernel label (`softmax`, `matmul`, …).
+    pub label: String,
+    /// Constructor dimensions (the `by_label_with_shape` arity).
+    pub dims: Vec<usize>,
+    /// The naive query program.
+    pub program: Program,
+}
+
+impl ServeQuery {
+    /// Build a query for `label` at `dims`; `None` for unknown labels or
+    /// wrong arity.
+    pub fn of(label: &str, dims: &[usize]) -> Option<ServeQuery> {
+        let program = perfdojo_kernels::by_label_with_shape(label, dims)?;
+        Some(ServeQuery { label: label.to_string(), dims: dims.to_vec(), program })
+    }
+
+    /// The signature key of this query on `target`.
+    pub fn key(&self, target: &Target) -> String {
+        KernelSig::of(&self.program, &target.name).key()
+    }
+}
+
+/// How a served query resolved, collapsed to the reporting tiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitTier {
+    /// Exact-signature record replayed.
+    Exact,
+    /// Nearest-shape record replayed.
+    Nearest,
+    /// Fresh heuristic pass (a cache miss — enqueues a tune job).
+    Heuristic,
+    /// Untransformed program served (a cache miss — enqueues a tune job).
+    Naive,
+}
+
+impl HitTier {
+    /// Reporting tag (`exact` / `nearest` / `heuristic` / `naive`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HitTier::Exact => "exact",
+            HitTier::Nearest => "nearest",
+            HitTier::Heuristic => "heuristic",
+            HitTier::Naive => "naive",
+        }
+    }
+
+    /// True for the tiers that mean "the library had nothing cached".
+    pub fn is_miss(&self) -> bool {
+        matches!(self, HitTier::Heuristic | HitTier::Naive)
+    }
+
+    fn of(d: &Disposition) -> HitTier {
+        match d {
+            Disposition::ExactHit => HitTier::Exact,
+            Disposition::FallbackReplay { .. } => HitTier::Nearest,
+            Disposition::FallbackHeuristic => HitTier::Heuristic,
+            Disposition::Naive => HitTier::Naive,
+        }
+    }
+}
+
+/// Deterministic dispatch-work proxy for one resolved query, in abstract
+/// "steps": the unit latency the serve reports aggregate into p50/p99.
+///
+/// Wall-clock numbers would make every report timing-dependent; this
+/// proxy counts what dispatch *did* — tier fixed cost plus replayed edit
+/// steps — and is a pure function of the dispatch result, so fixed-seed
+/// load runs reproduce byte-identical latency distributions.
+pub fn latency_units(r: &DispatchResult) -> u64 {
+    let steps = r.steps.len() as u64;
+    match &r.disposition {
+        // index probe + strict replay of the recorded steps
+        Disposition::ExactHit => 1 + steps,
+        // nearest scan + lenient replay, including the skipped attempts
+        Disposition::FallbackReplay { skipped, .. } => 4 + steps + *skipped as u64,
+        // a fresh tuning pass is an order of magnitude above a replay
+        Disposition::FallbackHeuristic => 32 + 2 * steps,
+        // every tier was tried and rejected before giving up
+        Disposition::Naive => 16,
+    }
+}
+
+/// One served reply.
+#[derive(Clone, Debug)]
+pub struct ServeReply {
+    /// Kernel label of the query.
+    pub label: String,
+    /// Signature key of the query.
+    pub key: String,
+    /// Resolution tier.
+    pub tier: HitTier,
+    /// Deterministic dispatch-work proxy (see [`latency_units`]).
+    pub latency_units: u64,
+    /// Served schedule cost (machine-model seconds).
+    pub cost: f64,
+    /// Naive cost of the query.
+    pub naive_cost: f64,
+    /// Edit steps in the served schedule.
+    pub steps: usize,
+    /// Generation of the snapshot that served this reply.
+    pub generation: u64,
+}
+
+/// Counters over everything the server did so far.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries admitted into the queue.
+    pub submitted: u64,
+    /// Queries shed because the queue was full.
+    pub rejected: u64,
+    /// Queries served (batched + direct).
+    pub served: u64,
+    /// Exact-hit replies.
+    pub exact: u64,
+    /// Nearest-shape replies.
+    pub nearest: u64,
+    /// Fresh-heuristic replies.
+    pub heuristic: u64,
+    /// Naive replies.
+    pub naive: u64,
+    /// Tune jobs admitted to the miss queue.
+    pub tune_jobs: u64,
+    /// Completed tune jobs that produced a library record.
+    pub tuned: u64,
+    /// Hot swaps published.
+    pub swaps: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    served: AtomicU64,
+    exact: AtomicU64,
+    nearest: AtomicU64,
+    heuristic: AtomicU64,
+    naive: AtomicU64,
+    tune_jobs: AtomicU64,
+    tuned: AtomicU64,
+}
+
+/// A deferred tune job for one missed query.
+#[derive(Clone, Debug)]
+pub struct TuneJob {
+    /// Kernel label.
+    pub label: String,
+    /// Constructor dimensions.
+    pub dims: Vec<usize>,
+    /// The naive program to tune.
+    pub program: Program,
+}
+
+impl TuneJob {
+    fn kernel(&self) -> KernelInstance {
+        let shape =
+            self.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
+        KernelInstance {
+            label: self.label.clone(),
+            shape,
+            description: String::from("serve tune-miss"),
+            program: self.program.clone(),
+            verify_program: self.program.clone(),
+        }
+    }
+}
+
+/// Outcome of one background drain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TuneProgress {
+    /// No pending jobs; nothing happened.
+    Idle,
+    /// The checkpointed build hit its step limit; the old snapshot keeps
+    /// serving, rerun the drain to continue.
+    Paused,
+    /// Jobs tuned and merged; the snapshot at this generation now serves.
+    Swapped {
+        /// Generation of the published snapshot.
+        generation: u64,
+        /// Jobs whose tuning produced a record.
+        tuned: usize,
+        /// Jobs that found no improving schedule (still marked done).
+        unimproved: usize,
+    },
+}
+
+/// The schedule-serving daemon core.
+///
+/// All methods take `&self`: a `Server` is shared across serving threads
+/// as-is (or behind an `Arc`). Reads go through the sharded snapshot
+/// slot; the only internal serialization points are the queue mutexes and
+/// the writer mutex around merge+swap.
+pub struct Server {
+    slot: ShardedSlot<ServeSnapshot>,
+    admission: AdmissionQueue<ServeQuery>,
+    tunes: TuneQueue<TuneJob>,
+    /// Jobs drained but not yet merged (survives a paused checkpointed
+    /// drain so the resume re-runs the same job list).
+    inflight: Mutex<Vec<TuneJob>>,
+    /// Serializes merge+publish so concurrent drains cannot lose updates.
+    writer: Mutex<()>,
+    target: Target,
+    config: ServeConfig,
+    /// On-disk home of the library; hot swaps persist here atomically.
+    disk: Option<PathBuf>,
+    counters: Counters,
+}
+
+impl Server {
+    /// A server over `library` for `target`.
+    pub fn new(library: Library, target: Target, config: ServeConfig) -> Server {
+        let snapshot = ServeSnapshot { library, generation: 0 };
+        Server {
+            slot: ShardedSlot::new(snapshot, config.shards),
+            admission: AdmissionQueue::new(config.queue_capacity),
+            tunes: TuneQueue::new(),
+            inflight: Mutex::new(Vec::new()),
+            writer: Mutex::new(()),
+            target,
+            config,
+            disk: None,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Persist hot swaps to `path` (atomic write-tmp-rename on every
+    /// publish). The file is *not* written until the first swap.
+    pub fn with_disk(mut self, path: PathBuf) -> Server {
+        self.disk = Some(path);
+        self
+    }
+
+    /// The serving target.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// The current snapshot (readers pass a spread hint; see
+    /// [`ShardedSlot::read`]).
+    pub fn snapshot(&self, hint: u64) -> Arc<ServeSnapshot> {
+        self.slot.read(hint)
+    }
+
+    /// Generation of the latest published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.slot.generation()
+    }
+
+    /// Queries waiting in the admission queue.
+    pub fn queued(&self) -> usize {
+        self.admission.len()
+    }
+
+    /// Tune jobs waiting for the next drain.
+    pub fn pending_tunes(&self) -> usize {
+        self.tunes.pending()
+    }
+
+    /// Aggregate counters so far.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.counters;
+        ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            served: c.served.load(Ordering::Relaxed),
+            exact: c.exact.load(Ordering::Relaxed),
+            nearest: c.nearest.load(Ordering::Relaxed),
+            heuristic: c.heuristic.load(Ordering::Relaxed),
+            naive: c.naive.load(Ordering::Relaxed),
+            tune_jobs: c.tune_jobs.load(Ordering::Relaxed),
+            tuned: c.tuned.load(Ordering::Relaxed),
+            swaps: self.slot.generation(),
+        }
+    }
+
+    /// Admit one query, or shed it when the queue is at capacity.
+    pub fn submit(&self, query: ServeQuery) -> Result<(), AdmissionError> {
+        let key = query.key(&self.target);
+        match self.admission.try_enqueue(key, query) {
+            Ok(()) => {
+                self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Drain up to one batch from the admission queue and resolve it
+    /// concurrently on the workspace thread pool. Replies come back in
+    /// admission order; misses are enqueued (deduplicated) for the next
+    /// background drain.
+    pub fn serve_batch(&self) -> Vec<ServeReply> {
+        let batch = self.admission.drain_batch(self.config.batch_size);
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let replies = par_map(batch, |(key, query)| self.resolve(&key, &query));
+        // enqueue misses in reply (admission) order so the tune queue is
+        // deterministic under a deterministic query log
+        for (reply, job) in &replies {
+            if reply.tier.is_miss() {
+                if let Some(job) = job {
+                    if self.tunes.enqueue(reply.key.clone(), job.clone()) {
+                        self.counters.tune_jobs.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        replies.into_iter().map(|(reply, _)| reply).collect()
+    }
+
+    /// Resolve one query immediately, bypassing admission (used by tests
+    /// and interactive `query`-style callers). Misses still enqueue tune
+    /// jobs.
+    pub fn lookup_now(&self, query: &ServeQuery) -> ServeReply {
+        let key = query.key(&self.target);
+        let (reply, job) = self.resolve(&key, query);
+        if reply.tier.is_miss() {
+            if let Some(job) = job {
+                if self.tunes.enqueue(key, job) {
+                    self.counters.tune_jobs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        reply
+    }
+
+    fn resolve(&self, key: &str, query: &ServeQuery) -> (ServeReply, Option<TuneJob>) {
+        let snap = self.slot.read(fnv1a(key.as_bytes()));
+        let r = snap.library.lookup(&query.program, &self.target);
+        let tier = HitTier::of(&r.disposition);
+        self.counters.served.fetch_add(1, Ordering::Relaxed);
+        match tier {
+            HitTier::Exact => &self.counters.exact,
+            HitTier::Nearest => &self.counters.nearest,
+            HitTier::Heuristic => &self.counters.heuristic,
+            HitTier::Naive => &self.counters.naive,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        let job = tier.is_miss().then(|| TuneJob {
+            label: query.label.clone(),
+            dims: query.dims.clone(),
+            program: query.program.clone(),
+        });
+        let reply = ServeReply {
+            label: query.label.clone(),
+            key: key.to_string(),
+            tier,
+            latency_units: latency_units(&r),
+            cost: r.cost,
+            naive_cost: r.naive_cost,
+            steps: r.steps.len(),
+            generation: snap.generation,
+        };
+        (reply, job)
+    }
+
+    /// Drain the tune-miss queue: tune every pending job with the
+    /// configured strategy, merge keep-best into the current library, and
+    /// hot-swap the result (atomic on-disk save when a disk home is set,
+    /// then snapshot publish). Readers keep serving the old snapshot for
+    /// the whole build.
+    pub fn drain_tunes(&self) -> Result<TuneProgress, String> {
+        self.drain_tunes_inner(None, None)
+    }
+
+    /// As [`Server::drain_tunes`], but the build runs through the
+    /// crash-safe checkpoint layer: progress persists in `ckpt`, and
+    /// `step_limit` bounds the tuning steps spent in this call. When the
+    /// limit runs out the drain returns [`TuneProgress::Paused`] with the
+    /// snapshot and the on-disk library untouched — call again (or rerun
+    /// the process against the same checkpoint dir) to continue.
+    pub fn drain_tunes_checkpointed(
+        &self,
+        ckpt: &BuildCheckpoint,
+        step_limit: Option<u64>,
+    ) -> Result<TuneProgress, String> {
+        self.drain_tunes_inner(Some(ckpt), step_limit)
+    }
+
+    fn drain_tunes_inner(
+        &self,
+        ckpt: Option<&BuildCheckpoint>,
+        step_limit: Option<u64>,
+    ) -> Result<TuneProgress, String> {
+        let _writer = self.writer.lock().expect("serve writer poisoned");
+        // a paused drain left jobs in flight: finish those before new ones
+        let jobs: Vec<TuneJob> = {
+            let mut inflight = self.inflight.lock().expect("serve inflight poisoned");
+            if inflight.is_empty() {
+                *inflight = self.tunes.drain().into_iter().map(|(_, j)| j).collect();
+            }
+            inflight.clone()
+        };
+        if jobs.is_empty() {
+            return Ok(TuneProgress::Idle);
+        }
+        let kernels: Vec<KernelInstance> = jobs.iter().map(TuneJob::kernel).collect();
+        let targets = [self.target.clone()];
+        let builder = LibraryBuilder::new(self.config.strategy, self.config.seed);
+
+        // build into a scratch library so the served snapshot is untouched
+        // until the merge below publishes a complete replacement
+        let mut scratch = Library::new();
+        let outcomes = match ckpt {
+            None => builder.build_into(&mut scratch, &kernels, &targets).1,
+            Some(ckpt) => {
+                let (progress, _, outcomes) = builder.build_into_checkpointed(
+                    &mut scratch,
+                    &kernels,
+                    &targets,
+                    ckpt,
+                    step_limit,
+                )?;
+                if progress == BuildProgress::Paused {
+                    return Ok(TuneProgress::Paused);
+                }
+                // completed earlier slices live in the checkpoint's done
+                // list / partial library, not in this call's outcomes
+                let _ = outcomes;
+                Vec::new()
+            }
+        };
+
+        // checkpointed drains merge the partial library (holds *all* job
+        // records); plain drains merge this call's outcomes
+        let (tuned, unimproved) = match ckpt {
+            None => {
+                let tuned = outcomes.iter().filter(|o| o.record.is_some()).count();
+                (tuned, outcomes.len() - tuned)
+            }
+            Some(_) => {
+                let tuned = scratch.len();
+                (tuned, jobs.len().saturating_sub(tuned))
+            }
+        };
+        let snap = self.slot.read(0);
+        let mut merged = snap.library.clone();
+        match ckpt {
+            None => {
+                merged.merge(outcomes.into_iter().filter_map(|o| o.record));
+            }
+            Some(_) => {
+                merged.merge(scratch.records().cloned());
+            }
+        }
+        self.counters.tuned.fetch_add(tuned as u64, Ordering::Relaxed);
+        let generation = self.publish_locked(merged)?;
+        self.inflight.lock().expect("serve inflight poisoned").clear();
+        Ok(TuneProgress::Swapped { generation, tuned, unimproved })
+    }
+
+    /// Publish `library` as the new snapshot (atomic on-disk save first
+    /// when a disk home is configured). Callers outside the drain path —
+    /// e.g. an external rebuild — use this to hot-swap directly.
+    pub fn publish(&self, library: Library) -> Result<u64, String> {
+        let _writer = self.writer.lock().expect("serve writer poisoned");
+        self.publish_locked(library)
+    }
+
+    fn publish_locked(&self, library: Library) -> Result<u64, String> {
+        if let Some(path) = &self.disk {
+            library.save(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        let generation = self.slot.generation() + 1;
+        Ok(self.slot.publish(Arc::new(ServeSnapshot { library, generation })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuned_server(config: ServeConfig) -> Server {
+        let target = Target::x86();
+        let kernels: Vec<KernelInstance> = perfdojo_kernels::tune_suite()
+            .into_iter()
+            .filter(|k| ["softmax", "matmul"].contains(&k.label.as_str()))
+            .collect();
+        let mut lib = Library::new();
+        LibraryBuilder::new(Strategy::Heuristic, 3).build_into(
+            &mut lib,
+            &kernels,
+            std::slice::from_ref(&target),
+        );
+        assert!(!lib.is_empty());
+        Server::new(lib, target, config)
+    }
+
+    #[test]
+    fn batch_serving_hits_all_tiers_and_queues_misses() {
+        let server = tuned_server(ServeConfig::default());
+        // exact (tuned shape), nearest (unseen softmax shape), miss
+        // (rmsnorm was never tuned)
+        for (label, dims) in
+            [("softmax", vec![64, 64]), ("softmax", vec![96, 64]), ("rmsnorm", vec![64, 64])]
+        {
+            server.submit(ServeQuery::of(label, &dims).unwrap()).unwrap();
+        }
+        let replies = server.serve_batch();
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0].tier, HitTier::Exact);
+        assert_eq!(replies[1].tier, HitTier::Nearest);
+        assert!(replies[2].tier.is_miss(), "{:?}", replies[2].tier);
+        assert!(replies.iter().all(|r| r.generation == 0));
+        // replay costs replayed; miss latency dominates cached latency
+        assert!(replies[2].latency_units > replies[0].latency_units);
+        assert_eq!(server.pending_tunes(), 1);
+        let s = server.stats();
+        assert_eq!((s.submitted, s.served, s.exact, s.nearest), (3, 3, 1, 1));
+        assert_eq!(s.tune_jobs, 1);
+    }
+
+    #[test]
+    fn admission_sheds_load_at_capacity() {
+        let server = tuned_server(ServeConfig { queue_capacity: 2, ..ServeConfig::default() });
+        let q = ServeQuery::of("softmax", &[64, 64]).unwrap();
+        server.submit(q.clone()).unwrap();
+        server.submit(q.clone()).unwrap();
+        assert_eq!(server.submit(q.clone()), Err(AdmissionError::Full));
+        assert_eq!(server.stats().rejected, 1);
+        assert_eq!(server.serve_batch().len(), 2);
+        server.submit(q).unwrap();
+    }
+
+    #[test]
+    fn drain_tunes_swaps_and_converts_miss_to_exact() {
+        let server = tuned_server(ServeConfig::default());
+        let q = ServeQuery::of("rmsnorm", &[64, 64]).unwrap();
+        assert!(server.lookup_now(&q).tier.is_miss());
+        assert_eq!(server.pending_tunes(), 1);
+        let progress = server.drain_tunes().unwrap();
+        match progress {
+            TuneProgress::Swapped { generation, tuned, .. } => {
+                assert_eq!(generation, 1);
+                assert_eq!(tuned, 1);
+            }
+            p => panic!("expected swap, got {p:?}"),
+        }
+        // the same query now resolves from the swapped snapshot
+        let r = server.lookup_now(&q);
+        assert_eq!(r.tier, HitTier::Exact);
+        assert_eq!(r.generation, 1);
+        // and a repeat drain has nothing to do (miss deduped, now a hit)
+        assert_eq!(server.drain_tunes().unwrap(), TuneProgress::Idle);
+    }
+
+    #[test]
+    fn duplicate_misses_dedupe_to_one_tune_job() {
+        let server = tuned_server(ServeConfig::default());
+        for _ in 0..4 {
+            server.submit(ServeQuery::of("rmsnorm", &[64, 64]).unwrap()).unwrap();
+        }
+        let replies = server.serve_batch();
+        assert_eq!(replies.len(), 4);
+        assert_eq!(server.pending_tunes(), 1, "miss storm must collapse to one job");
+        assert_eq!(server.stats().tune_jobs, 1);
+    }
+
+    #[test]
+    fn hot_swap_persists_to_disk_atomically() {
+        let dir = std::env::temp_dir().join(format!("pdl-serve-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.pdl");
+        let server = tuned_server(ServeConfig::default()).with_disk(path.clone());
+        assert!(!path.exists(), "no swap yet, no file yet");
+        server.lookup_now(&ServeQuery::of("rmsnorm", &[64, 64]).unwrap());
+        server.drain_tunes().unwrap();
+        let (ondisk, stats) = Library::load(&path).unwrap();
+        assert_eq!(stats.corrupt_entries, 0);
+        assert_eq!(ondisk.to_text(), server.snapshot(0).library.to_text());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latency_units_are_tiered() {
+        let server = tuned_server(ServeConfig::default());
+        let exact = server.lookup_now(&ServeQuery::of("softmax", &[64, 64]).unwrap());
+        let nearest = server.lookup_now(&ServeQuery::of("softmax", &[96, 64]).unwrap());
+        let miss = server.lookup_now(&ServeQuery::of("rmsnorm", &[64, 64]).unwrap());
+        assert!(exact.latency_units >= 1 + exact.steps as u64);
+        assert!(nearest.latency_units > exact.steps as u64);
+        assert!(miss.latency_units > nearest.latency_units.min(exact.latency_units));
+    }
+}

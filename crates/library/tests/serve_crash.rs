@@ -1,0 +1,164 @@
+//! Hot-swap crash safety for the serving tier.
+//!
+//! The "kill the merge mid-write" scenario, exercised through the same
+//! pause machinery the CLI's `--step-limit`/exit-4 path uses: a
+//! checkpointed tune drain that runs out of steps behaves exactly like a
+//! build process killed before the swap — and the contract is that
+//! nothing observable changed: the served snapshot, its generation, and
+//! the on-disk library are all untouched, and rerunning the drain against
+//! the same checkpoint resumes and converges to the uninterrupted
+//! result. A final section corrupts the on-disk file the way a torn
+//! non-atomic writer would, and shows the corrupt-tolerant loader still
+//! brings up a serving-capable library from the surviving blocks.
+
+use perfdojo_core::Target;
+use perfdojo_kernels::KernelInstance;
+use perfdojo_library::{
+    BuildCheckpoint, HitTier, Library, LibraryBuilder, ServeConfig, ServeQuery, Server,
+    Strategy, TuneProgress,
+};
+use std::path::PathBuf;
+
+fn kernel(label: &str, dims: &[usize]) -> KernelInstance {
+    let program = perfdojo_kernels::by_label_with_shape(label, dims)
+        .unwrap_or_else(|| panic!("no kernel {label:?} at {dims:?}"));
+    KernelInstance {
+        label: label.to_string(),
+        shape: dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+        description: String::from("serve crash"),
+        program: program.clone(),
+        verify_program: program,
+    }
+}
+
+fn base_library(target: &Target) -> Library {
+    let kernels = [kernel("softmax", &[32, 32]), kernel("matmul", &[16, 16, 16])];
+    let mut lib = Library::new();
+    LibraryBuilder::new(Strategy::Heuristic, 3).build_into(
+        &mut lib,
+        &kernels,
+        std::slice::from_ref(target),
+    );
+    assert_eq!(lib.len(), 2, "base library incomplete");
+    lib
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pdl-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// An anneal budget big enough that a tiny step limit interrupts it.
+const TUNE_STRATEGY: &str = "anneal:40";
+const STEP_LIMIT: u64 = 10;
+
+#[test]
+fn paused_drain_leaves_snapshot_and_disk_untouched_then_resumes() {
+    let target = Target::x86();
+    let dir = scratch_dir("serve-crash");
+    let lib_path = dir.join("serve.pdl");
+    let base = base_library(&target);
+    base.save(&lib_path).expect("save base");
+    let disk_before = std::fs::read(&lib_path).expect("read base");
+
+    let strategy = Strategy::parse(TUNE_STRATEGY).expect("strategy");
+    let config = ServeConfig { strategy, seed: 11, ..ServeConfig::default() };
+    let server =
+        Server::new(base.clone(), target.clone(), config.clone()).with_disk(lib_path.clone());
+
+    // two misses become the tune jobs the drain is interrupted over (the
+    // in-flight job list must survive the pause for both to land)
+    let miss = ServeQuery::of("rmsnorm", &[32, 32]).expect("query");
+    let miss2 = ServeQuery::of("reducemean", &[32, 32]).expect("query");
+    assert!(server.lookup_now(&miss).tier.is_miss());
+    assert!(server.lookup_now(&miss2).tier.is_miss());
+    assert_eq!(server.pending_tunes(), 2);
+
+    // the drain dies at the step limit — the simulated mid-merge kill
+    let ckpt = BuildCheckpoint::open(&dir.join("ck")).expect("checkpoint");
+    let first = server.drain_tunes_checkpointed(&ckpt, Some(STEP_LIMIT)).expect("drain");
+    assert_eq!(first, TuneProgress::Paused, "step limit must pause the drain");
+
+    // contract: nothing observable moved
+    assert_eq!(server.generation(), 0, "paused drain must not publish");
+    let after_pause = server.lookup_now(&miss);
+    assert!(after_pause.tier.is_miss(), "old snapshot must keep serving");
+    assert_eq!(after_pause.generation, 0);
+    assert_eq!(
+        std::fs::read(&lib_path).expect("read after pause"),
+        disk_before,
+        "paused drain must not touch the on-disk library"
+    );
+    let (reloaded, stats) = Library::load(&lib_path).expect("reload after pause");
+    assert_eq!(stats.corrupt_entries, 0);
+    assert_eq!(reloaded.to_text(), base.to_text());
+
+    // resume against the same checkpoint until the swap lands
+    let mut progress = first;
+    for _ in 0..40 {
+        if progress != TuneProgress::Paused {
+            break;
+        }
+        progress = server.drain_tunes_checkpointed(&ckpt, Some(STEP_LIMIT)).expect("resume");
+    }
+    let TuneProgress::Swapped { generation, tuned, .. } = progress else {
+        panic!("drain never finished: {progress:?}");
+    };
+    assert_eq!(generation, 1);
+    assert_eq!(tuned, 2);
+    let served = server.lookup_now(&miss);
+    assert_eq!(served.tier, HitTier::Exact, "tuned miss must now hit");
+    assert_eq!(served.generation, 1);
+    assert_eq!(server.lookup_now(&miss2).tier, HitTier::Exact);
+
+    // the interrupted path converges to the uninterrupted result
+    let control = Server::new(base, target, config);
+    assert!(control.lookup_now(&miss).tier.is_miss());
+    assert!(control.lookup_now(&miss2).tier.is_miss());
+    let ckpt2 = BuildCheckpoint::open(&dir.join("ck-control")).expect("checkpoint");
+    match control.drain_tunes_checkpointed(&ckpt2, None).expect("control drain") {
+        TuneProgress::Swapped { generation: 1, .. } => {}
+        p => panic!("control drain: {p:?}"),
+    }
+    assert_eq!(
+        server.snapshot(0).library.to_text(),
+        control.snapshot(0).library.to_text(),
+        "interrupted and uninterrupted drains diverged"
+    );
+    // and the hot swap persisted atomically: the file on disk IS the snapshot
+    let (ondisk, stats) = Library::load(&lib_path).expect("reload after swap");
+    assert_eq!(stats.corrupt_entries, 0);
+    assert_eq!(ondisk.to_text(), server.snapshot(0).library.to_text());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn torn_on_disk_library_still_loads_and_serves() {
+    let target = Target::x86();
+    let dir = scratch_dir("serve-torn");
+    let lib_path = dir.join("torn.pdl");
+    let base = base_library(&target);
+    base.save(&lib_path).expect("save base");
+
+    // simulate a writer killed mid-write WITHOUT the atomic rename: the
+    // tail of the file is an unterminated half-record
+    let mut text = std::fs::read_to_string(&lib_path).expect("read");
+    text.push_str("entry garbage|that|never|parses\ncost 0x");
+    std::fs::write(&lib_path, text).expect("write torn file");
+
+    let (survivor, stats) = Library::load(&lib_path).expect("corrupt-tolerant load");
+    assert!(stats.corrupt_entries > 0, "the torn tail must be counted");
+    assert_eq!(survivor.len(), base.len(), "intact blocks must all survive");
+
+    // the survivor is fully serving-capable
+    let server = Server::new(survivor, target, ServeConfig::default());
+    let hit = server.lookup_now(&ServeQuery::of("softmax", &[32, 32]).expect("query"));
+    assert_eq!(hit.tier, HitTier::Exact);
+    let near = server.lookup_now(&ServeQuery::of("softmax", &[48, 32]).expect("query"));
+    assert_eq!(near.tier, HitTier::Nearest);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

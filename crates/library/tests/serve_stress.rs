@@ -1,0 +1,190 @@
+//! Concurrency stress test for the serving tier: N reader threads hammer
+//! `Server::lookup_now` while a writer hot-swaps K library generations
+//! under them.
+//!
+//! The invariants — checked against a sequentially precomputed oracle:
+//!
+//! 1. **Never torn**: every observed reply must be *exactly* what a
+//!    sequential dispatch against that reply's snapshot generation
+//!    produces (same tier, same step count, same bit-exact costs, same
+//!    latency units). A half-swapped library would break this.
+//! 2. **Per-key monotonicity**: a reader re-querying the same key can
+//!    never see the generation go backwards (same key → same shard).
+//! 3. **No lost updates**: after the writer finishes, the served snapshot
+//!    is the last published generation on every shard, byte-identical to
+//!    the final library.
+//!
+//! Together 1–3 say the concurrent run is equivalent to a sequential
+//! replay of the same query log annotated with observed generations.
+
+use perfdojo_core::Target;
+use perfdojo_kernels::KernelInstance;
+use perfdojo_library::{Library, LibraryBuilder, ServeConfig, ServeQuery, Server, Strategy};
+use perfdojo_util::par::par_map;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+const READERS: usize = 4;
+/// Passes each reader makes over the query set.
+const PASSES: usize = 6;
+
+fn kernel(label: &str, dims: &[usize]) -> KernelInstance {
+    let program = perfdojo_kernels::by_label_with_shape(label, dims)
+        .unwrap_or_else(|| panic!("no kernel {label:?} at {dims:?}"));
+    KernelInstance {
+        label: label.to_string(),
+        shape: dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+        description: String::from("serve stress"),
+        program: program.clone(),
+        verify_program: program,
+    }
+}
+
+fn tune(lib: &mut Library, kernels: &[KernelInstance], target: &Target) {
+    LibraryBuilder::new(Strategy::Heuristic, 3).build_into(
+        lib,
+        kernels,
+        std::slice::from_ref(target),
+    );
+}
+
+/// What one lookup observed; everything an oracle dispatch determines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Fingerprint {
+    tier: &'static str,
+    latency_units: u64,
+    cost_bits: u64,
+    naive_bits: u64,
+    steps: usize,
+}
+
+#[test]
+fn readers_never_see_torn_swaps_and_match_sequential_replay() {
+    let target = Target::x86();
+
+    // generation 0: softmax + matmul tuned; generations 1..=K add one
+    // tuned kernel each, so the tier of the late queries shifts under
+    // the readers as swaps land
+    let base = [kernel("softmax", &[32, 32]), kernel("matmul", &[16, 16, 16])];
+    let extras = [
+        kernel("layernorm 1", &[32, 32]),
+        kernel("rmsnorm", &[32, 32]),
+        kernel("reducemean", &[32, 32]),
+        kernel("relu", &[32, 64]),
+    ];
+    let mut libs: Vec<Library> = Vec::new();
+    let mut lib = Library::new();
+    tune(&mut lib, &base, &target);
+    assert_eq!(lib.len(), 2, "base library incomplete");
+    libs.push(lib.clone());
+    for extra in &extras {
+        tune(&mut lib, std::slice::from_ref(extra), &target);
+        libs.push(lib.clone());
+    }
+    let swaps = libs.len() - 1;
+
+    let queries: Vec<ServeQuery> = [
+        ("softmax", vec![32usize, 32]),  // exact at every generation
+        ("matmul", vec![16, 16, 16]),    // exact at every generation
+        ("softmax", vec![48, 32]),       // nearest at every generation
+        ("layernorm 1", vec![32, 32]),   // heuristic until gen 1, then exact
+        ("rmsnorm", vec![32, 32]),       // heuristic until gen 2, then exact
+    ]
+    .iter()
+    .map(|(label, dims)| ServeQuery::of(label, dims).expect("query"))
+    .collect();
+
+    // the oracle: sequential dispatch per (generation, query)
+    let oracle: Vec<Vec<Fingerprint>> = libs
+        .iter()
+        .map(|l| {
+            queries
+                .iter()
+                .map(|q| {
+                    let r = l.lookup(&q.program, &target);
+                    Fingerprint {
+                        tier: r.disposition.tag(),
+                        latency_units: perfdojo_library::latency_units(&r),
+                        cost_bits: r.cost.to_bits(),
+                        naive_bits: r.naive_cost.to_bits(),
+                        steps: r.steps.len(),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    // the experiment is vacuous unless tiers actually shift across swaps
+    assert_ne!(oracle[0][3], oracle[swaps][3], "layernorm tier never shifted");
+    assert_ne!(oracle[0][4], oracle[swaps][4], "rmsnorm tier never shifted");
+
+    let server = Server::new(libs[0].clone(), target.clone(), ServeConfig::default());
+
+    // role 0 publishes the K swaps; roles 1..=N read through them
+    let roles: Vec<usize> = (0..=READERS).collect();
+    let logs: Vec<Vec<(usize, u64, Fingerprint)>> = par_map(roles, |role| {
+        if role == 0 {
+            for next in &libs[1..] {
+                std::thread::sleep(Duration::from_millis(3));
+                server.publish(next.clone()).expect("publish");
+            }
+            return Vec::new();
+        }
+        let mut log = Vec::new();
+        for _ in 0..PASSES {
+            for (qi, q) in queries.iter().enumerate() {
+                let r = server.lookup_now(q);
+                log.push((
+                    qi,
+                    r.generation,
+                    Fingerprint {
+                        tier: match r.tier {
+                            perfdojo_library::HitTier::Exact => "exact-hit",
+                            perfdojo_library::HitTier::Nearest => "fallback-replay",
+                            perfdojo_library::HitTier::Heuristic => "fallback-heuristic",
+                            perfdojo_library::HitTier::Naive => "naive",
+                        },
+                        latency_units: r.latency_units,
+                        cost_bits: r.cost.to_bits(),
+                        naive_bits: r.naive_cost.to_bits(),
+                        steps: r.steps,
+                    },
+                ));
+            }
+        }
+        log
+    });
+
+    // no lost updates: the last publish won on every shard
+    assert_eq!(server.generation(), swaps as u64);
+    let final_text = libs[swaps].to_text();
+    for hint in 0..64 {
+        let snap = server.snapshot(hint);
+        assert_eq!(snap.generation, swaps as u64, "stale shard at hint {hint}");
+        assert_eq!(snap.library.to_text(), final_text, "shard diverged at hint {hint}");
+    }
+
+    let mut observed = 0usize;
+    for (reader, log) in logs.iter().enumerate().skip(1) {
+        assert_eq!(log.len(), PASSES * queries.len(), "reader {reader} lost replies");
+        // never torn / sequential-replay equivalence: each reply is the
+        // oracle's answer for its observed generation
+        let mut last_gen: BTreeMap<usize, u64> = BTreeMap::new();
+        for (qi, generation, fp) in log {
+            let g = *generation as usize;
+            assert!(g <= swaps, "reader {reader} saw generation {g} > {swaps}");
+            assert_eq!(
+                fp, &oracle[g][*qi],
+                "reader {reader} query {qi} at generation {g}: torn or divergent reply"
+            );
+            // per-key monotonicity: the same query never goes back in time
+            if let Some(prev) = last_gen.insert(*qi, *generation) {
+                assert!(
+                    prev <= *generation,
+                    "reader {reader} query {qi}: generation went {prev} -> {generation}"
+                );
+            }
+            observed += 1;
+        }
+    }
+    assert_eq!(observed, READERS * PASSES * queries.len());
+}

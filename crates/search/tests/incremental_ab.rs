@@ -108,6 +108,58 @@ fn tiny_cache_is_bit_identical_too() {
     assert!(tiny.cache_stats().entries <= 3);
 }
 
+/// The gap this closes: `anneal_heuristic_parallel` feeding
+/// `Library::lookup` end-to-end. Tuning three tune-suite kernels through
+/// the multi-chain strategy must produce a library whose dispatch returns
+/// each tuned schedule as an exact hit whose cost replays bit-identically
+/// on a fresh dojo — and the whole build must be deterministic, so two
+/// independent builds serve byte-identical libraries.
+#[test]
+fn multi_chain_tunes_round_trip_through_library_lookup() {
+    use perfdojo_library::{Disposition, Library, LibraryBuilder};
+    let target = Target::x86();
+    let picks = ["softmax", "matmul", "rmsnorm"];
+    let kernels: Vec<_> = perfdojo_kernels::tune_suite()
+        .into_iter()
+        .filter(|k| picks.contains(&k.label.as_str()))
+        .collect();
+    assert_eq!(kernels.len(), picks.len(), "tune suite lost a kernel");
+
+    let build = || {
+        let strategy = perfdojo_library::Strategy::parse("anneal:40:2").unwrap();
+        let mut lib = Library::new();
+        LibraryBuilder::new(strategy, 0xD0).build_into(
+            &mut lib,
+            &kernels,
+            std::slice::from_ref(&target),
+        );
+        lib
+    };
+    let lib = build();
+    assert_eq!(lib.len(), picks.len(), "a multi-chain tune produced no record");
+    assert_eq!(
+        lib.to_text(),
+        build().to_text(),
+        "multi-chain library build is not deterministic"
+    );
+
+    for k in &kernels {
+        let r = lib.lookup(&k.program, &target);
+        assert_eq!(r.disposition, Disposition::ExactHit, "{}: wrong tier", k.label);
+        assert!(r.cost < r.naive_cost, "{}: tuned cost did not improve", k.label);
+        assert!(!r.steps.is_empty(), "{}: exact hit with no schedule", k.label);
+        // the served schedule replays to the recorded cost, bit for bit
+        let mut d = Dojo::for_target(k.program.clone(), &target).unwrap();
+        let replayed = d.load_sequence(&r.steps).unwrap();
+        assert_eq!(
+            replayed.to_bits(),
+            r.cost.to_bits(),
+            "{}: served cost diverged from replay",
+            k.label
+        );
+    }
+}
+
 /// Multi-chain seed stability: the merged best is a pure function of
 /// (kernel, chains, budget, seed) — re-running must reproduce it exactly,
 /// and it must equal the best of the same chains run one at a time (i.e.

@@ -17,7 +17,11 @@
 //! * [`timer`] — a warmup+median micro-benchmark runner (replaces
 //!   `criterion`);
 //! * [`trace`] — a clock-free JSONL telemetry sink with atomic saves and
-//!   bit-exact float codecs (the substrate of checkpoint/resume).
+//!   bit-exact float codecs (the substrate of checkpoint/resume);
+//! * [`sharded`] — sharded `RwLock<Arc<T>>` snapshot publication for
+//!   read-mostly serving (never-torn hot swaps);
+//! * [`zipf`] — Zipf-distributed rank sampling for skewed load
+//!   generation.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,5 +30,7 @@ pub mod lru;
 pub mod par;
 pub mod proptest_lite;
 pub mod rng;
+pub mod sharded;
 pub mod timer;
 pub mod trace;
+pub mod zipf;

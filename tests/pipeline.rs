@@ -89,6 +89,61 @@ fn perfllm_full_loop_on_small_kernel() {
 }
 
 #[test]
+fn tuned_library_serves_round_trip_through_the_daemon() {
+    // anneal_parallel → Library::lookup → Server: tune three tune-suite
+    // kernels with the multi-chain strategy, then serve them through the
+    // batched admission path and check every reply comes back exact with
+    // a replayable, cost-improving schedule.
+    use perfdojo::library::{HitTier, ServeConfig, ServeQuery, Server};
+    let target = Target::x86();
+    let picks = ["softmax", "matmul", "rmsnorm"];
+    let kernels: Vec<_> = perfdojo::kernels::tune_suite()
+        .into_iter()
+        .filter(|k| picks.contains(&k.label.as_str()))
+        .collect();
+    assert_eq!(kernels.len(), picks.len());
+
+    let mut lib = Library::new();
+    let strategy = LibraryStrategy::parse("anneal:40:2").unwrap();
+    LibraryBuilder::new(strategy, 0xD0).build_into(
+        &mut lib,
+        &kernels,
+        std::slice::from_ref(&target),
+    );
+    assert_eq!(lib.len(), picks.len(), "a tune produced no record");
+
+    let server = Server::new(lib, target.clone(), ServeConfig::default());
+    // submit in kernel order so replies (FIFO) zip back onto `kernels`
+    let dims_of = |label: &str| -> Vec<usize> {
+        match label {
+            "matmul" => vec![48, 48, 48],
+            _ => vec![64, 64],
+        }
+    };
+    for k in &kernels {
+        server.submit(ServeQuery::of(&k.label, &dims_of(&k.label)).unwrap()).unwrap();
+    }
+    let replies = server.serve_batch();
+    assert_eq!(replies.len(), kernels.len(), "admission dropped a query");
+    for (reply, k) in replies.iter().zip(&kernels) {
+        assert_eq!(reply.tier, HitTier::Exact, "{}: wrong tier", reply.label);
+        assert!(reply.cost < reply.naive_cost, "{}: no improvement served", reply.label);
+        // the reply's schedule length matches a fresh sequential dispatch,
+        // and that dispatch replays on a clean dojo at the served cost
+        let r = server.snapshot(0).library.lookup(&k.program, &target);
+        assert_eq!(reply.steps, r.steps.len());
+        let mut d = Dojo::for_target(k.program.clone(), &target).unwrap();
+        let replayed = d.load_sequence(&r.steps).unwrap();
+        assert_eq!(replayed.to_bits(), reply.cost.to_bits(), "{}", reply.label);
+    }
+
+    // an unseen shape of a tuned kernel routes through nearest-shape replay
+    let near = server.lookup_now(&ServeQuery::of("softmax", &[96, 64]).unwrap());
+    assert_eq!(near.tier, HitTier::Nearest);
+    assert!(near.cost < near.naive_cost, "nearest replay served no improvement");
+}
+
+#[test]
 fn c_code_emits_for_all_optimized_kernels() {
     let t = Target::x86();
     for k in perfdojo::kernels::small_suite() {
