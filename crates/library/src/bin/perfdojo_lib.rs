@@ -351,8 +351,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             let q = queries[zipf.sample(&mut rng)].clone();
             if server.submit(q).is_err() {
                 // the queue is full: serve a batch to make room; this
-                // request stays shed (counted in the rejected stat)
-                server.serve_batch();
+                // request stays shed (counted in the rejected stat), but
+                // the batch's replies are served requests and count in the
+                // latency distribution like any other
+                latencies.extend(server.serve_batch().iter().map(|r| r.latency_units));
             }
         }
         loop {

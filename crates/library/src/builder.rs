@@ -298,7 +298,9 @@ impl LibraryBuilder {
         let io_err = |e: std::io::Error| format!("checkpoint dir {}: {e}", ckpt.dir().display());
         for kernel in kernels {
             for target in targets {
-                if done.iter().any(|(l, t, _)| l == &kernel.label && t == &target.name) {
+                if done.iter().any(|(l, s, t, _)| {
+                    l == &kernel.label && s == &kernel.shape && t == &target.name
+                }) {
                     continue;
                 }
                 let sliced =
@@ -313,7 +315,8 @@ impl LibraryBuilder {
                         report.rejected_stale += r.rejected_stale;
                         lib.save(&partial).map_err(|e| format!("{}: {e}", partial.display()))?;
                         ckpt.save_trace(&sink).map_err(io_err)?;
-                        ckpt.mark_done(&out.label, &out.target, out.evaluations).map_err(io_err)?;
+                        ckpt.mark_done(&out.label, &kernel.shape, &out.target, out.evaluations)
+                            .map_err(io_err)?;
                         ckpt.clear_inflight().map_err(io_err)?;
                         outcomes.push(out);
                     }

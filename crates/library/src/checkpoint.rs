@@ -5,7 +5,10 @@
 //! at any point leaves a consistent prior state:
 //!
 //! - `done.list` — one line per completed (kernel, target) job:
-//!   `<label>|<target> <evaluations>`; resumed builds skip these.
+//!   `<label>|<shape>|<target> <evaluations>`; resumed builds skip these.
+//!   The shape is part of the identity: a build over several shapes of one
+//!   operator (as the serving tier's tune drains produce) must not let a
+//!   completed `softmax 64x64` job swallow a pending `softmax 32x32`.
 //! - `partial.pdl` — the library with every completed job's record merged,
 //!   in the normal on-disk format.
 //! - `inflight.ckpt` — the serialized search/training state of the job
@@ -60,30 +63,60 @@ impl BuildCheckpoint {
         self.dir.join("inflight.ckpt")
     }
 
-    /// Completed jobs as `(label, target, evaluations)`, in completion
-    /// order. Unparseable lines are skipped (the job merely re-runs).
-    pub fn done_jobs(&self) -> Vec<(String, String, u64)> {
+    /// Completed jobs as `(label, shape, target, evaluations)`, in
+    /// completion order. Unparseable lines are skipped (the job merely
+    /// re-runs).
+    pub fn done_jobs(&self) -> Vec<(String, String, String, u64)> {
         let Ok(text) = std::fs::read_to_string(self.done_path()) else {
             return Vec::new();
         };
         text.lines()
             .filter_map(|line| {
                 let (id, evals) = line.rsplit_once(' ')?;
-                let (label, target) = id.split_once('|')?;
-                Some((label.to_string(), target.to_string(), evals.parse().ok()?))
+                let (label, rest) = id.split_once('|')?;
+                let (shape, target) = rest.split_once('|')?;
+                Some((
+                    label.to_string(),
+                    shape.to_string(),
+                    target.to_string(),
+                    evals.parse().ok()?,
+                ))
             })
             .collect()
     }
 
     /// Record a completed job (atomic rewrite of the whole list).
-    pub fn mark_done(&self, label: &str, target: &str, evaluations: u64) -> io::Result<()> {
+    pub fn mark_done(
+        &self,
+        label: &str,
+        shape: &str,
+        target: &str,
+        evaluations: u64,
+    ) -> io::Result<()> {
         let mut jobs = self.done_jobs();
-        jobs.push((label.to_string(), target.to_string(), evaluations));
+        jobs.push((label.to_string(), shape.to_string(), target.to_string(), evaluations));
         let mut text = String::new();
-        for (l, t, e) in &jobs {
-            text.push_str(&format!("{l}|{t} {e}\n"));
+        for (l, s, t, e) in &jobs {
+            text.push_str(&format!("{l}|{s}|{t} {e}\n"));
         }
         atomic_write(&self.done_path(), &text)
+    }
+
+    /// Reset the job-progress files (`done.list`, `partial.pdl`,
+    /// `inflight.ckpt`) so the directory can host a fresh build. The trace
+    /// log is kept — it appends across builds with continuing step
+    /// numbers. The serving tier calls this after every completed tune
+    /// drain: without it a later drain would reload the previous drain's
+    /// partial library and skip any job matching a previously-done
+    /// identity.
+    pub fn reset(&self) -> io::Result<()> {
+        for path in [self.done_path(), self.partial_path(), self.inflight_path()] {
+            match std::fs::remove_file(&path) {
+                Err(e) if e.kind() != io::ErrorKind::NotFound => return Err(e),
+                _ => {}
+            }
+        }
+        Ok(())
     }
 
     /// The in-flight job's serialized state, if one was saved.
@@ -133,12 +166,37 @@ mod tests {
         let dir = tmpdir("done");
         let c = BuildCheckpoint::open(&dir).unwrap();
         assert!(c.done_jobs().is_empty());
-        c.mark_done("softmax", "x86", 42).unwrap();
-        c.mark_done("matmul", "gh200", 7).unwrap();
+        c.mark_done("softmax", "64x64", "x86", 42).unwrap();
+        c.mark_done("softmax", "32x32", "x86", 9).unwrap();
+        c.mark_done("matmul", "16x16x16", "gh200", 7).unwrap();
         assert_eq!(
             c.done_jobs(),
-            vec![("softmax".into(), "x86".into(), 42), ("matmul".into(), "gh200".into(), 7)]
+            vec![
+                ("softmax".into(), "64x64".into(), "x86".into(), 42),
+                ("softmax".into(), "32x32".into(), "x86".into(), 9),
+                ("matmul".into(), "16x16x16".into(), "gh200".into(), 7),
+            ]
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_clears_job_progress_but_keeps_trace() {
+        let dir = tmpdir("reset");
+        let c = BuildCheckpoint::open(&dir).unwrap();
+        c.mark_done("softmax", "64x64", "x86", 42).unwrap();
+        c.save_inflight("perfdojo-checkpoint v1 anneal\nend\n").unwrap();
+        std::fs::write(c.partial_path(), "perfdojo-library v1\n").unwrap();
+        let mut sink = c.load_trace();
+        sink.event("job").str("kernel", "softmax").emit();
+        c.save_trace(&sink).unwrap();
+        c.reset().unwrap();
+        assert!(c.done_jobs().is_empty());
+        assert!(c.load_inflight().is_none());
+        assert!(!c.partial_path().exists());
+        assert_eq!(c.load_trace().next_step(), 1, "trace must survive a reset");
+        // resetting an already-clean directory is fine
+        c.reset().unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -456,7 +456,10 @@ impl Server {
     /// `step_limit` bounds the tuning steps spent in this call. When the
     /// limit runs out the drain returns [`TuneProgress::Paused`] with the
     /// snapshot and the on-disk library untouched — call again (or rerun
-    /// the process against the same checkpoint dir) to continue.
+    /// the process against the same checkpoint dir) to continue. A drain
+    /// that completes resets the checkpoint's job progress (done list,
+    /// partial library, in-flight state), so one directory serves every
+    /// drain of a long-running server in sequence.
     pub fn drain_tunes_checkpointed(
         &self,
         ckpt: &BuildCheckpoint,
@@ -517,8 +520,16 @@ impl Server {
                 (tuned, outcomes.len() - tuned)
             }
             Some(_) => {
-                let tuned = scratch.len();
-                (tuned, jobs.len().saturating_sub(tuned))
+                // count this drain's jobs only: the partial library could
+                // still hold records from a drain that crashed between
+                // publish and checkpoint reset
+                let tuned = jobs
+                    .iter()
+                    .filter(|j| {
+                        scratch.get(&KernelSig::of(&j.program, &self.target.name)).is_some()
+                    })
+                    .count();
+                (tuned, jobs.len() - tuned)
             }
         };
         let snap = self.slot.read(0);
@@ -533,6 +544,14 @@ impl Server {
         }
         self.counters.tuned.fetch_add(tuned as u64, Ordering::Relaxed);
         let generation = self.publish_locked(merged)?;
+        // this drain is merged and published: clear the checkpoint's job
+        // progress so the next drain (new jobs, possibly re-using an
+        // identity) starts fresh instead of reloading this drain's partial
+        // library and skipping over its done entries
+        if let Some(ckpt) = ckpt {
+            ckpt.reset()
+                .map_err(|e| format!("checkpoint dir {}: {e}", ckpt.dir().display()))?;
+        }
         self.inflight.lock().expect("serve inflight poisoned").clear();
         Ok(TuneProgress::Swapped { generation, tuned, unimproved })
     }

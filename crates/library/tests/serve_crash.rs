@@ -14,8 +14,8 @@
 use perfdojo_core::Target;
 use perfdojo_kernels::KernelInstance;
 use perfdojo_library::{
-    BuildCheckpoint, HitTier, Library, LibraryBuilder, ServeConfig, ServeQuery, Server,
-    Strategy, TuneProgress,
+    BuildCheckpoint, HitTier, KernelSig, Library, LibraryBuilder, ServeConfig, ServeQuery,
+    Server, Strategy, TuneProgress,
 };
 use std::path::PathBuf;
 
@@ -132,6 +132,103 @@ fn paused_drain_leaves_snapshot_and_disk_untouched_then_resumes() {
     assert_eq!(stats.corrupt_entries, 0);
     assert_eq!(ondisk.to_text(), server.snapshot(0).library.to_text());
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn paused_drain_resumes_both_shapes_of_one_operator() {
+    // regression: the checkpoint job identity must include the shape —
+    // under a (label, target)-only identity, a drain paused after tuning
+    // rmsnorm 32x32 marks "rmsnorm|x86" done and the resume silently
+    // skips rmsnorm 64x64 forever, diverging from the uninterrupted run
+    let target = Target::x86();
+    let dir = scratch_dir("serve-crash-shapes");
+    let base = base_library(&target);
+
+    let strategy = Strategy::parse(TUNE_STRATEGY).expect("strategy");
+    let config = ServeConfig { strategy, seed: 11, ..ServeConfig::default() };
+    let server = Server::new(base.clone(), target.clone(), config.clone());
+    let small = ServeQuery::of("rmsnorm", &[32, 32]).expect("query");
+    let big = ServeQuery::of("rmsnorm", &[64, 64]).expect("query");
+    assert!(server.lookup_now(&small).tier.is_miss());
+    assert!(server.lookup_now(&big).tier.is_miss());
+    assert_eq!(server.pending_tunes(), 2);
+
+    let ckpt = BuildCheckpoint::open(&dir.join("ck")).expect("checkpoint");
+    let mut progress =
+        server.drain_tunes_checkpointed(&ckpt, Some(STEP_LIMIT)).expect("drain");
+    assert_eq!(progress, TuneProgress::Paused, "step limit must pause the drain");
+    for _ in 0..40 {
+        if progress != TuneProgress::Paused {
+            break;
+        }
+        progress = server.drain_tunes_checkpointed(&ckpt, Some(STEP_LIMIT)).expect("resume");
+    }
+    let TuneProgress::Swapped { tuned, .. } = progress else {
+        panic!("drain never finished: {progress:?}");
+    };
+    assert_eq!(tuned, 2, "both shapes of the operator must be tuned");
+    // both shapes have their own record now (dispatch may still prefer a
+    // sibling-shape replay when tier-1 acceptance rejects a record, so
+    // assert on the library contents, not the disposition)
+    for q in [&small, &big] {
+        let sig = KernelSig::of(&q.program, &target.name);
+        assert!(
+            server.snapshot(0).library.get(&sig).is_some(),
+            "missing record for {:?} at {:?}",
+            q.label,
+            q.dims
+        );
+        assert!(!server.lookup_now(q).tier.is_miss());
+    }
+
+    // and the interrupted path converges to the uninterrupted result
+    let control = Server::new(base, target, config);
+    assert!(control.lookup_now(&small).tier.is_miss());
+    assert!(control.lookup_now(&big).tier.is_miss());
+    control.drain_tunes().expect("control drain");
+    assert_eq!(
+        server.snapshot(0).library.to_text(),
+        control.snapshot(0).library.to_text(),
+        "interrupted and uninterrupted drains diverged"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn completed_drain_resets_checkpoint_for_the_next_drain() {
+    // a long-running server reuses one checkpoint dir across drains: a
+    // completed drain must clear its job progress, or the next drain
+    // reloads the stale partial library (overcounting its tuned jobs)
+    // and skips any new job matching a previously-done identity
+    let target = Target::x86();
+    let dir = scratch_dir("serve-crash-reset");
+    let base = base_library(&target);
+
+    let strategy = Strategy::parse(TUNE_STRATEGY).expect("strategy");
+    let config = ServeConfig { strategy, seed: 11, ..ServeConfig::default() };
+    let server = Server::new(base, target, config);
+    let ckpt = BuildCheckpoint::open(&dir.join("ck")).expect("checkpoint");
+
+    let first = ServeQuery::of("rmsnorm", &[32, 32]).expect("query");
+    assert!(server.lookup_now(&first).tier.is_miss());
+    match server.drain_tunes_checkpointed(&ckpt, None).expect("first drain") {
+        TuneProgress::Swapped { generation: 1, tuned: 1, .. } => {}
+        p => panic!("first drain: {p:?}"),
+    }
+    assert!(ckpt.done_jobs().is_empty(), "done list must be reset after a swap");
+    assert!(!ckpt.partial_path().exists(), "partial library must be reset after a swap");
+
+    // the second drain over a fresh job reports only its own work
+    let second = ServeQuery::of("reducemean", &[32, 32]).expect("query");
+    assert!(server.lookup_now(&second).tier.is_miss());
+    match server.drain_tunes_checkpointed(&ckpt, None).expect("second drain") {
+        TuneProgress::Swapped { generation: 2, tuned: 1, .. } => {}
+        p => panic!("second drain: {p:?}"),
+    }
+    assert_eq!(server.lookup_now(&first).tier, HitTier::Exact);
+    assert_eq!(server.lookup_now(&second).tier, HitTier::Exact);
+    assert_eq!(server.stats().tuned, 2);
     std::fs::remove_dir_all(&dir).ok();
 }
 
