@@ -28,24 +28,30 @@
 #      identical hot-swapped libraries, a step-limited serve must pause with
 #      exit 4 and converge on resume to the uninterrupted library, and the
 #      reader/hot-swap stress test must pass under --release.
+#   9. Graph-tier smoke: a fixed-seed `--exp graph` run (block-level vs
+#      per-node dispatch over the pipeline suite) must be byte-identical
+#      across two runs and show block cost at or below per-node cost, the
+#      graph CLI must round-trip build → exact block hit, and seeded random
+#      pipelines must pass the differential oracle (graph executor vs
+#      composed interpreter reference).
 #
 # Usage: ./ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== 1/8 perfdojo-util: warning-free build (-D warnings) =="
+echo "== 1/9 perfdojo-util: warning-free build (-D warnings) =="
 RUSTFLAGS="-D warnings" cargo build -q -p perfdojo-util --offline
 RUSTFLAGS="-D warnings" cargo test -q -p perfdojo-util --offline
 
-echo "== 2/8 tier-1 verify: release build + tests =="
+echo "== 2/9 tier-1 verify: release build + tests =="
 cargo build --release --workspace --offline
 cargo test -q --offline
 
-echo "== 3/8 full workspace tests (offline) =="
+echo "== 3/9 full workspace tests (offline) =="
 cargo test -q --workspace --offline
 
-echo "== 4/8 schedule-library pipeline: build, dispatch, stats =="
+echo "== 4/9 schedule-library pipeline: build, dispatch, stats =="
 PDLIB_DIR=$(mktemp -d)
 trap 'rm -rf "$PDLIB_DIR"' EXIT
 PDLIB="$PDLIB_DIR/ci.pdl"
@@ -63,7 +69,7 @@ grep -q "disposition: fallback-replay" "$PDLIB_DIR/q2.txt"
 ./target/release/perfdojo-lib stats --lib "$PDLIB" | tee "$PDLIB_DIR/stats.txt"
 grep -q "entries:         2" "$PDLIB_DIR/stats.txt"
 
-echo "== 5/8 differential fuzz smoke: fixed seed, deterministic, clean =="
+echo "== 5/9 differential fuzz smoke: fixed seed, deterministic, clean =="
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz1.txt"
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz2.txt"
 # the report must be byte-identical across runs — no timestamps, no
@@ -78,7 +84,7 @@ if ./target/release/fuzz --seed 0xC0FFEE --iters 60 --sabotage truncate-split \
 fi
 grep -q "FINDING" "$PDLIB_DIR/fuzz3.txt"
 
-echo "== 6/8 search-engine smoke: A/B determinism + searchperf report =="
+echo "== 6/9 search-engine smoke: A/B determinism + searchperf report =="
 # the incremental engine must be bit-identical to the naive one on every
 # tune-suite kernel and strategy
 cargo test -q -p perfdojo-search --offline --test incremental_ab
@@ -103,7 +109,7 @@ if grep -q '"cache_hits": 0,' "$PDLIB_DIR/sp1.json"; then
     exit 1
 fi
 
-echo "== 7/8 checkpoint/resume smoke: pause at step limit, resume, compare =="
+echo "== 7/9 checkpoint/resume smoke: pause at step limit, resume, compare =="
 CKPT_ARGS=(--kernels softmax,matmul --targets x86 --strategy anneal:40 --seed 7)
 # reference: one uninterrupted checkpointed build
 ./target/release/perfdojo-lib build --out "$PDLIB_DIR/full.pdl" \
@@ -146,7 +152,7 @@ fi
 # and the unit pin for the cooling-schedule division guard
 cargo test -q -p perfdojo-search --offline zero_budget
 
-echo "== 8/8 serving-tier smoke: deterministic load gen, hot swap, pause =="
+echo "== 8/9 serving-tier smoke: deterministic load gen, hot swap, pause =="
 # fixed-seed load-test experiment: two runs must emit byte-identical
 # reports (no wall-clock fields inside — plain cmp, no stripping)
 (cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp serve > serve1.txt)
@@ -211,5 +217,40 @@ cmp "$PDLIB_DIR/srv-full.pdl" "$PDLIB_DIR/srv-sliced.pdl"
 # readers racing hot swaps must match the sequential oracle under the
 # release scheduler, not just the debug one
 cargo test -q --release -p perfdojo-library --offline --test serve_stress
+
+echo "== 9/9 graph-tier smoke: block dispatch, determinism, random oracle =="
+# fixed-seed graph experiment: byte-identical across two runs, and the
+# headline claim holds — block dispatch never loses to per-node dispatch
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp graph > graph1.txt)
+mv "$PDLIB_DIR/BENCH_graph.json" "$PDLIB_DIR/graph1.json"
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp graph > graph2.txt)
+mv "$PDLIB_DIR/BENCH_graph.json" "$PDLIB_DIR/graph2.json"
+cmp "$PDLIB_DIR/graph1.json" "$PDLIB_DIR/graph2.json"
+grep -q 'block dispatch ≤ per-node dispatch on 3/3 pipelines' "$PDLIB_DIR/graph1.txt"
+if grep -q '"block_recorded": false' "$PDLIB_DIR/graph1.json"; then
+    echo "ci.sh: a suite pipeline failed to tune into a block record" >&2
+    exit 1
+fi
+# graph CLI round trip: build blocks into a fresh library (inheriting the
+# per-node schedules tuned by a plain build first), then the same graph
+# must answer as a one-shot exact subgraph hit
+./target/release/perfdojo-lib build --out "$PDLIB_DIR/graph.pdl" \
+    --kernels softmax,matmul,relu --targets x86 --strategy heuristic --seed 7
+./target/release/perfdojo-lib graph-build --out "$PDLIB_DIR/graph.pdl" \
+    --target x86 --graphs ffn,attention --strategy heuristic --seed 7 \
+    | tee "$PDLIB_DIR/gb.txt"
+grep -q "2 graphs" "$PDLIB_DIR/gb.txt"
+./target/release/perfdojo-lib graph-query --lib "$PDLIB_DIR/graph.pdl" \
+    --target x86 --graph ffn | tee "$PDLIB_DIR/gq1.txt"
+grep -q "block hit (exact-hit)" "$PDLIB_DIR/gq1.txt"
+# a graph that was never block-tuned must fall back to per-node dispatch
+./target/release/perfdojo-lib graph-query --lib "$PDLIB_DIR/graph.pdl" \
+    --target x86 --graph mlp_block | tee "$PDLIB_DIR/gq2.txt"
+grep -q "per-node fallback" "$PDLIB_DIR/gq2.txt"
+# seeded random pipelines through the full differential oracle (the same
+# seeds crates/graph/tests/exec_determinism.rs pins)
+./target/release/perfdojo-lib graph-check --seed 0 --count 12 \
+    | tee "$PDLIB_DIR/gc.txt"
+grep -q "12 random graphs passed the differential oracle" "$PDLIB_DIR/gc.txt"
 
 echo "ci.sh: all gates passed"

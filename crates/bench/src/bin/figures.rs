@@ -4,11 +4,33 @@
 //! figures                 # run everything
 //! figures --exp fig7      # one experiment
 //! figures --list          # list experiment ids
+//! figures --exp serve --zipf-s 1.4   # serve load at a different skew
 //! PERFDOJO_FULL=1 figures # paper-scale budgets (1000 evals, long RL)
 //! ```
+//!
+//! `--zipf-s` sets the serve experiment's Zipf skew exponent (default 1.1,
+//! the value the pinned `BENCH_serve.json` goldens assume).
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: figures [--list | --exp <id>] [--zipf-s <exponent>]";
+    if let Some(i) = args.iter().position(|a| a == "--zipf-s") {
+        if i + 1 >= args.len() {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+        let raw = args.remove(i + 1);
+        args.remove(i);
+        match raw.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => {
+                perfdojo_bench::experiments::serve::set_zipf_exponent(s)
+            }
+            _ => {
+                eprintln!("--zipf-s wants a positive finite number, got {raw:?}");
+                std::process::exit(2);
+            }
+        }
+    }
     let experiments = perfdojo_bench::experiments::all_experiments();
     if args.first().is_some_and(|a| a == "--list") {
         for (id, _) in &experiments {
@@ -20,7 +42,7 @@ fn main() {
         [flag, id] if flag == "--exp" => Some(id.clone()),
         [] => None,
         _ => {
-            eprintln!("usage: figures [--list | --exp <id>]");
+            eprintln!("{usage}");
             std::process::exit(2);
         }
     };

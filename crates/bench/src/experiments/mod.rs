@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod gpu;
+pub mod graph;
 pub mod library;
 pub mod repr;
 pub mod resume;
@@ -13,6 +14,7 @@ pub mod x86;
 
 pub use ablations::*;
 pub use gpu::*;
+pub use graph::*;
 pub use library::*;
 pub use repr::*;
 pub use resume::*;
@@ -54,6 +56,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
         ("library", library::exp_library),
         ("searchperf", searchperf::exp_searchperf),
         ("serve", serve::exp_serve),
+        ("graph", graph::exp_graph),
         ("resume", resume::exp_resume),
         ("ablate_maxq", ablations::exp_ablate_maxq),
         ("ablate_reward", ablations::exp_ablate_reward),

@@ -24,12 +24,31 @@ use perfdojo_library::{
 use perfdojo_util::rng::Rng;
 use perfdojo_util::zipf::Zipf;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 const SEED: u64 = 0x5E12FE;
 const ROUNDS: usize = 4;
 const REQUESTS_PER_ROUND: usize = 64;
-const ZIPF_EXPONENT: f64 = 1.1;
+const DEFAULT_ZIPF_EXPONENT: f64 = 1.1;
+
+/// Bit-pattern of an exponent override set by `figures --zipf-s`; 0 (the
+/// bits of +0.0, which `Zipf` rejects anyway) means "use the default".
+static ZIPF_OVERRIDE: AtomicU64 = AtomicU64::new(0);
+
+/// Override the Zipf skew exponent for subsequent [`exp_serve`] runs.
+/// The pinned `BENCH_serve.json` goldens assume the default 1.1; any other
+/// value changes the traffic mix and with it the JSON.
+pub fn set_zipf_exponent(s: f64) {
+    ZIPF_OVERRIDE.store(s.to_bits(), Ordering::Relaxed);
+}
+
+fn zipf_exponent() -> f64 {
+    match ZIPF_OVERRIDE.load(Ordering::Relaxed) {
+        0 => DEFAULT_ZIPF_EXPONENT,
+        bits => f64::from_bits(bits),
+    }
+}
 
 /// The ranked query universe (rank 0 hottest). Mixes tuned shapes (exact
 /// hits), unseen shapes of tuned operators (nearest-shape replays), and
@@ -125,7 +144,7 @@ fn run_load() -> Result<ServeRun, String> {
                 .ok_or_else(|| format!("no kernel {label:?} at shape {dims:?}"))
         })
         .collect::<Result<_, _>>()?;
-    let zipf = Zipf::new(queries.len(), ZIPF_EXPONENT);
+    let zipf = Zipf::new(queries.len(), zipf_exponent());
     let mut rng = Rng::seed_from_u64(SEED);
 
     // key -> (missed in some earlier reply, converted to exact later)
@@ -200,7 +219,7 @@ fn emit_json(run: &ServeRun) -> String {
     j.push_str(&format!("  \"seed\": {SEED},\n"));
     j.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
     j.push_str(&format!("  \"requests_per_round\": {REQUESTS_PER_ROUND},\n"));
-    j.push_str(&format!("  \"zipf_exponent\": {ZIPF_EXPONENT},\n"));
+    j.push_str(&format!("  \"zipf_exponent\": {},\n", zipf_exponent()));
     j.push_str(&format!("  \"universe\": {},\n", universe().len()));
     j.push_str(&format!("  \"submitted\": {},\n", run.submitted));
     j.push_str(&format!("  \"rejected\": {},\n", run.rejected));

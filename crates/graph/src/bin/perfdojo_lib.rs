@@ -8,13 +8,17 @@
 //! perfdojo-lib stats --lib lib.pdl
 //! perfdojo-lib gc --lib lib.pdl
 //! perfdojo-lib serve --lib lib.pdl --target x86 [--rounds N] [--requests N] \
-//!     [--seed N] [--zipf S] [--batch N] [--queue N] [--strategy ...] \
+//!     [--seed N] [--zipf-s S] [--batch N] [--queue N] [--strategy ...] \
 //!     [--checkpoint-dir dir [--step-limit N]] [--report out.json]
+//! perfdojo-lib graph-build --out lib.pdl [--target x86] [--graphs ffn,attention] \
+//!     [--strategy ...] [--seed N]
+//! perfdojo-lib graph-query --lib lib.pdl --target x86 --graph ffn
+//! perfdojo-lib graph-check [--seed N] [--count K]
 //! ```
 //!
 //! Arguments are hand-parsed (zero-dependency workspace policy). `build`
-//! merges into an existing `--out` file when one is present, so libraries
-//! grow incrementally across runs.
+//! and `graph-build` merge into an existing `--out` file when one is
+//! present, so libraries grow incrementally across runs.
 
 use perfdojo_core::Target;
 use perfdojo_kernels::KernelInstance;
@@ -39,6 +43,9 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("gc") => cmd_gc(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("graph-build") => cmd_graph_build(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("graph-query") => cmd_graph_query(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("graph-check") => cmd_graph_check(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -69,16 +76,31 @@ usage:
   perfdojo-lib stats --lib <file>
   perfdojo-lib gc    --lib <file>
   perfdojo-lib serve --lib <file> --target <name>
-                     [--rounds N] [--requests N] [--seed N] [--zipf S]
+                     [--rounds N] [--requests N] [--seed N] [--zipf-s S]
                      [--batch N] [--queue N]
                      [--strategy heuristic|anneal[:N[:K]]|perfllm[:N]]
                      [--checkpoint-dir <dir> [--step-limit N]]
                      [--report <out.json>]
                      (fixed-seed Zipf load over a built-in query universe;
-                      tune-misses drain between rounds and hot-swap --lib
-                      atomically; with --checkpoint-dir the drain is
-                      crash-safe and --step-limit pauses it cleanly with
-                      exit code 4 — rerun the identical command to resume)
+                      --zipf-s sets the skew exponent, default 1.1, with
+                      --zipf kept as an alias; tune-misses drain between
+                      rounds and hot-swap --lib atomically; with
+                      --checkpoint-dir the drain is crash-safe and
+                      --step-limit pauses it cleanly with exit code 4 —
+                      rerun the identical command to resume)
+  perfdojo-lib graph-build --out <file> [--target <name>]
+                     [--graphs attention,ffn,transformer,cnn_pipe,mlp_block]
+                     [--strategy heuristic|anneal[:N[:K]]|perfllm[:N]] [--seed N]
+                     (tune whole pipelines as blocks: inter-kernel fusion
+                      and edge-layout planning, then intra-block schedule
+                      search; records key on the structural subgraph
+                      fingerprint so serve answers a block in one query)
+  perfdojo-lib graph-query --lib <file> --target <name> --graph <name>
+                     (dispatch a whole pipeline: subgraph block hit, or
+                      per-node tiered fallback on a block miss)
+  perfdojo-lib graph-check [--seed N] [--count K]
+                     (random-graph differential smoke: per-node executor
+                      vs composed interpreter reference at pinned seeds)
 ";
 
 /// Pull the value following `--flag` out of `args`, if present.
@@ -300,7 +322,12 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         None => 0,
         Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}"))?,
     };
-    let zipf_s: f64 = match flag_value(args, "--zipf")? {
+    // --zipf-s is the documented spelling; --zipf survives as an alias
+    let zipf_spec = match flag_value(args, "--zipf-s")? {
+        Some(s) => Some(s),
+        None => flag_value(args, "--zipf")?,
+    };
+    let zipf_s: f64 = match zipf_spec {
         None => 1.1,
         Some(s) => s.parse().map_err(|_| format!("bad zipf exponent {s:?}"))?,
     };
@@ -397,6 +424,12 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         "tiers:    {} exact, {} nearest, {} heuristic, {} naive",
         s.exact, s.nearest, s.heuristic, s.naive
     );
+    if s.block_exact + s.block_nearest + s.block_fallback > 0 {
+        println!(
+            "blocks:   {} exact, {} nearest, {} fell back to per-node dispatch",
+            s.block_exact, s.block_nearest, s.block_fallback
+        );
+    }
     println!(
         "latency:  p50 {p50}, p99 {p99}, max {} (deterministic dispatch-work units)",
         latencies.last().copied().unwrap_or(0)
@@ -424,6 +457,10 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             s.exact, s.nearest, s.heuristic, s.naive
         ));
         j.push_str(&format!(
+            "  \"block_tiers\": {{ \"exact\": {}, \"nearest\": {}, \"fallback\": {} }},\n",
+            s.block_exact, s.block_nearest, s.block_fallback
+        ));
+        j.push_str(&format!(
             "  \"latency_units\": {{ \"p50\": {p50}, \"p99\": {p99}, \"max\": {} }},\n",
             latencies.last().copied().unwrap_or(0)
         ));
@@ -436,6 +473,135 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         println!("report:   {out}");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn parse_graphs(spec: Option<String>) -> Result<Vec<perfdojo_graph::KernelGraph>, String> {
+    match spec {
+        None => Ok(perfdojo_graph::suite::suite()),
+        Some(spec) => spec
+            .split(',')
+            .map(|n| {
+                let n = n.trim();
+                perfdojo_graph::suite::by_name(n).ok_or_else(|| format!("unknown graph {n:?}"))
+            })
+            .collect(),
+    }
+}
+
+fn cmd_graph_build(args: &[String]) -> Result<(), String> {
+    let out = PathBuf::from(required(args, "--out")?);
+    let target_name = flag_value(args, "--target")?.unwrap_or_else(|| "x86".to_string());
+    let target =
+        target_by_name(&target_name).ok_or_else(|| format!("unknown target {target_name:?}"))?;
+    let graphs = parse_graphs(flag_value(args, "--graphs")?)?;
+    let strategy = match flag_value(args, "--strategy")? {
+        None => Strategy::Heuristic,
+        Some(s) => Strategy::parse(&s).ok_or_else(|| format!("bad strategy {s:?}"))?,
+    };
+    let seed: u64 = match flag_value(args, "--seed")? {
+        None => 0,
+        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}"))?,
+    };
+    let mut lib = match Library::load(&out) {
+        Ok((l, _)) => l,
+        Err(_) => Library::new(),
+    };
+    let (report, outcomes) =
+        perfdojo_graph::build_graphs_into(&mut lib, &graphs, &target, strategy, seed);
+    for o in outcomes.iter().filter(|o| o.error.is_some()) {
+        eprintln!("warning: {}: {}", o.graph, o.error.as_ref().unwrap());
+    }
+    for o in &outcomes {
+        let status = match &o.record {
+            Some(r) => format!(
+                "block cost {:.3e} s (naive {:.3e} s, {:.2}x), {} steps",
+                r.cost,
+                r.naive_cost,
+                r.naive_cost / r.cost,
+                r.steps.len()
+            ),
+            None => "no improving block schedule".to_string(),
+        };
+        println!("  {}: {status}", o.graph);
+    }
+    lib.save(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "graph-build {}: {} graphs; +{} inserted, {} improved, {} kept; {} entries total",
+        out.display(),
+        outcomes.len(),
+        report.inserted,
+        report.improved,
+        report.kept_existing,
+        lib.len()
+    );
+    Ok(())
+}
+
+fn cmd_graph_query(args: &[String]) -> Result<(), String> {
+    let (lib, _) = load_library(args)?;
+    let target_name = required(args, "--target")?;
+    let target =
+        target_by_name(&target_name).ok_or_else(|| format!("unknown target {target_name:?}"))?;
+    let name = required(args, "--graph")?;
+    let g = perfdojo_graph::suite::by_name(&name)
+        .ok_or_else(|| format!("unknown graph {name:?}"))?;
+    let query = perfdojo_graph::block_query(&g, &target).map_err(|e| e.to_string())?;
+    let sig = query.sig(&target);
+
+    println!("graph:       {name} ({} nodes, {} edges)", g.nodes().len(), g.edges().len());
+    println!("target:      {}", target.name);
+    println!("subgraph:    {:016x}", sig.structure);
+    match lib.lookup_cached(&sig, &query.program, &target) {
+        Some(r) => {
+            println!("dispatch:    block hit ({})", r.disposition);
+            println!("steps:       {}", r.steps.len());
+            println!(
+                "cost:        {:.3e} s (composed naive {:.3e} s, speedup {:.2}x)",
+                r.cost,
+                r.naive_cost,
+                r.speedup()
+            );
+        }
+        None => {
+            println!("dispatch:    block miss — per-node fallback");
+            let b = perfdojo_graph::per_node_baseline(&g, &target, &lib);
+            for (node, cost, naive) in &b.node_costs {
+                println!("  {node}: {cost:.3e} s (naive {naive:.3e} s)");
+            }
+            println!("  edges: {:.3e} s materialization", b.edge_costs.iter().sum::<f64>());
+            println!(
+                "cost:        {:.3e} s total ({:.3e} s all-naive)",
+                b.total, b.naive_total
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_graph_check(args: &[String]) -> Result<(), String> {
+    let seed: u64 = match flag_value(args, "--seed")? {
+        None => 0,
+        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}"))?,
+    };
+    let count: u64 = match flag_value(args, "--count")? {
+        None => 12,
+        Some(s) => s.parse().map_err(|_| format!("bad count {s:?}"))?,
+    };
+    for s in seed..seed + count {
+        let g = perfdojo_graph::random_graph(s);
+        let report = perfdojo_graph::check_graph(&g, s)
+            .map_err(|e| format!("seed {s} ({}): differential mismatch: {e}", g.name))?;
+        println!(
+            "seed {s}: {} ({} nodes, {} edges) ok — {} outputs, {} buffers checked",
+            g.name,
+            g.nodes().len(),
+            g.edges().len(),
+            report.checked_outputs,
+            report.checked_buffers
+        );
+    }
+    println!("graph-check: {count} random graphs passed the differential oracle");
+    Ok(())
 }
 
 fn cmd_gc(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,203 @@
+//! Composing a [`KernelGraph`] into one IR [`Program`].
+//!
+//! Each node's program is cloned, its buffers and arrays mangled with an
+//! `n<pos>_` prefix (`pos` = canonical topological position, so the result
+//! is invariant under node insertion order), and the roots concatenated in
+//! canonical order. Every edge then rewires the consumer: its input buffer
+//! declaration is dropped and all accesses to it are renamed to the
+//! producer's output array. The edge tensors thereby become *internal
+//! temporaries* of the composed program — written but neither inputs nor
+//! outputs — which is exactly what makes the inter-kernel layout and
+//! fusion transformations (`swap_dims`, `reuse_dims`) applicable to them:
+//! both are restricted to non-interface buffers.
+//!
+//! The composed program is the *reference semantics* of the graph (the
+//! differential oracle runs it through the interpreter against the
+//! per-node executor) and the replay base of every block-level schedule
+//! record.
+
+use crate::graph::{GraphError, KernelGraph};
+use perfdojo_ir::{Access, Expr, IndexExpr, Node, OpNode, Program};
+use std::collections::BTreeMap;
+
+/// A composed graph: the spliced program plus the name maps that connect
+/// it back to the graph's nodes and edges.
+#[derive(Clone, Debug)]
+pub struct Composed {
+    /// The composed program (reference semantics of the graph).
+    pub program: Program,
+    /// Canonical order: position → node index.
+    pub order: Vec<usize>,
+    /// Per edge (graph edge order): the mangled buffer name of the edge
+    /// tensor in the composed program (the producer's output buffer).
+    pub edge_buffers: Vec<String>,
+    /// External inputs as `(node, original buffer, mangled name)`.
+    pub inputs: Vec<(usize, String, String)>,
+    /// External outputs as `(node, original buffer, mangled name)`.
+    pub outputs: Vec<(usize, String, String)>,
+}
+
+/// Compose `g` into one program (see module docs).
+pub fn compose(g: &KernelGraph) -> Result<Composed, GraphError> {
+    g.validate()?;
+    let order = g.topo_order();
+    let mut pos = vec![0usize; g.nodes().len()];
+    for (p, &i) in order.iter().enumerate() {
+        pos[i] = p;
+    }
+
+    let mut program = Program {
+        name: g.name.clone(),
+        buffers: Vec::new(),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        roots: Vec::new(),
+    };
+
+    // 1. Mangle and splice every node in canonical order.
+    for (p, &i) in order.iter().enumerate() {
+        let node = &g.nodes()[i];
+        let prefix = format!("n{p}_");
+        let mut rename: BTreeMap<String, String> = BTreeMap::new();
+        for b in &node.program.buffers {
+            rename.insert(b.name.clone(), format!("{prefix}{}", b.name));
+            for a in b.array_names() {
+                rename.insert(a.to_string(), format!("{prefix}{a}"));
+            }
+        }
+        for b in &node.program.buffers {
+            let mut nb = b.clone();
+            nb.name = rename[&b.name].clone();
+            nb.arrays = b.arrays.iter().map(|a| rename[a].clone()).collect();
+            program.buffers.push(nb);
+        }
+        program.inputs.extend(node.program.inputs.iter().map(|a| rename[a].clone()));
+        program.outputs.extend(node.program.outputs.iter().map(|a| rename[a].clone()));
+        program.roots.extend(node.program.roots.iter().map(|n| rename_node(n, &rename)));
+    }
+
+    // 2. Rewire edges: drop the consumer input buffer, rename its accesses
+    // to the producer's output array, and demote the producer output from
+    // the composed interface to a temporary.
+    let mut edge_buffers = Vec::with_capacity(g.edges().len());
+    for e in g.edges() {
+        let producer = format!("n{}_{}", pos[e.from], e.from_array);
+        let consumer = format!("n{}_{}", pos[e.to], e.to_array);
+        program.buffers.retain(|b| b.name != consumer);
+        program.inputs.retain(|a| a != &consumer);
+        program.outputs.retain(|a| a != &producer);
+        let mut rename = BTreeMap::new();
+        rename.insert(consumer, producer.clone());
+        program.roots = program.roots.iter().map(|n| rename_node(n, &rename)).collect();
+        edge_buffers.push(producer);
+    }
+
+    let inputs = g
+        .external_inputs()
+        .into_iter()
+        .map(|(i, b)| {
+            let mangled = format!("n{}_{b}", pos[i]);
+            (i, b, mangled)
+        })
+        .collect();
+    let outputs = g
+        .external_outputs()
+        .into_iter()
+        .map(|(i, b)| {
+            let mangled = format!("n{}_{b}", pos[i]);
+            (i, b, mangled)
+        })
+        .collect();
+
+    perfdojo_ir::validate(&program)
+        .map_err(|e| GraphError::BadPort(format!("composed program invalid: {e:?}")))?;
+    Ok(Composed { program, order, edge_buffers, inputs, outputs })
+}
+
+fn rename_node(n: &Node, m: &BTreeMap<String, String>) -> Node {
+    match n {
+        Node::Scope(s) => {
+            let mut s2 = s.clone();
+            s2.children = s.children.iter().map(|c| rename_node(c, m)).collect();
+            Node::Scope(s2)
+        }
+        Node::Op(op) => Node::Op(OpNode {
+            out: rename_access(&op.out, m),
+            expr: rename_expr(&op.expr, m),
+        }),
+    }
+}
+
+fn rename_access(a: &Access, m: &BTreeMap<String, String>) -> Access {
+    Access {
+        array: m.get(&a.array).cloned().unwrap_or_else(|| a.array.clone()),
+        indices: a
+            .indices
+            .iter()
+            .map(|ix| match ix {
+                IndexExpr::Affine(af) => IndexExpr::Affine(af.clone()),
+                IndexExpr::Indirect(inner) => {
+                    IndexExpr::Indirect(Box::new(rename_access(inner, m)))
+                }
+            })
+            .collect(),
+    }
+}
+
+fn rename_expr(e: &Expr, m: &BTreeMap<String, String>) -> Expr {
+    match e {
+        Expr::Load(a) => Expr::Load(rename_access(a, m)),
+        Expr::Const(c) => Expr::Const(*c),
+        Expr::Index(af) => Expr::Index(af.clone()),
+        Expr::Unary(op, x) => Expr::Unary(*op, Box::new(rename_expr(x, m))),
+        Expr::Binary(op, a, b) => {
+            Expr::Binary(*op, Box::new(rename_expr(a, m)), Box::new(rename_expr(b, m)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ffn() -> KernelGraph {
+        let mut g = KernelGraph::new("ffn");
+        let up = g.add_node("up", "matmul", &[4, 8, 16]).unwrap();
+        let act = g.add_node("act", "relu", &[4, 16]).unwrap();
+        let down = g.add_node("down", "matmul", &[4, 16, 8]).unwrap();
+        g.connect(up, "z", act, "x").unwrap();
+        g.connect(act, "z", down, "x").unwrap();
+        g
+    }
+
+    #[test]
+    fn composed_program_validates_with_edge_temps() {
+        let c = compose(&ffn()).unwrap();
+        assert!(perfdojo_ir::validate(&c.program).is_ok());
+        // edge tensors are temporaries: written, not interface
+        let temps = c.program.temporaries();
+        for eb in &c.edge_buffers {
+            let arr = c.program.buffer(eb).unwrap().array_names()[0].to_string();
+            assert!(temps.contains(&arr), "{eb} must be a temporary, got {temps:?}");
+        }
+        // external interface: up.x, up.y, act nothing, down.y in; down.z out
+        assert_eq!(c.program.inputs.len(), 3);
+        assert_eq!(c.program.outputs.len(), 1);
+    }
+
+    #[test]
+    fn composition_is_insertion_order_invariant() {
+        let mut flipped = KernelGraph::new("ffn");
+        let down = flipped.add_node("down", "matmul", &[4, 16, 8]).unwrap();
+        let act = flipped.add_node("act", "relu", &[4, 16]).unwrap();
+        let up = flipped.add_node("up", "matmul", &[4, 8, 16]).unwrap();
+        flipped.connect(up, "z", act, "x").unwrap();
+        flipped.connect(act, "z", down, "x").unwrap();
+        let a = compose(&ffn()).unwrap();
+        let b = compose(&flipped).unwrap();
+        assert_eq!(
+            perfdojo_ir::fingerprint::exact_text(&a.program),
+            perfdojo_ir::fingerprint::exact_text(&b.program)
+        );
+    }
+}

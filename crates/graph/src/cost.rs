@@ -1,0 +1,106 @@
+//! Graph-level cost model.
+//!
+//! The per-node-dispatch baseline for a graph sums the library-dispatched
+//! cost of every node **plus an edge-materialization cost** per edge: a
+//! dispatched node reads its inputs from and writes its outputs to
+//! interface memory, so every interior edge pays one round trip the fused
+//! block avoids. The edge cost is priced honestly on the target's own
+//! machine model — as a copy kernel over the edge tensor's shape — rather
+//! than with an ad-hoc bytes/bandwidth constant, so baseline and block
+//! costs stay in the same unit (model seconds).
+
+use crate::graph::KernelGraph;
+use perfdojo_core::Target;
+use perfdojo_ir::builder::{ld, out, ProgramBuilder};
+use perfdojo_library::Library;
+
+/// Machine-model cost of materializing (copying) a tensor of `shape` on
+/// `target`. Zero for empty shapes or shapes the model rejects.
+pub fn copy_cost(shape: &[usize], target: &Target) -> f64 {
+    if shape.is_empty() || shape.iter().any(|&d| d == 0) {
+        return 0.0;
+    }
+    let mut b = ProgramBuilder::new("edge_copy");
+    b.input("x", shape).output("z", shape);
+    let depths: Vec<usize> = (0..shape.len()).collect();
+    b.scopes(shape, |b| {
+        b.op(out("z", &depths), ld("x", &depths));
+    });
+    let p = b.build();
+    target.machine.evaluate(&p).map(|e| e.seconds).unwrap_or(0.0)
+}
+
+/// The per-node-dispatch cost of a graph: every node answered individually
+/// from the library, every edge materialized.
+#[derive(Clone, Debug)]
+pub struct BaselineReport {
+    /// Per node in canonical order: `(name, dispatched cost, naive cost)`.
+    pub node_costs: Vec<(String, f64, f64)>,
+    /// Per edge (graph edge order): materialization cost.
+    pub edge_costs: Vec<f64>,
+    /// Σ dispatched node costs + Σ edge costs.
+    pub total: f64,
+    /// Σ naive node costs + Σ edge costs.
+    pub naive_total: f64,
+}
+
+/// Price the per-node-dispatch baseline of `g` against `lib` on `target`.
+pub fn per_node_baseline(g: &KernelGraph, target: &Target, lib: &Library) -> BaselineReport {
+    let order = g.topo_order();
+    let mut node_costs = Vec::with_capacity(order.len());
+    for &i in &order {
+        let node = &g.nodes()[i];
+        let d = lib.lookup(&node.program, target);
+        node_costs.push((node.name.clone(), d.cost, d.naive_cost));
+    }
+    let edge_costs: Vec<f64> = g
+        .edges()
+        .iter()
+        .map(|e| {
+            let shape = g.nodes()[e.from]
+                .program
+                .buffer(&e.from_array)
+                .map(|b| b.shape())
+                .unwrap_or_default();
+            copy_cost(&shape, target)
+        })
+        .collect();
+    let edges: f64 = edge_costs.iter().sum();
+    let total = node_costs.iter().map(|(_, c, _)| c).sum::<f64>() + edges;
+    let naive_total = node_costs.iter().map(|(_, _, n)| n).sum::<f64>() + edges;
+    BaselineReport { node_costs, edge_costs, total, naive_total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KernelGraph;
+
+    #[test]
+    fn copy_cost_grows_with_volume_and_handles_degenerate_shapes() {
+        let target = perfdojo_core::Target::x86();
+        let small = copy_cost(&[8, 8], &target);
+        let big = copy_cost(&[64, 64], &target);
+        assert!(small > 0.0);
+        assert!(big > small);
+        assert_eq!(copy_cost(&[], &target), 0.0);
+        assert_eq!(copy_cost(&[4, 0], &target), 0.0);
+    }
+
+    #[test]
+    fn baseline_sums_nodes_and_edges() {
+        let mut g = KernelGraph::new("chain");
+        let a = g.add_node("a", "relu", &[8, 8]).unwrap();
+        let b = g.add_node("b", "relu", &[8, 8]).unwrap();
+        g.connect(a, "z", b, "x").unwrap();
+        let target = perfdojo_core::Target::x86();
+        let lib = Library::new();
+        let r = per_node_baseline(&g, &target, &lib);
+        assert_eq!(r.node_costs.len(), 2);
+        assert_eq!(r.edge_costs.len(), 1);
+        assert!(r.edge_costs[0] > 0.0);
+        let sum: f64 = r.node_costs.iter().map(|(_, c, _)| c).sum::<f64>() + r.edge_costs[0];
+        assert!((r.total - sum).abs() < 1e-12);
+        assert!(r.total > 0.0);
+    }
+}

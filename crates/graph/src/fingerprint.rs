@@ -1,0 +1,111 @@
+//! Structural subgraph fingerprints.
+//!
+//! Extends `ir::fingerprint` from single programs to graphs: the
+//! fingerprint hashes every node's *shape-normalized* structure hash in
+//! canonical topological order, plus the edge topology (producer/consumer
+//! canonical positions and port names), through the same FNV-1a stream
+//! ([`perfdojo_ir::fingerprint::HashAcc`]) as the single-kernel keys.
+//!
+//! Properties (pinned by the `graph_props` proptest suite):
+//! - invariant under node insertion order (canonical order erases it);
+//! - invariant under node *shapes* (structure hashes are normalized), so
+//!   one block record serves every shape of a pipeline via the library's
+//!   nearest-shape tier;
+//! - sensitive to edge rewiring (topology is hashed);
+//! - distinct from every single-kernel structure hash by key class:
+//!   [`KernelSig::subgraph`] carries the reserved `graph` dtype marker.
+
+use crate::compose::Composed;
+use crate::graph::{GraphError, KernelGraph};
+use perfdojo_ir::fingerprint::HashAcc;
+use perfdojo_library::KernelSig;
+
+/// The structural fingerprint of `g` (see module docs).
+pub fn fingerprint(g: &KernelGraph) -> u64 {
+    let order = g.topo_order();
+    let mut pos = vec![0usize; g.nodes().len()];
+    for (p, &i) in order.iter().enumerate() {
+        pos[i] = p;
+    }
+    let mut h = HashAcc::new();
+    h.push_bytes(b"subgraph|v1");
+    h.push_usize(order.len());
+    for &i in &order {
+        h.push_u64(perfdojo_ir::structure_hash(&g.nodes()[i].program));
+    }
+    let mut edges: Vec<(usize, &str, usize, &str)> = g
+        .edges()
+        .iter()
+        .map(|e| (pos[e.from], e.from_array.as_str(), pos[e.to], e.to_array.as_str()))
+        .collect();
+    edges.sort();
+    h.push_usize(edges.len());
+    for (fp, fa, tp, ta) in edges {
+        h.push_usize(fp);
+        h.push_usize(fa.len());
+        h.push_bytes(fa.as_bytes());
+        h.push_usize(tp);
+        h.push_usize(ta.len());
+        h.push_bytes(ta.as_bytes());
+    }
+    h.finish()
+}
+
+/// The library signature of `g` on `target`: graph fingerprint as the
+/// structure word, the composed program's flattened buffer extents as the
+/// shape, keyed in the reserved subgraph class.
+pub fn subgraph_sig(g: &KernelGraph, target: &str) -> Result<KernelSig, GraphError> {
+    let composed = crate::compose::compose(g)?;
+    Ok(subgraph_sig_composed(g, &composed, target))
+}
+
+/// As [`subgraph_sig`] with a pre-computed composition.
+pub fn subgraph_sig_composed(g: &KernelGraph, composed: &Composed, target: &str) -> KernelSig {
+    let mut shape = Vec::new();
+    for b in &composed.program.buffers {
+        for d in &b.dims {
+            shape.push(d.size);
+        }
+    }
+    KernelSig::subgraph(fingerprint(g), shape, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::KernelGraph;
+
+    fn ffn(n: usize, d: usize, h: usize) -> KernelGraph {
+        let mut g = KernelGraph::new("ffn");
+        let up = g.add_node("up", "matmul", &[n, d, h]).unwrap();
+        let act = g.add_node("act", "relu", &[n, h]).unwrap();
+        let down = g.add_node("down", "matmul", &[n, h, d]).unwrap();
+        g.connect(up, "z", act, "x").unwrap();
+        g.connect(act, "z", down, "x").unwrap();
+        g
+    }
+
+    #[test]
+    fn fingerprint_is_shape_invariant_and_topology_sensitive() {
+        // same pipeline at two shapes: same fingerprint
+        assert_eq!(fingerprint(&ffn(4, 8, 16)), fingerprint(&ffn(16, 32, 64)));
+        // different wiring (chain vs no second edge) changes it
+        let mut unwired = KernelGraph::new("ffn");
+        let up = unwired.add_node("up", "matmul", &[4, 8, 16]).unwrap();
+        let act = unwired.add_node("act", "relu", &[4, 16]).unwrap();
+        let _down = unwired.add_node("down", "matmul", &[4, 16, 8]).unwrap();
+        unwired.connect(up, "z", act, "x").unwrap();
+        assert_ne!(fingerprint(&ffn(4, 8, 16)), fingerprint(&unwired));
+    }
+
+    #[test]
+    fn sig_carries_composed_shape_in_the_subgraph_class() {
+        let g = ffn(4, 8, 16);
+        let sig = subgraph_sig(&g, "x86").unwrap();
+        assert!(sig.is_subgraph());
+        assert_eq!(sig.structure, fingerprint(&g));
+        let sig2 = subgraph_sig(&ffn(8, 16, 32), "x86").unwrap();
+        assert!(sig.same_operator(&sig2), "shapes of one pipeline share the operator");
+        assert!(sig.shape_distance(&sig2).unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,349 @@
+//! The [`KernelGraph`] IR: suite-kernel nodes connected by tensor edges.
+//!
+//! A graph is a small DAG (sequences included) whose nodes are ordinary
+//! suite kernels and whose edges say "this node's output tensor is that
+//! node's input tensor". Edges are checked at construction: the producer
+//! buffer and consumer buffer must agree on shape and dtype, a consumer
+//! input can be fed by at most one edge, and a connection that would close
+//! a cycle is rejected — so every constructed graph is executable.
+//!
+//! The load-bearing subtlety is [`KernelGraph::topo_order`]: it is a
+//! *canonical* topological order, invariant under node insertion order.
+//! Composition, execution, and the subgraph fingerprint all walk nodes in
+//! this order, which is what makes "the same pipeline built twice in a
+//! different order" compose to the same program and hash to the same key.
+
+use perfdojo_ir::Program;
+use std::fmt;
+
+/// Errors from graph construction and composition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// Unknown kernel label or wrong constructor arity.
+    UnknownKernel(String),
+    /// A node index out of range.
+    BadNode(usize),
+    /// The named buffer is not an output of the producer / input of the
+    /// consumer, or is not a single-array buffer.
+    BadPort(String),
+    /// Producer and consumer buffers disagree on shape or dtype.
+    ShapeMismatch(String),
+    /// The consumer input is already fed by another edge.
+    AlreadyFed(String),
+    /// The edge would close a cycle.
+    Cycle(String),
+    /// The graph has no externally visible output.
+    NoOutput,
+    /// The graph has no nodes.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownKernel(s) => write!(f, "unknown kernel {s}"),
+            GraphError::BadNode(i) => write!(f, "node index {i} out of range"),
+            GraphError::BadPort(s) => write!(f, "bad port {s}"),
+            GraphError::ShapeMismatch(s) => write!(f, "shape mismatch {s}"),
+            GraphError::AlreadyFed(s) => write!(f, "input already fed {s}"),
+            GraphError::Cycle(s) => write!(f, "edge would close a cycle {s}"),
+            GraphError::NoOutput => write!(f, "graph has no external output"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+        }
+    }
+}
+
+/// One node: a suite kernel instance.
+#[derive(Clone, Debug)]
+pub struct GraphNode {
+    /// Node name, unique within the graph (display only).
+    pub name: String,
+    /// Suite kernel label (`matmul`, `softmax`, …).
+    pub label: String,
+    /// Constructor dimensions (the `by_label_with_shape` arity).
+    pub dims: Vec<usize>,
+    /// The node's (naive) kernel program.
+    pub program: Program,
+}
+
+/// One tensor edge: producer output buffer → consumer input buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GraphEdge {
+    /// Producer node index.
+    pub from: usize,
+    /// Producer output buffer name (in the producer's program).
+    pub from_array: String,
+    /// Consumer node index.
+    pub to: usize,
+    /// Consumer input buffer name (in the consumer's program).
+    pub to_array: String,
+}
+
+/// A multi-kernel pipeline: suite-kernel nodes + tensor edges.
+#[derive(Clone, Debug)]
+pub struct KernelGraph {
+    /// Graph name (becomes the composed program's name).
+    pub name: String,
+    nodes: Vec<GraphNode>,
+    edges: Vec<GraphEdge>,
+}
+
+impl KernelGraph {
+    /// An empty graph.
+    pub fn new(name: &str) -> KernelGraph {
+        KernelGraph { name: name.to_string(), nodes: Vec::new(), edges: Vec::new() }
+    }
+
+    /// Add a suite kernel node; returns its index. The label/dims pair must
+    /// resolve through `perfdojo_kernels::by_label_with_shape`.
+    pub fn add_node(&mut self, name: &str, label: &str, dims: &[usize]) -> Result<usize, GraphError> {
+        let program = perfdojo_kernels::by_label_with_shape(label, dims)
+            .ok_or_else(|| GraphError::UnknownKernel(format!("{label} at {dims:?}")))?;
+        self.nodes.push(GraphNode {
+            name: name.to_string(),
+            label: label.to_string(),
+            dims: dims.to_vec(),
+            program,
+        });
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// The nodes, in insertion order.
+    pub fn nodes(&self) -> &[GraphNode] {
+        &self.nodes
+    }
+
+    /// The edges, in insertion order.
+    pub fn edges(&self) -> &[GraphEdge] {
+        &self.edges
+    }
+
+    /// Connect `from`'s output buffer `from_array` to `to`'s input buffer
+    /// `to_array`, checking shape/dtype agreement, single-feeder, and
+    /// acyclicity.
+    pub fn connect(
+        &mut self,
+        from: usize,
+        from_array: &str,
+        to: usize,
+        to_array: &str,
+    ) -> Result<(), GraphError> {
+        let nf = self.nodes.get(from).ok_or(GraphError::BadNode(from))?;
+        let nt = self.nodes.get(to).ok_or(GraphError::BadNode(to))?;
+        let tag = format!("{}.{from_array} -> {}.{to_array}", nf.name, nt.name);
+        if from == to {
+            return Err(GraphError::Cycle(tag));
+        }
+        let pb = nf.program.buffer(from_array).ok_or_else(|| GraphError::BadPort(tag.clone()))?;
+        let cb = nt.program.buffer(to_array).ok_or_else(|| GraphError::BadPort(tag.clone()))?;
+        if !nf.program.outputs.iter().any(|o| o == from_array)
+            || !nt.program.inputs.iter().any(|i| i == to_array)
+            || pb.array_names().len() != 1
+            || cb.array_names().len() != 1
+        {
+            return Err(GraphError::BadPort(tag));
+        }
+        if pb.shape() != cb.shape() || pb.dtype != cb.dtype {
+            return Err(GraphError::ShapeMismatch(format!(
+                "{tag}: {:?} {} vs {:?} {}",
+                pb.shape(),
+                pb.dtype,
+                cb.shape(),
+                cb.dtype
+            )));
+        }
+        if self.edges.iter().any(|e| e.to == to && e.to_array == to_array) {
+            return Err(GraphError::AlreadyFed(tag));
+        }
+        if self.reaches(to, from) {
+            return Err(GraphError::Cycle(tag));
+        }
+        self.edges.push(GraphEdge {
+            from,
+            from_array: from_array.to_string(),
+            to,
+            to_array: to_array.to_string(),
+        });
+        Ok(())
+    }
+
+    /// True when `dst` is reachable from `src` along edges.
+    fn reaches(&self, src: usize, dst: usize) -> bool {
+        let mut stack = vec![src];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(n) = stack.pop() {
+            if n == dst {
+                return true;
+            }
+            if std::mem::replace(&mut seen[n], true) {
+                continue;
+            }
+            stack.extend(self.edges.iter().filter(|e| e.from == n).map(|e| e.to));
+        }
+        false
+    }
+
+    /// Basic well-formedness: non-empty and at least one external output.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        if self.external_outputs().is_empty() {
+            return Err(GraphError::NoOutput);
+        }
+        Ok(())
+    }
+
+    /// Canonical topological order (node indices, producers first).
+    ///
+    /// Kahn's algorithm with a canonical tie-break: among the ready nodes,
+    /// the one with the smallest `(label, dims, sorted in-edge descriptors)`
+    /// key goes first, where an in-edge descriptor names the producer by
+    /// its *already assigned canonical position*. Insertion order is only a
+    /// final tie-break between truly indistinguishable siblings — whose
+    /// relative order cannot affect the composed program text or the
+    /// fingerprint.
+    pub fn topo_order(&self) -> Vec<usize> {
+        let n = self.nodes.len();
+        let mut pos: Vec<Option<usize>> = vec![None; n];
+        let mut indeg: Vec<usize> = vec![0; n];
+        for e in &self.edges {
+            indeg[e.to] += 1;
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        while order.len() < n {
+            let mut best: Option<(String, Vec<usize>, Vec<(usize, String, String)>, usize)> = None;
+            for i in 0..n {
+                if placed[i] || indeg[i] > 0 {
+                    continue;
+                }
+                let mut ins: Vec<(usize, String, String)> = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.to == i)
+                    .map(|e| {
+                        let p = pos[e.from].expect("producer placed before consumer is ready");
+                        (p, e.from_array.clone(), e.to_array.clone())
+                    })
+                    .collect();
+                ins.sort();
+                let key = (self.nodes[i].label.clone(), self.nodes[i].dims.clone(), ins, i);
+                if best.as_ref().map_or(true, |b| key < *b) {
+                    best = Some(key);
+                }
+            }
+            let (.., i) = best.expect("acyclic graph always has a ready node");
+            pos[i] = Some(order.len());
+            order.push(i);
+            placed[i] = true;
+            for e in self.edges.iter().filter(|e| e.from == i) {
+                indeg[e.to] -= 1;
+            }
+        }
+        order
+    }
+
+    /// External inputs: `(node, input buffer)` pairs not fed by any edge,
+    /// in canonical node order.
+    pub fn external_inputs(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for &i in &self.topo_order() {
+            for input in &self.nodes[i].program.inputs {
+                if !self.edges.iter().any(|e| e.to == i && e.to_array == *input) {
+                    out.push((i, input.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// External outputs: `(node, output buffer)` pairs not consumed by any
+    /// edge, in canonical node order.
+    pub fn external_outputs(&self) -> Vec<(usize, String)> {
+        let mut out = Vec::new();
+        for &i in &self.topo_order() {
+            for output in &self.nodes[i].program.outputs {
+                if !self.edges.iter().any(|e| e.from == i && e.from_array == *output) {
+                    out.push((i, output.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> KernelGraph {
+        let mut g = KernelGraph::new("chain");
+        let a = g.add_node("up", "matmul", &[4, 8, 6]).unwrap();
+        let b = g.add_node("act", "relu", &[4, 6]).unwrap();
+        g.connect(a, "z", b, "x").unwrap();
+        g
+    }
+
+    #[test]
+    fn construction_checks_ports_shapes_and_cycles() {
+        let mut g = chain();
+        assert!(g.validate().is_ok());
+        // unknown kernel
+        assert!(matches!(g.add_node("q", "nosuch", &[2]), Err(GraphError::UnknownKernel(_))));
+        // wrong port name
+        let c = g.add_node("act2", "relu", &[4, 6]).unwrap();
+        assert!(matches!(g.connect(1, "nope", c, "x"), Err(GraphError::BadPort(_))));
+        // consumer input already fed
+        assert!(matches!(g.connect(1, "z", 1, "x"), Err(GraphError::Cycle(_))));
+        assert!(matches!(g.connect(c, "z", 1, "x"), Err(GraphError::AlreadyFed(_))));
+        // shape mismatch
+        let d = g.add_node("small", "relu", &[2, 2]).unwrap();
+        assert!(matches!(g.connect(1, "z", d, "x"), Err(GraphError::ShapeMismatch(_))));
+        // cycle: 1 -> c exists (shapes agree), adding c -> 1 must fail —
+        // but 1.x is already fed, so probe the cycle on a fresh pair
+        let mut cyc = KernelGraph::new("cyc");
+        let r1 = cyc.add_node("r1", "relu", &[4, 6]).unwrap();
+        let r2 = cyc.add_node("r2", "relu", &[4, 6]).unwrap();
+        cyc.connect(r1, "z", r2, "x").unwrap();
+        assert!(matches!(cyc.connect(r2, "z", r1, "x"), Err(GraphError::Cycle(_))));
+    }
+
+    #[test]
+    fn external_interface_is_unfed_and_unconsumed() {
+        let g = chain();
+        let ins = g.external_inputs();
+        // matmul has x,y; relu's x is fed by the edge
+        assert_eq!(ins, vec![(0, "x".into()), (0, "y".into())]);
+        assert_eq!(g.external_outputs(), vec![(1, "z".into())]);
+    }
+
+    #[test]
+    fn topo_order_is_insertion_invariant() {
+        // same diamond built in two insertion orders
+        let build = |flip: bool| {
+            let mut g = KernelGraph::new("diamond");
+            let (a, b);
+            let src = g.add_node("src", "relu", &[4, 4]).unwrap();
+            if flip {
+                b = g.add_node("b", "softmax", &[4, 4]).unwrap();
+                a = g.add_node("a", "rmsnorm", &[4, 4]).unwrap();
+            } else {
+                a = g.add_node("a", "rmsnorm", &[4, 4]).unwrap();
+                b = g.add_node("b", "softmax", &[4, 4]).unwrap();
+            }
+            let sink = g.add_node("sink", "add", &[4, 4]).unwrap();
+            g.connect(src, "z", a, "x").unwrap();
+            g.connect(src, "z", b, "x").unwrap();
+            g.connect(a, "y", sink, "x").unwrap();
+            g.connect(b, "y", sink, "y").unwrap();
+            g
+        };
+        let g1 = build(false);
+        let g2 = build(true);
+        let labels = |g: &KernelGraph| -> Vec<String> {
+            g.topo_order().iter().map(|&i| g.nodes()[i].label.clone()).collect()
+        };
+        assert_eq!(labels(&g1), labels(&g2));
+    }
+}

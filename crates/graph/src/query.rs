@@ -1,0 +1,74 @@
+//! Building serve-tier block queries from graphs.
+//!
+//! The serving daemon ([`perfdojo_library::Server`]) dispatches a
+//! [`perfdojo_library::ServeQuery`] carrying a [`perfdojo_library::BlockQuery`]
+//! on the subgraph signature first and falls back to per-node dispatch on
+//! a block miss. This module builds that query from a [`KernelGraph`]:
+//! composed program, structural fingerprint, per-node fallback queries in
+//! canonical order, and the honest edge-materialization cost the fallback
+//! path pays.
+
+use crate::compose::compose;
+use crate::cost::copy_cost;
+use crate::fingerprint::fingerprint;
+use crate::graph::{GraphError, KernelGraph};
+use perfdojo_core::Target;
+use perfdojo_library::ServeQuery;
+
+/// Build the serve-tier block query for `g` on `target`.
+pub fn block_query(g: &KernelGraph, target: &Target) -> Result<ServeQuery, GraphError> {
+    let composed = compose(g)?;
+    let order = g.topo_order();
+    let parts: Vec<ServeQuery> = order
+        .iter()
+        .map(|&i| {
+            let n = &g.nodes()[i];
+            ServeQuery::of(&n.label, &n.dims)
+                .ok_or_else(|| GraphError::UnknownKernel(format!("{} at {:?}", n.label, n.dims)))
+        })
+        .collect::<Result<_, _>>()?;
+    let edge_cost: f64 = g
+        .edges()
+        .iter()
+        .map(|e| {
+            let shape = g.nodes()[e.from]
+                .program
+                .buffer(&e.from_array)
+                .map(|b| b.shape())
+                .unwrap_or_default();
+            copy_cost(&shape, target)
+        })
+        .sum();
+    let mut shape = Vec::new();
+    for b in &composed.program.buffers {
+        for d in &b.dims {
+            shape.push(d.size);
+        }
+    }
+    Ok(ServeQuery::block(
+        &format!("graph:{}", g.name),
+        composed.program,
+        fingerprint(g),
+        shape,
+        parts,
+        edge_cost,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::subgraph_sig;
+
+    #[test]
+    fn block_query_keys_under_the_subgraph_sig() {
+        let g = crate::suite::by_name("ffn").unwrap();
+        let target = perfdojo_core::Target::x86();
+        let q = block_query(&g, &target).unwrap();
+        let sig = subgraph_sig(&g, &target.name).unwrap();
+        assert_eq!(q.key(&target), sig.key());
+        let b = q.block.as_ref().unwrap();
+        assert_eq!(b.parts.len(), g.nodes().len());
+        assert!(b.edge_cost > 0.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! The pinned graph suite: transformer blocks and HeteroBench-style
+//! pipelines, mirroring `kernels::suite` one level up.
+//!
+//! Every builder takes explicit dims so experiments and tests can shrink
+//! them; [`suite`] returns the default-sized set used by `graph-build`,
+//! `figures --exp graph`, and the fingerprint-collision properties.
+
+use crate::graph::{GraphError, KernelGraph};
+
+/// Scaled-dot-product attention core: `softmax(Q·Kᵀ)·V` as three nodes
+/// (`s` = sequence length, `d` = head dim). The `Q·Kᵀ` and `·V` products
+/// are matmul nodes; K arrives pre-transposed as the first matmul's `y`.
+pub fn attention(s: usize, d: usize) -> Result<KernelGraph, GraphError> {
+    let mut g = KernelGraph::new("attention");
+    let qk = g.add_node("qk", "matmul", &[s, d, s])?;
+    let sm = g.add_node("scores", "softmax", &[s, s])?;
+    let ctx = g.add_node("ctx", "matmul", &[s, s, d])?;
+    g.connect(qk, "z", sm, "x")?;
+    g.connect(sm, "y", ctx, "x")?;
+    Ok(g)
+}
+
+/// ReLU feed-forward chain: up-projection, activation, down-projection
+/// (`n` = tokens, `d` = model dim, `h` = hidden dim).
+pub fn ffn(n: usize, d: usize, h: usize) -> Result<KernelGraph, GraphError> {
+    let mut g = KernelGraph::new("ffn");
+    let up = g.add_node("up", "matmul", &[n, d, h])?;
+    let act = g.add_node("act", "relu", &[n, h])?;
+    let down = g.add_node("down", "matmul", &[n, h, d])?;
+    g.connect(up, "z", act, "x")?;
+    g.connect(act, "z", down, "x")?;
+    Ok(g)
+}
+
+/// One full post-norm transformer layer as a 10-node DAG: attention core,
+/// residual add, layernorm, ReLU-FFN, second residual (fan-out from the
+/// first layernorm), final layernorm.
+pub fn transformer(s: usize, d: usize, h: usize) -> Result<KernelGraph, GraphError> {
+    let mut g = KernelGraph::new("transformer");
+    let qk = g.add_node("qk", "matmul", &[s, d, s])?;
+    let sm = g.add_node("scores", "softmax", &[s, s])?;
+    let ctx = g.add_node("ctx", "matmul", &[s, s, d])?;
+    let res1 = g.add_node("res1", "add", &[s, d])?;
+    let ln1 = g.add_node("ln1", "layernorm", &[s, d])?;
+    let up = g.add_node("up", "matmul", &[s, d, h])?;
+    let act = g.add_node("act", "relu", &[s, h])?;
+    let down = g.add_node("down", "matmul", &[s, h, d])?;
+    let res2 = g.add_node("res2", "add", &[s, d])?;
+    let ln2 = g.add_node("ln2", "layernorm", &[s, d])?;
+    g.connect(qk, "z", sm, "x")?;
+    g.connect(sm, "y", ctx, "x")?;
+    g.connect(ctx, "z", res1, "x")?;
+    g.connect(res1, "z", ln1, "x")?;
+    g.connect(ln1, "y", up, "x")?;
+    g.connect(up, "z", act, "x")?;
+    g.connect(act, "z", down, "x")?;
+    g.connect(down, "z", res2, "x")?;
+    g.connect(ln1, "y", res2, "y")?; // residual fan-out
+    g.connect(res2, "z", ln2, "x")?;
+    Ok(g)
+}
+
+/// HeteroBench-style CNN stage: convolution, channel-wise FFN+ReLU,
+/// batchnorm.
+pub fn cnn_pipe() -> Result<KernelGraph, GraphError> {
+    let mut g = KernelGraph::new("cnn_pipe");
+    let conv = g.add_node("conv", "conv", &[1, 4, 3, 8, 8, 3])?;
+    let act = g.add_node("act", "relu_ffn", &[1, 4, 6, 6])?;
+    let bn = g.add_node("bn", "batchnorm", &[1, 4, 6, 6])?;
+    g.connect(conv, "z", act, "x")?;
+    g.connect(act, "z", bn, "x")?;
+    Ok(g)
+}
+
+/// HeteroBench-style MLP stage: projection, bias add, rmsnorm, gating mul.
+pub fn mlp_block() -> Result<KernelGraph, GraphError> {
+    let mut g = KernelGraph::new("mlp_block");
+    let proj = g.add_node("proj", "matmul", &[16, 8, 16])?;
+    let bias = g.add_node("bias", "add", &[16, 16])?;
+    let norm = g.add_node("norm", "rmsnorm", &[16, 16])?;
+    let gate = g.add_node("gate", "mul", &[16, 16])?;
+    g.connect(proj, "z", bias, "x")?;
+    g.connect(bias, "z", norm, "x")?;
+    g.connect(norm, "y", gate, "x")?;
+    Ok(g)
+}
+
+/// The default graph suite.
+pub fn suite() -> Vec<KernelGraph> {
+    vec![
+        attention(8, 8).expect("attention suite graph"),
+        ffn(8, 8, 16).expect("ffn suite graph"),
+        transformer(8, 8, 16).expect("transformer suite graph"),
+        cnn_pipe().expect("cnn_pipe suite graph"),
+        mlp_block().expect("mlp_block suite graph"),
+    ]
+}
+
+/// Look a suite graph up by name.
+pub fn by_name(name: &str) -> Option<KernelGraph> {
+    suite().into_iter().find(|g| g.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::compose;
+    use crate::oracle::check_graph;
+
+    #[test]
+    fn every_suite_graph_composes_and_passes_the_oracle() {
+        let graphs = suite();
+        assert_eq!(graphs.len(), 5);
+        for g in &graphs {
+            let c = compose(g).unwrap_or_else(|e| panic!("{}: {e}", g.name));
+            assert!(perfdojo_ir::validate(&c.program).is_ok(), "{}", g.name);
+            check_graph(g, 42).unwrap_or_else(|e| panic!("{}: {e}", g.name));
+        }
+    }
+
+    #[test]
+    fn transformer_is_a_dag_with_residual_fanout() {
+        let g = transformer(8, 8, 16).unwrap();
+        assert_eq!(g.nodes().len(), 10);
+        assert_eq!(g.edges().len(), 10);
+        // ln1 feeds two consumers
+        let ln1 = g.nodes().iter().position(|n| n.name == "ln1").unwrap();
+        assert_eq!(g.edges().iter().filter(|e| e.from == ln1).count(), 2);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for g in suite() {
+            assert_eq!(by_name(&g.name).unwrap().name, g.name);
+        }
+        assert!(by_name("nope").is_none());
+    }
+}

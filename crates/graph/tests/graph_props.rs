@@ -1,0 +1,98 @@
+//! Property tests for subgraph fingerprints (`proptest_lite`):
+//! permutation-invariance of node insertion order, sensitivity to edge
+//! rewiring, and no collisions across the graph suite and the
+//! single-kernel tune suite.
+
+use perfdojo_graph::{fingerprint, random_graph, suite, KernelGraph};
+use perfdojo_library::KernelSig;
+use perfdojo_util::proptest_lite::prelude::*;
+use std::collections::BTreeSet;
+
+/// Rebuild `g` with nodes inserted in the order driven by `perm_seed` and
+/// edges in reverse order. Graph identity is (nodes, edges) as sets — the
+/// rebuild is the same graph, only its construction history differs.
+fn rebuilt_permuted(g: &KernelGraph, perm_seed: u64) -> KernelGraph {
+    let n = g.nodes().len();
+    let mut perm: Vec<usize> = (0..n).collect();
+    perfdojo_util::rng::Rng::seed_from_u64(perm_seed).shuffle(&mut perm);
+    // new index of original node i
+    let mut new_of = vec![0usize; n];
+    for (new_i, &old_i) in perm.iter().enumerate() {
+        new_of[old_i] = new_i;
+    }
+    let mut out = KernelGraph::new(&g.name);
+    for &old_i in &perm {
+        let node = &g.nodes()[old_i];
+        out.add_node(&node.name, &node.label, &node.dims).expect("rebuild node");
+    }
+    for e in g.edges().iter().rev() {
+        out.connect(new_of[e.from], &e.from_array, new_of[e.to], &e.to_array)
+            .expect("rebuild edge");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The fingerprint is a function of the graph, not of its construction
+    /// history: any insertion order of the same nodes and edges hashes
+    /// identically.
+    #[test]
+    fn fingerprint_is_insertion_order_invariant(seed in 0u64..1024, perm_seed in 0u64..1024) {
+        let g = random_graph(seed);
+        let h = rebuilt_permuted(&g, perm_seed);
+        prop_assert_eq!(fingerprint(&g), fingerprint(&h));
+    }
+
+    /// Removing any single edge changes the fingerprint: topology is part
+    /// of the hash, not just the node multiset.
+    #[test]
+    fn fingerprint_is_sensitive_to_edge_rewiring(seed in 0u64..1024, pick in 0u64..64) {
+        let g = random_graph(seed);
+        if g.edges().is_empty() {
+            return;
+        }
+        let drop = (pick as usize) % g.edges().len();
+        let mut rewired = KernelGraph::new(&g.name);
+        for node in g.nodes() {
+            rewired.add_node(&node.name, &node.label, &node.dims).expect("node");
+        }
+        for (i, e) in g.edges().iter().enumerate() {
+            if i != drop {
+                rewired.connect(e.from, &e.from_array, e.to, &e.to_array).expect("edge");
+            }
+        }
+        prop_assert_ne!(fingerprint(&g), fingerprint(&rewired));
+    }
+}
+
+/// No collisions across the pinned corpus: every suite graph's subgraph
+/// key and every tune-suite kernel's single-kernel key are pairwise
+/// distinct, on both targets. Subgraph keys live in their own key class,
+/// so a graph can never shadow a kernel (or vice versa) in the library.
+#[test]
+fn no_key_collisions_across_suite_graphs_and_tune_suite_kernels() {
+    let mut keys = BTreeSet::new();
+    let mut fingerprints = BTreeSet::new();
+    for target in ["x86", "snitch"] {
+        for g in suite::suite() {
+            let sig = perfdojo_graph::subgraph_sig(&g, target)
+                .unwrap_or_else(|e| panic!("{}: {e}", g.name));
+            assert!(sig.is_subgraph());
+            assert!(keys.insert(sig.key()), "duplicate subgraph key for {}", g.name);
+            fingerprints.insert(sig.structure);
+        }
+        for k in perfdojo_kernels::tune_suite() {
+            let sig = KernelSig::of(&k.program, target);
+            assert!(!sig.is_subgraph());
+            assert!(
+                keys.insert(sig.key()),
+                "kernel {} ({}) collides with an earlier key",
+                k.label,
+                k.shape
+            );
+        }
+    }
+    assert_eq!(fingerprints.len(), suite::suite().len(), "suite fingerprints must be distinct");
+}

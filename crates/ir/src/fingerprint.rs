@@ -112,6 +112,54 @@ pub fn structure_hash(p: &Program) -> u64 {
     fnv1a(structure_text(p).as_bytes())
 }
 
+/// Incremental FNV-1a accumulator for composite fingerprints.
+///
+/// Graph-level keys (`perfdojo-graph`) hash *several* per-node structure
+/// hashes plus edge topology into one word; feeding them through the same
+/// FNV-1a stream as [`fnv1a`] keeps the two fingerprint families on one
+/// hash function. `HashAcc::new().push_bytes(b).finish()` is exactly
+/// `fnv1a(b)`.
+#[derive(Clone, Copy, Debug)]
+pub struct HashAcc(u64);
+
+impl HashAcc {
+    /// Fresh accumulator at the FNV-1a offset basis.
+    pub fn new() -> HashAcc {
+        HashAcc(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorb raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self
+    }
+
+    /// Absorb a 64-bit word (little-endian byte order, so the stream is
+    /// platform-stable).
+    pub fn push_u64(&mut self, v: u64) -> &mut Self {
+        self.push_bytes(&v.to_le_bytes())
+    }
+
+    /// Absorb a usize as a u64 (indices, counts).
+    pub fn push_usize(&mut self, v: usize) -> &mut Self {
+        self.push_u64(v as u64)
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for HashAcc {
+    fn default() -> Self {
+        HashAcc::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +232,19 @@ mod tests {
         // FNV-1a reference values
         assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
         assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn hash_acc_matches_oneshot_fnv() {
+        assert_eq!(HashAcc::new().finish(), fnv1a(b""));
+        assert_eq!(HashAcc::new().push_bytes(b"a").finish(), fnv1a(b"a"));
+        let mut split = HashAcc::new();
+        split.push_bytes(b"sub").push_bytes(b"graph");
+        assert_eq!(split.finish(), fnv1a(b"subgraph"));
+        // word pushes are the little-endian byte stream
+        assert_eq!(
+            HashAcc::new().push_u64(0x0102_0304_0506_0708).finish(),
+            fnv1a(&[8, 7, 6, 5, 4, 3, 2, 1])
+        );
     }
 }

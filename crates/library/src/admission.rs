@@ -85,11 +85,13 @@ impl<T> AdmissionQueue<T> {
 /// A deduplicating FIFO of pending tune jobs.
 ///
 /// `T` is the job payload (everything the background builder needs to
-/// reconstruct and tune the missed kernel). Keys are remembered forever:
-/// once a key has been enqueued — even after its job was drained — later
-/// enqueues of the same key are no-ops. The serving tier relies on this
-/// to make "miss storms" cost one build, and to stop re-tuning shapes
-/// whose tune legitimately produced no improving schedule.
+/// reconstruct and tune the missed kernel). Keys stay in the seen-set
+/// after their job is drained, so later enqueues of the same key are
+/// no-ops — a "miss storm" costs one build. A key is only released by
+/// [`TuneQueue::forget`]: the serving tier calls it for jobs whose drain
+/// produced no library entry (zero budget, strategy error, or no
+/// improving schedule), so those shapes stay re-tunable instead of being
+/// deduped forever.
 #[derive(Debug, Default)]
 pub struct TuneQueue<T> {
     inner: Mutex<TuneQueueState<T>>,

@@ -64,7 +64,7 @@ impl Strategy {
     }
 
     /// The evaluation budget recorded in provenance.
-    fn budget(&self) -> u64 {
+    pub fn budget(&self) -> u64 {
         match self {
             Strategy::Heuristic => 0,
             Strategy::Anneal { budget } => *budget,

@@ -123,45 +123,9 @@ impl Library {
         let sig = KernelSig::of(query, &target.name);
         let naive_cost = target.machine.evaluate(query).map(|e| e.seconds).unwrap_or(f64::INFINITY);
 
-        // Tier 1: exact hit, strict replay.
-        if let Some(rec) = self.get(&sig) {
-            if let Ok(program) = replay(query, &rec.steps) {
-                let cand = Candidate {
-                    disposition: Disposition::ExactHit,
-                    steps: rec.steps.clone(),
-                    program,
-                };
-                if let Some(result) = accept(cand, query, target, naive_cost) {
-                    return result;
-                }
-            }
-        }
-
-        // Tier 2: nearest-shape fallback, lenient replay.
-        if let Some((rec, distance)) = self.nearest(&sig) {
-            let rep = replay_sequence(query, &rec.steps);
-            let skipped = rep.skipped.len();
-            if skipped < rec.steps.len() {
-                let steps: Vec<Action> = rec
-                    .steps
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !rep.skipped.contains(i))
-                    .map(|(_, a)| a.clone())
-                    .collect();
-                let cand = Candidate {
-                    disposition: Disposition::FallbackReplay {
-                        from: rec.sig.key(),
-                        distance,
-                        skipped,
-                    },
-                    steps,
-                    program: rep.program,
-                };
-                if let Some(result) = accept(cand, query, target, naive_cost) {
-                    return result;
-                }
-            }
+        // Tiers 1–2: cached records (exact, then nearest-shape).
+        if let Some(result) = self.lookup_cached(&sig, query, target) {
+            return result;
         }
 
         // Tier 3: heuristic pass, tuned fresh for this query.
@@ -189,6 +153,68 @@ impl Library {
             naive_cost,
             verified: Some(true),
         }
+    }
+
+    /// The cached tiers of [`Library::lookup`] alone: exact hit (strict
+    /// replay) then nearest-shape fallback (lenient replay), both behind
+    /// the full acceptance checks. `None` means "nothing cached replayed" —
+    /// the caller decides the fallback (full `lookup` runs the heuristic
+    /// and naive tiers; subgraph dispatch in `serve` instead falls back to
+    /// per-node single-kernel dispatch).
+    ///
+    /// Callers pass the signature explicitly because it is not always
+    /// `KernelSig::of(query)`: subgraph queries are keyed by the graph
+    /// fingerprint ([`KernelSig::subgraph`]) while `query` is the composed
+    /// program the steps replay against.
+    pub fn lookup_cached(
+        &self,
+        sig: &KernelSig,
+        query: &Program,
+        target: &Target,
+    ) -> Option<DispatchResult> {
+        let naive_cost = target.machine.evaluate(query).map(|e| e.seconds).unwrap_or(f64::INFINITY);
+
+        // Tier 1: exact hit, strict replay.
+        if let Some(rec) = self.get(sig) {
+            if let Ok(program) = replay(query, &rec.steps) {
+                let cand = Candidate {
+                    disposition: Disposition::ExactHit,
+                    steps: rec.steps.clone(),
+                    program,
+                };
+                if let Some(result) = accept(cand, query, target, naive_cost) {
+                    return Some(result);
+                }
+            }
+        }
+
+        // Tier 2: nearest-shape fallback, lenient replay.
+        if let Some((rec, distance)) = self.nearest(sig) {
+            let rep = replay_sequence(query, &rec.steps);
+            let skipped = rep.skipped.len();
+            if skipped < rec.steps.len() {
+                let steps: Vec<Action> = rec
+                    .steps
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !rep.skipped.contains(i))
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                let cand = Candidate {
+                    disposition: Disposition::FallbackReplay {
+                        from: rec.sig.key(),
+                        distance,
+                        skipped,
+                    },
+                    steps,
+                    program: rep.program,
+                };
+                if let Some(result) = accept(cand, query, target, naive_cost) {
+                    return Some(result);
+                }
+            }
+        }
+        None
     }
 }
 

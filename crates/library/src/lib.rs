@@ -46,7 +46,7 @@ pub use dispatch::{DispatchResult, Disposition};
 pub use format::{FormatError, LoadStats, Provenance, ScheduleRecord};
 pub use library::{current_model_version, Library, LibraryStats, MergeReport};
 pub use serve::{
-    latency_units, HitTier, ServeConfig, ServeQuery, ServeReply, ServeSnapshot, ServeStats,
-    Server, TuneJob, TuneProgress,
+    latency_units, BlockQuery, HitTier, ServeConfig, ServeQuery, ServeReply, ServeSnapshot,
+    ServeStats, Server, TuneJob, TuneProgress,
 };
 pub use sig::KernelSig;

@@ -79,16 +79,37 @@ pub struct ServeSnapshot {
     pub generation: u64,
 }
 
+/// The graph-tier half of a block query: the structural subgraph
+/// fingerprint to dispatch on, plus the per-node queries to fall back to
+/// when the library has no block record.
+#[derive(Clone, Debug)]
+pub struct BlockQuery {
+    /// Structural subgraph fingerprint (`perfdojo_graph::fingerprint`).
+    pub fingerprint: u64,
+    /// Composed-program shape vector (flattened buffer extents).
+    pub shape: Vec<usize>,
+    /// Per-node queries in canonical order, for the fallback path.
+    pub parts: Vec<ServeQuery>,
+    /// Edge-materialization cost the per-node path pays (model seconds).
+    pub edge_cost: f64,
+}
+
 /// One query: a kernel label plus constructor dimensions, resolved to the
-/// naive program to serve a schedule for.
+/// naive program to serve a schedule for. A query carrying a
+/// [`BlockQuery`] asks for a whole subgraph instead: it dispatches on the
+/// block's subgraph signature and falls back to per-node dispatch on a
+/// block miss.
 #[derive(Clone, Debug)]
 pub struct ServeQuery {
-    /// Tune-suite kernel label (`softmax`, `matmul`, …).
+    /// Tune-suite kernel label (`softmax`, `matmul`, …) or `graph:<name>`.
     pub label: String,
-    /// Constructor dimensions (the `by_label_with_shape` arity).
+    /// Constructor dimensions (the `by_label_with_shape` arity), or the
+    /// composed shape vector for block queries.
     pub dims: Vec<usize>,
-    /// The naive query program.
+    /// The naive query program (the composed program for block queries).
     pub program: Program,
+    /// Present for block (subgraph) queries.
+    pub block: Option<BlockQuery>,
 }
 
 impl ServeQuery {
@@ -96,12 +117,40 @@ impl ServeQuery {
     /// wrong arity.
     pub fn of(label: &str, dims: &[usize]) -> Option<ServeQuery> {
         let program = perfdojo_kernels::by_label_with_shape(label, dims)?;
-        Some(ServeQuery { label: label.to_string(), dims: dims.to_vec(), program })
+        Some(ServeQuery { label: label.to_string(), dims: dims.to_vec(), program, block: None })
+    }
+
+    /// Build a block query for a composed subgraph. `parts` are the
+    /// per-node fallback queries in canonical order; `edge_cost` is what
+    /// the per-node path pays to materialize the interior edges.
+    pub fn block(
+        label: &str,
+        program: Program,
+        fingerprint: u64,
+        shape: Vec<usize>,
+        parts: Vec<ServeQuery>,
+        edge_cost: f64,
+    ) -> ServeQuery {
+        ServeQuery {
+            label: label.to_string(),
+            dims: shape.clone(),
+            program,
+            block: Some(BlockQuery { fingerprint, shape, parts, edge_cost }),
+        }
+    }
+
+    /// The signature of this query on `target` (subgraph-class for block
+    /// queries).
+    pub fn sig(&self, target: &Target) -> KernelSig {
+        match &self.block {
+            Some(b) => KernelSig::subgraph(b.fingerprint, b.shape.clone(), &target.name),
+            None => KernelSig::of(&self.program, &target.name),
+        }
     }
 
     /// The signature key of this query on `target`.
     pub fn key(&self, target: &Target) -> String {
-        KernelSig::of(&self.program, &target.name).key()
+        self.sig(target).key()
     }
 }
 
@@ -209,6 +258,12 @@ pub struct ServeStats {
     pub tuned: u64,
     /// Hot swaps published.
     pub swaps: u64,
+    /// Block queries answered by an exact subgraph record.
+    pub block_exact: u64,
+    /// Block queries answered by a nearest-shape subgraph record.
+    pub block_nearest: u64,
+    /// Block queries that fell back to per-node dispatch.
+    pub block_fallback: u64,
 }
 
 #[derive(Debug, Default)]
@@ -222,6 +277,9 @@ struct Counters {
     naive: AtomicU64,
     tune_jobs: AtomicU64,
     tuned: AtomicU64,
+    block_exact: AtomicU64,
+    block_nearest: AtomicU64,
+    block_fallback: AtomicU64,
 }
 
 /// A deferred tune job for one missed query.
@@ -233,9 +291,18 @@ pub struct TuneJob {
     pub dims: Vec<usize>,
     /// The naive program to tune.
     pub program: Program,
+    /// When set, the produced record is re-keyed under this signature
+    /// instead of the program's own — block (subgraph) jobs tune the
+    /// composed program but must land under the subgraph key.
+    pub sig_override: Option<KernelSig>,
 }
 
 impl TuneJob {
+    /// The signature the job's record must be keyed under.
+    fn final_sig(&self, target: &Target) -> KernelSig {
+        self.sig_override.clone().unwrap_or_else(|| KernelSig::of(&self.program, &target.name))
+    }
+
     fn kernel(&self) -> KernelInstance {
         let shape =
             self.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x");
@@ -278,9 +345,10 @@ pub struct Server {
     slot: ShardedSlot<ServeSnapshot>,
     admission: AdmissionQueue<ServeQuery>,
     tunes: TuneQueue<TuneJob>,
-    /// Jobs drained but not yet merged (survives a paused checkpointed
-    /// drain so the resume re-runs the same job list).
-    inflight: Mutex<Vec<TuneJob>>,
+    /// Jobs (with their queue keys) drained but not yet merged (survives a
+    /// paused checkpointed drain so the resume re-runs the same job list;
+    /// the keys let a completed drain forget jobs that produced nothing).
+    inflight: Mutex<Vec<(String, TuneJob)>>,
     /// Serializes merge+publish so concurrent drains cannot lose updates.
     writer: Mutex<()>,
     target: Target,
@@ -354,6 +422,9 @@ impl Server {
             tune_jobs: c.tune_jobs.load(Ordering::Relaxed),
             tuned: c.tuned.load(Ordering::Relaxed),
             swaps: self.slot.generation(),
+            block_exact: c.block_exact.load(Ordering::Relaxed),
+            block_nearest: c.block_nearest.load(Ordering::Relaxed),
+            block_fallback: c.block_fallback.load(Ordering::Relaxed),
         }
     }
 
@@ -383,13 +454,12 @@ impl Server {
         }
         let replies = par_map(batch, |(key, query)| self.resolve(&key, &query));
         // enqueue misses in reply (admission) order so the tune queue is
-        // deterministic under a deterministic query log
+        // deterministic under a deterministic query log (resolve returns a
+        // job exactly when the query missed its cached tier)
         for (reply, job) in &replies {
-            if reply.tier.is_miss() {
-                if let Some(job) = job {
-                    if self.tunes.enqueue(reply.key.clone(), job.clone()) {
-                        self.counters.tune_jobs.fetch_add(1, Ordering::Relaxed);
-                    }
+            if let Some(job) = job {
+                if self.tunes.enqueue(reply.key.clone(), job.clone()) {
+                    self.counters.tune_jobs.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -402,17 +472,18 @@ impl Server {
     pub fn lookup_now(&self, query: &ServeQuery) -> ServeReply {
         let key = query.key(&self.target);
         let (reply, job) = self.resolve(&key, query);
-        if reply.tier.is_miss() {
-            if let Some(job) = job {
-                if self.tunes.enqueue(key, job) {
-                    self.counters.tune_jobs.fetch_add(1, Ordering::Relaxed);
-                }
+        if let Some(job) = job {
+            if self.tunes.enqueue(key, job) {
+                self.counters.tune_jobs.fetch_add(1, Ordering::Relaxed);
             }
         }
         reply
     }
 
     fn resolve(&self, key: &str, query: &ServeQuery) -> (ServeReply, Option<TuneJob>) {
+        if query.block.is_some() {
+            return self.resolve_block(key, query);
+        }
         let snap = self.slot.read(fnv1a(key.as_bytes()));
         let r = snap.library.lookup(&query.program, &self.target);
         let tier = HitTier::of(&r.disposition);
@@ -428,6 +499,7 @@ impl Server {
             label: query.label.clone(),
             dims: query.dims.clone(),
             program: query.program.clone(),
+            sig_override: None,
         });
         let reply = ServeReply {
             label: query.label.clone(),
@@ -437,6 +509,84 @@ impl Server {
             cost: r.cost,
             naive_cost: r.naive_cost,
             steps: r.steps.len(),
+            generation: snap.generation,
+        };
+        (reply, job)
+    }
+
+    /// Resolve a block (subgraph) query: try the cached replay tiers under
+    /// the subgraph signature first; on a block miss, answer by per-node
+    /// dispatch over the query's parts (each node through the full tier
+    /// stack, edges priced at the caller-supplied materialization cost)
+    /// and enqueue a block tune job so the next drain learns the block.
+    fn resolve_block(&self, key: &str, query: &ServeQuery) -> (ServeReply, Option<TuneJob>) {
+        let block = query.block.as_ref().expect("resolve_block without block");
+        let sig = query.sig(&self.target);
+        let snap = self.slot.read(fnv1a(key.as_bytes()));
+        self.counters.served.fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = snap.library.lookup_cached(&sig, &query.program, &self.target) {
+            let tier = HitTier::of(&r.disposition);
+            match tier {
+                HitTier::Exact => {
+                    self.counters.exact.fetch_add(1, Ordering::Relaxed);
+                    self.counters.block_exact.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {
+                    self.counters.nearest.fetch_add(1, Ordering::Relaxed);
+                    self.counters.block_nearest.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let reply = ServeReply {
+                label: query.label.clone(),
+                key: key.to_string(),
+                tier,
+                latency_units: latency_units(&r),
+                cost: r.cost,
+                naive_cost: r.naive_cost,
+                steps: r.steps.len(),
+                generation: snap.generation,
+            };
+            return (reply, None);
+        }
+        // block miss: per-node tiered dispatch, aggregated
+        self.counters.block_fallback.fetch_add(1, Ordering::Relaxed);
+        let mut cost = block.edge_cost;
+        let mut naive_cost = block.edge_cost;
+        let mut latency = 2; // block probe + fallback decision
+        let mut steps = 0usize;
+        let mut tier = HitTier::Exact;
+        for part in &block.parts {
+            let r = snap.library.lookup(&part.program, &self.target);
+            let t = HitTier::of(&r.disposition);
+            match t {
+                HitTier::Exact => &self.counters.exact,
+                HitTier::Nearest => &self.counters.nearest,
+                HitTier::Heuristic => &self.counters.heuristic,
+                HitTier::Naive => &self.counters.naive,
+            }
+            .fetch_add(1, Ordering::Relaxed);
+            cost += r.cost;
+            naive_cost += r.naive_cost;
+            latency += latency_units(&r);
+            steps += r.steps.len();
+            tier = tier.max(t); // worst tier wins the aggregate
+        }
+        // a block miss always schedules block tuning, even when every part
+        // replayed: the block record (fusion + layout) is what's missing
+        let job = Some(TuneJob {
+            label: query.label.clone(),
+            dims: query.dims.clone(),
+            program: query.program.clone(),
+            sig_override: Some(sig),
+        });
+        let reply = ServeReply {
+            label: query.label.clone(),
+            key: key.to_string(),
+            tier,
+            latency_units: latency,
+            cost,
+            naive_cost,
+            steps,
             generation: snap.generation,
         };
         (reply, job)
@@ -475,24 +625,24 @@ impl Server {
     ) -> Result<TuneProgress, String> {
         let _writer = self.writer.lock().expect("serve writer poisoned");
         // a paused drain left jobs in flight: finish those before new ones
-        let jobs: Vec<TuneJob> = {
+        let jobs: Vec<(String, TuneJob)> = {
             let mut inflight = self.inflight.lock().expect("serve inflight poisoned");
             if inflight.is_empty() {
-                *inflight = self.tunes.drain().into_iter().map(|(_, j)| j).collect();
+                *inflight = self.tunes.drain();
             }
             inflight.clone()
         };
         if jobs.is_empty() {
             return Ok(TuneProgress::Idle);
         }
-        let kernels: Vec<KernelInstance> = jobs.iter().map(TuneJob::kernel).collect();
+        let kernels: Vec<KernelInstance> = jobs.iter().map(|(_, j)| j.kernel()).collect();
         let targets = [self.target.clone()];
         let builder = LibraryBuilder::new(self.config.strategy, self.config.seed);
 
         // build into a scratch library so the served snapshot is untouched
         // until the merge below publishes a complete replacement
         let mut scratch = Library::new();
-        let outcomes = match ckpt {
+        let mut outcomes = match ckpt {
             None => builder.build_into(&mut scratch, &kernels, &targets).1,
             Some(ckpt) => {
                 let (progress, _, outcomes) = builder.build_into_checkpointed(
@@ -512,6 +662,30 @@ impl Server {
             }
         };
 
+        // re-key block jobs: their record was tuned under the composed
+        // program's own signature but must land under the subgraph key
+        match ckpt {
+            None => {
+                // outcomes come back in job (grid) order for one target
+                for (o, (_, j)) in outcomes.iter_mut().zip(jobs.iter()) {
+                    if let (Some(rec), Some(sig)) = (&mut o.record, &j.sig_override) {
+                        rec.sig = sig.clone();
+                    }
+                }
+            }
+            Some(_) => {
+                for (_, j) in &jobs {
+                    if let Some(sig) = &j.sig_override {
+                        let own = KernelSig::of(&j.program, &self.target.name);
+                        if let Some(mut rec) = scratch.remove(&own) {
+                            rec.sig = sig.clone();
+                            scratch.merge([rec]);
+                        }
+                    }
+                }
+            }
+        }
+
         // checkpointed drains merge the partial library (holds *all* job
         // records); plain drains merge this call's outcomes
         let (tuned, unimproved) = match ckpt {
@@ -525,12 +699,27 @@ impl Server {
                 // publish and checkpoint reset
                 let tuned = jobs
                     .iter()
-                    .filter(|j| {
-                        scratch.get(&KernelSig::of(&j.program, &self.target.name)).is_some()
-                    })
+                    .filter(|(_, j)| scratch.get(&j.final_sig(&self.target)).is_some())
                     .count();
                 (tuned, jobs.len() - tuned)
             }
+        };
+        // jobs that produced no record keep the shape re-tunable: forget
+        // their queue keys after this drain completes, so a future miss
+        // can enqueue them again (a later drain may run with budget, a
+        // fixed strategy, or a model version bump)
+        let failed_keys: Vec<String> = match ckpt {
+            None => outcomes
+                .iter()
+                .zip(jobs.iter())
+                .filter(|(o, _)| o.record.is_none())
+                .map(|(_, (k, _))| k.clone())
+                .collect(),
+            Some(_) => jobs
+                .iter()
+                .filter(|(_, j)| scratch.get(&j.final_sig(&self.target)).is_none())
+                .map(|(k, _)| k.clone())
+                .collect(),
         };
         let snap = self.slot.read(0);
         let mut merged = snap.library.clone();
@@ -551,6 +740,9 @@ impl Server {
         if let Some(ckpt) = ckpt {
             ckpt.reset()
                 .map_err(|e| format!("checkpoint dir {}: {e}", ckpt.dir().display()))?;
+        }
+        for key in &failed_keys {
+            self.tunes.forget(key);
         }
         self.inflight.lock().expect("serve inflight poisoned").clear();
         Ok(TuneProgress::Swapped { generation, tuned, unimproved })

@@ -13,6 +13,9 @@
 use perfdojo_ir::Program;
 use std::fmt;
 
+/// Reserved dtype marker for subgraph signatures (see [`KernelSig::subgraph`]).
+const SUBGRAPH_DTYPE: &str = "graph";
+
 /// Canonical identity of one tuned kernel instance on one target.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct KernelSig {
@@ -47,6 +50,29 @@ impl KernelSig {
             dtype: dtypes.join("+"),
             target: target.to_string(),
         }
+    }
+
+    /// Signature of a *subgraph* (multi-kernel block) on `target`.
+    ///
+    /// `fingerprint` is the structural graph fingerprint from
+    /// `perfdojo-graph` (per-node shape-normalized structure hashes plus
+    /// edge topology), `shape` the composed program's flattened buffer
+    /// extents. The dtype slot carries the reserved marker `graph`, which
+    /// no single-kernel signature can produce ([`KernelSig::of`] emits IR
+    /// dtype names), so subgraph keys and kernel keys can never collide and
+    /// nearest-shape fallback stays within each key class.
+    pub fn subgraph(fingerprint: u64, shape: Vec<usize>, target: &str) -> KernelSig {
+        KernelSig {
+            structure: fingerprint,
+            shape,
+            dtype: SUBGRAPH_DTYPE.to_string(),
+            target: target.to_string(),
+        }
+    }
+
+    /// True for subgraph (block) signatures made by [`KernelSig::subgraph`].
+    pub fn is_subgraph(&self) -> bool {
+        self.dtype == SUBGRAPH_DTYPE
     }
 
     /// Stable textual key (also the on-disk entry key).
@@ -152,6 +178,23 @@ mod tests {
         let other = KernelSig::of(&perfdojo_kernels::matmul(4, 6, 5), "x86");
         assert!(!a.same_operator(&other));
         assert_eq!(a.shape_distance(&other), None);
+    }
+
+    #[test]
+    fn subgraph_sigs_are_their_own_key_class() {
+        let g = KernelSig::subgraph(0xabcd, vec![4, 8, 8], "x86");
+        assert!(g.is_subgraph());
+        assert!(!sig("x86", 4, 8).is_subgraph());
+        // round-trips through the key format like any signature
+        assert_eq!(KernelSig::parse_key(&g.key()), Some(g.clone()));
+        // a single-kernel sig with the same structure word is a different
+        // operator: the dtype marker separates the key classes
+        let fake = KernelSig { structure: 0xabcd, shape: vec![4, 8, 8], dtype: "f32".into(), target: "x86".into() };
+        assert!(!g.same_operator(&fake));
+        // but two shapes of the same subgraph are nearest-able
+        let g2 = KernelSig::subgraph(0xabcd, vec![8, 16, 16], "x86");
+        assert!(g.same_operator(&g2));
+        assert!(g.shape_distance(&g2).unwrap() > 0.0);
     }
 
     #[test]

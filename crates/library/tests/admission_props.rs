@@ -3,9 +3,53 @@
 //! FIFO model exactly, capacity is never exceeded, drains preserve
 //! per-key order, and miss storms collapse to one tune job per key.
 
-use perfdojo_library::{AdmissionQueue, TuneQueue};
+use perfdojo_library::{
+    AdmissionQueue, Library, ServeConfig, ServeQuery, Server, Strategy, TuneProgress, TuneQueue,
+};
 use perfdojo_util::proptest_lite::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Regression for the dedupe-forever drain bug: a drain that produces no
+/// library entry for a job (here: a zero-budget strategy, so tuning can
+/// never find an improving schedule) used to leave the job's key in the
+/// tune queue's seen-set, making the shape permanently un-retunable. A
+/// completed drain must forget failed keys, so the same miss can enqueue
+/// — and a later drain under a working strategy can tune — the shape.
+#[test]
+fn failed_drain_releases_the_key_for_retuning() {
+    let target = perfdojo_core::Target::x86();
+    let zero_budget =
+        ServeConfig { strategy: Strategy::Anneal { budget: 0 }, ..ServeConfig::default() };
+    let server = Server::new(Library::new(), target, zero_budget);
+    let q = ServeQuery::of("rmsnorm", &[16, 16]).unwrap();
+
+    assert!(server.lookup_now(&q).tier.is_miss());
+    assert_eq!(server.pending_tunes(), 1);
+    match server.drain_tunes().unwrap() {
+        TuneProgress::Swapped { tuned, unimproved, .. } => {
+            assert_eq!((tuned, unimproved), (0, 1), "zero budget cannot produce a record");
+        }
+        p => panic!("expected a swap, got {p:?}"),
+    }
+
+    // the key must be re-enqueueable: before the fix this stayed at 0
+    // forever and the shape could never be tuned again
+    assert!(server.lookup_now(&q).tier.is_miss());
+    assert_eq!(server.pending_tunes(), 1, "failed key must be forgotten on drain completion");
+    assert_eq!(server.stats().tune_jobs, 2);
+
+    // successful tunes stay deduplicated: drain under a working strategy,
+    // then verify the repeat miss does NOT re-enqueue
+    let working = Server::new(Library::new(), perfdojo_core::Target::x86(), ServeConfig::default());
+    let q2 = ServeQuery::of("rmsnorm", &[64, 64]).unwrap();
+    assert!(working.lookup_now(&q2).tier.is_miss());
+    match working.drain_tunes().unwrap() {
+        TuneProgress::Swapped { tuned, .. } => assert_eq!(tuned, 1),
+        p => panic!("expected a swap, got {p:?}"),
+    }
+    assert!(!working.lookup_now(&q2).tier.is_miss());
+    assert_eq!(working.pending_tunes(), 0);
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
