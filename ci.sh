@@ -34,24 +34,30 @@
 #      graph CLI must round-trip build → exact block hit, and seeded random
 #      pipelines must pass the differential oracle (graph executor vs
 #      composed interpreter reference).
+#  10. Fleet smoke: a fixed-seed `perfdojo-lib fleet` build at 2 and at 4
+#      workers must merge `cmp`-identical libraries; a fleet with one
+#      injected worker kill (`--kill-after`) plus a resume must merge the
+#      same bytes again; and two `--exp fleet` runs must emit a
+#      byte-identical `BENCH_fleet.json` whose model scaling is >= 1.7x
+#      from 1 to 4 workers.
 #
 # Usage: ./ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== 1/9 perfdojo-util: warning-free build (-D warnings) =="
+echo "== 1/10 perfdojo-util: warning-free build (-D warnings) =="
 RUSTFLAGS="-D warnings" cargo build -q -p perfdojo-util --offline
 RUSTFLAGS="-D warnings" cargo test -q -p perfdojo-util --offline
 
-echo "== 2/9 tier-1 verify: release build + tests =="
+echo "== 2/10 tier-1 verify: release build + tests =="
 cargo build --release --workspace --offline
 cargo test -q --offline
 
-echo "== 3/9 full workspace tests (offline) =="
+echo "== 3/10 full workspace tests (offline) =="
 cargo test -q --workspace --offline
 
-echo "== 4/9 schedule-library pipeline: build, dispatch, stats =="
+echo "== 4/10 schedule-library pipeline: build, dispatch, stats =="
 PDLIB_DIR=$(mktemp -d)
 trap 'rm -rf "$PDLIB_DIR"' EXIT
 PDLIB="$PDLIB_DIR/ci.pdl"
@@ -69,7 +75,7 @@ grep -q "disposition: fallback-replay" "$PDLIB_DIR/q2.txt"
 ./target/release/perfdojo-lib stats --lib "$PDLIB" | tee "$PDLIB_DIR/stats.txt"
 grep -q "entries:         2" "$PDLIB_DIR/stats.txt"
 
-echo "== 5/9 differential fuzz smoke: fixed seed, deterministic, clean =="
+echo "== 5/10 differential fuzz smoke: fixed seed, deterministic, clean =="
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz1.txt"
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz2.txt"
 # the report must be byte-identical across runs — no timestamps, no
@@ -84,7 +90,7 @@ if ./target/release/fuzz --seed 0xC0FFEE --iters 60 --sabotage truncate-split \
 fi
 grep -q "FINDING" "$PDLIB_DIR/fuzz3.txt"
 
-echo "== 6/9 search-engine smoke: A/B determinism + searchperf report =="
+echo "== 6/10 search-engine smoke: A/B determinism + searchperf report =="
 # the incremental engine must be bit-identical to the naive one on every
 # tune-suite kernel and strategy
 cargo test -q -p perfdojo-search --offline --test incremental_ab
@@ -109,7 +115,7 @@ if grep -q '"cache_hits": 0,' "$PDLIB_DIR/sp1.json"; then
     exit 1
 fi
 
-echo "== 7/9 checkpoint/resume smoke: pause at step limit, resume, compare =="
+echo "== 7/10 checkpoint/resume smoke: pause at step limit, resume, compare =="
 CKPT_ARGS=(--kernels softmax,matmul --targets x86 --strategy anneal:40 --seed 7)
 # reference: one uninterrupted checkpointed build
 ./target/release/perfdojo-lib build --out "$PDLIB_DIR/full.pdl" \
@@ -152,7 +158,7 @@ fi
 # and the unit pin for the cooling-schedule division guard
 cargo test -q -p perfdojo-search --offline zero_budget
 
-echo "== 8/9 serving-tier smoke: deterministic load gen, hot swap, pause =="
+echo "== 8/10 serving-tier smoke: deterministic load gen, hot swap, pause =="
 # fixed-seed load-test experiment: two runs must emit byte-identical
 # reports (no wall-clock fields inside — plain cmp, no stripping)
 (cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp serve > serve1.txt)
@@ -218,7 +224,7 @@ cmp "$PDLIB_DIR/srv-full.pdl" "$PDLIB_DIR/srv-sliced.pdl"
 # release scheduler, not just the debug one
 cargo test -q --release -p perfdojo-library --offline --test serve_stress
 
-echo "== 9/9 graph-tier smoke: block dispatch, determinism, random oracle =="
+echo "== 9/10 graph-tier smoke: block dispatch, determinism, random oracle =="
 # fixed-seed graph experiment: byte-identical across two runs, and the
 # headline claim holds — block dispatch never loses to per-node dispatch
 (cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp graph > graph1.txt)
@@ -252,5 +258,49 @@ grep -q "per-node fallback" "$PDLIB_DIR/gq2.txt"
 ./target/release/perfdojo-lib graph-check --seed 0 --count 12 \
     | tee "$PDLIB_DIR/gc.txt"
 grep -q "12 random graphs passed the differential oracle" "$PDLIB_DIR/gc.txt"
+
+echo "== 10/10 fleet smoke: worker-count invariance, injected kill, reproducible report =="
+FLEET_ARGS=(--kernels softmax,matmul,relu,reducemean --strategy anneal:12 --seed 5)
+# same job grid at 2 and at 4 workers must merge byte-identical libraries
+./target/release/perfdojo-lib fleet init --dir "$PDLIB_DIR/farm2" "${FLEET_ARGS[@]}"
+./target/release/perfdojo-lib fleet run --dir "$PDLIB_DIR/farm2" --workers 2 > /dev/null
+./target/release/perfdojo-lib fleet merge --dir "$PDLIB_DIR/farm2" \
+    --out "$PDLIB_DIR/farm2.pdl" > /dev/null
+./target/release/perfdojo-lib fleet init --dir "$PDLIB_DIR/farm4" "${FLEET_ARGS[@]}"
+./target/release/perfdojo-lib fleet run --dir "$PDLIB_DIR/farm4" --workers 4 > /dev/null
+./target/release/perfdojo-lib fleet merge --dir "$PDLIB_DIR/farm4" \
+    --out "$PDLIB_DIR/farm4.pdl" > /dev/null
+cmp "$PDLIB_DIR/farm2.pdl" "$PDLIB_DIR/farm4.pdl"
+# injected kill: worker w0 dies mid-run (exit 0 if the survivors drained,
+# exit 4 if the fleet still has work); rerunning the same command resumes
+# the dead worker's checkpoint, and the merge converges to the same bytes
+./target/release/perfdojo-lib fleet init --dir "$PDLIB_DIR/farmk" "${FLEET_ARGS[@]}"
+set +e
+./target/release/perfdojo-lib fleet run --dir "$PDLIB_DIR/farmk" --workers 2 \
+    --kill-after 8 > "$PDLIB_DIR/farmk.txt"
+rc=$?
+set -e
+if [ "$rc" -ne 0 ] && [ "$rc" -ne 4 ]; then
+    echo "ci.sh: killed fleet run should exit 0 or 4, got $rc" >&2
+    exit 1
+fi
+grep -q "Killed" "$PDLIB_DIR/farmk.txt"
+if [ "$rc" -eq 4 ]; then
+    ./target/release/perfdojo-lib fleet run --dir "$PDLIB_DIR/farmk" --workers 2 > /dev/null
+fi
+./target/release/perfdojo-lib fleet merge --dir "$PDLIB_DIR/farmk" \
+    --out "$PDLIB_DIR/farmk.pdl" > /dev/null
+cmp "$PDLIB_DIR/farm2.pdl" "$PDLIB_DIR/farmk.pdl"
+# the fleet experiment: double-run byte-identity of BENCH_fleet.json, the
+# merge-invariance flags asserted inside it, and the scaling claim
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp fleet > fleet1.txt)
+mv "$PDLIB_DIR/BENCH_fleet.json" "$PDLIB_DIR/fleet1.json"
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp fleet > fleet2.txt)
+mv "$PDLIB_DIR/BENCH_fleet.json" "$PDLIB_DIR/fleet2.json"
+cmp "$PDLIB_DIR/fleet1.json" "$PDLIB_DIR/fleet2.json"
+grep -q '"merged_identical_across_worker_counts": true' "$PDLIB_DIR/fleet1.json"
+grep -q '"kill_resume_identical": true' "$PDLIB_DIR/fleet1.json"
+awk -F': ' '/"speedup_1_to_4"/ { gsub(/,/, "", $2); exit !($2 >= 1.7) }' \
+    "$PDLIB_DIR/fleet1.json"
 
 echo "ci.sh: all gates passed"

@@ -1,6 +1,7 @@
 //! One module per group of paper experiments.
 
 pub mod ablations;
+pub mod fleet;
 pub mod gpu;
 pub mod graph;
 pub mod library;
@@ -13,6 +14,7 @@ pub mod tables;
 pub mod x86;
 
 pub use ablations::*;
+pub use fleet::*;
 pub use gpu::*;
 pub use graph::*;
 pub use library::*;
@@ -56,6 +58,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
         ("library", library::exp_library),
         ("searchperf", searchperf::exp_searchperf),
         ("serve", serve::exp_serve),
+        ("fleet", fleet::exp_fleet),
         ("graph", graph::exp_graph),
         ("resume", resume::exp_resume),
         ("ablate_maxq", ablations::exp_ablate_maxq),

@@ -23,8 +23,9 @@
 use perfdojo_core::Target;
 use perfdojo_kernels::KernelInstance;
 use perfdojo_library::{
-    target_by_name, BuildCheckpoint, BuildProgress, Library, LibraryBuilder, ServeConfig,
-    ServeQuery, Server, Strategy, TuneProgress,
+    run_fleet, run_worker, target_by_name, BuildCheckpoint, BuildProgress, FaultPlan, FleetDir,
+    FleetJob, Library, LibraryBuilder, ServeConfig, ServeQuery, Server, Strategy, TuneProgress,
+    WorkerConfig, WorkerExit,
 };
 use perfdojo_util::rng::Rng;
 use perfdojo_util::zipf::Zipf;
@@ -43,6 +44,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("gc") => cmd_gc(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("graph-build") => cmd_graph_build(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("graph-query") => cmd_graph_query(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("graph-check") => cmd_graph_check(&args[1..]).map(|()| ExitCode::SUCCESS),
@@ -88,6 +90,29 @@ usage:
                       --checkpoint-dir the drain is crash-safe and
                       --step-limit pauses it cleanly with exit code 4 —
                       rerun the identical command to resume)
+  perfdojo-lib fleet init   --dir <fleet-dir> [--kernels a,b] [--targets x86,gh200]
+                     [--strategy heuristic|anneal[:N[:K]]|perfllm[:N]] [--seed N]
+                     (seed the shared work queue with the kernels x targets
+                      job grid and write the jobs.list manifest; idempotent
+                      on a live fleet)
+  perfdojo-lib fleet run    --dir <fleet-dir> [--workers N] [--step-limit N]
+                     [--kill-after N] [--fault-seed N]
+                     (run N in-process workers until the queue drains;
+                      --step-limit pauses each worker cleanly after N tuning
+                      steps, exit code 4 — rerun to continue; --kill-after
+                      simulates a kill -9 of worker w0 after N steps,
+                      leaving its claim for the survivors to reclaim;
+                      --fault-seed injects a seeded random fault plan)
+  perfdojo-lib fleet work   --dir <fleet-dir> --worker <id> [--step-limit N]
+                     [--kill-after N]
+                     (one worker process: claim jobs, heartbeat, tune under
+                      the per-job checkpoint, emit hash-checked parts —
+                      launch any number of these against the same dir)
+  perfdojo-lib fleet status --dir <fleet-dir>
+  perfdojo-lib fleet merge  --dir <fleet-dir> --out <file>
+                     (deterministic keep-best join of every valid part;
+                      byte-identical output regardless of worker count,
+                      arrival order, kills, or duplicated work)
   perfdojo-lib graph-build --out <file> [--target <name>]
                      [--graphs attention,ffn,transformer,cnn_pipe,mlp_block]
                      [--strategy heuristic|anneal[:N[:K]]|perfllm[:N]] [--seed N]
@@ -473,6 +498,176 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         println!("report:   {out}");
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_fleet(args: &[String]) -> Result<ExitCode, String> {
+    let sub = args.first().map(String::as_str);
+    let rest = if args.is_empty() { args } else { &args[1..] };
+    match sub {
+        Some("init") => fleet_init(rest).map(|()| ExitCode::SUCCESS),
+        Some("run") => fleet_run(rest),
+        Some("work") => fleet_work(rest),
+        Some("status") => fleet_status(rest).map(|()| ExitCode::SUCCESS),
+        Some("merge") => fleet_merge(rest).map(|()| ExitCode::SUCCESS),
+        _ => Err(format!("fleet needs a subcommand: init|run|work|status|merge\n{USAGE}")),
+    }
+}
+
+fn open_fleet(args: &[String]) -> Result<FleetDir, String> {
+    let dir = PathBuf::from(required(args, "--dir")?);
+    FleetDir::open(&dir).map_err(|e| format!("{}: {e}", dir.display()))
+}
+
+fn fleet_worker_config(args: &[String], worker: &str) -> Result<WorkerConfig, String> {
+    let mut cfg = WorkerConfig::new(worker);
+    if let Some(s) = flag_value(args, "--step-limit")? {
+        cfg.step_limit = Some(s.parse().map_err(|_| format!("bad step limit {s:?}"))?);
+    }
+    if let Some(s) = flag_value(args, "--kill-after")? {
+        cfg.kill_after = Some(s.parse().map_err(|_| format!("bad kill-after {s:?}"))?);
+    }
+    Ok(cfg)
+}
+
+fn fleet_init(args: &[String]) -> Result<(), String> {
+    let fleet = open_fleet(args)?;
+    let targets = parse_targets(flag_value(args, "--targets")?)?;
+    let target_names: Vec<String> = targets.iter().map(|t| t.name.to_string()).collect();
+    let strategy = match flag_value(args, "--strategy")? {
+        None => Strategy::Heuristic,
+        Some(s) => Strategy::parse(&s).ok_or_else(|| format!("bad strategy {s:?}"))?,
+    };
+    let seed: u64 = match flag_value(args, "--seed")? {
+        None => 0,
+        Some(s) => s.parse().map_err(|_| format!("bad seed {s:?}"))?,
+    };
+    let suite = perfdojo_kernels::tune_suite();
+    let kernels: Vec<KernelInstance> = match flag_value(args, "--kernels")? {
+        None => suite,
+        Some(spec) => {
+            let wanted: Vec<&str> = spec.split(',').map(str::trim).collect();
+            let picked: Vec<KernelInstance> =
+                suite.into_iter().filter(|k| wanted.contains(&k.label.as_str())).collect();
+            for w in &wanted {
+                if !picked.iter().any(|k| k.label == *w) {
+                    return Err(format!("unknown kernel {w:?}"));
+                }
+            }
+            picked
+        }
+    };
+    let jobs = FleetJob::grid(&kernels, &target_names, strategy, seed)?;
+    let queued = fleet.init(&jobs).map_err(|e| format!("fleet init: {e}"))?;
+    println!(
+        "fleet init {}: {} jobs in manifest, {} queued ({} already live or done)",
+        fleet.root().display(),
+        jobs.len(),
+        queued,
+        jobs.len() - queued
+    );
+    Ok(())
+}
+
+fn fleet_run(args: &[String]) -> Result<ExitCode, String> {
+    let fleet = open_fleet(args)?;
+    let workers: usize = match flag_value(args, "--workers")? {
+        None => 2,
+        Some(s) => s.parse().map_err(|_| format!("bad worker count {s:?}"))?,
+    };
+    let cfg = fleet_worker_config(args, "")?;
+    let plan = match flag_value(args, "--fault-seed")? {
+        None => FaultPlan::none(),
+        Some(s) => {
+            let seed: u64 = s.parse().map_err(|_| format!("bad fault seed {s:?}"))?;
+            let ids: Vec<String> = (0..workers).map(|i| format!("w{i}")).collect();
+            FaultPlan::seeded(seed, &ids)
+        }
+    };
+    let report = run_fleet(&fleet, workers, &cfg, &plan)?;
+    for (i, w) in report.workers.iter().enumerate() {
+        println!(
+            "  w{i}: {:?} — {} jobs done, {} steps, {} reclaimed, {} requeued lost, \
+             {} torn parts discarded",
+            w.exit,
+            w.jobs_done.len(),
+            w.steps,
+            w.reclaimed,
+            w.requeued_lost,
+            w.discarded_torn
+        );
+    }
+    let s = fleet.status();
+    println!(
+        "fleet run {}: {}/{} jobs done ({} queued, {} claimed, {} lost)",
+        fleet.root().display(),
+        s.done,
+        s.total,
+        s.queued,
+        s.claimed,
+        s.lost
+    );
+    if report.drained {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("fleet not drained; rerun the identical command to continue");
+        Ok(ExitCode::from(EXIT_PAUSED))
+    }
+}
+
+fn fleet_work(args: &[String]) -> Result<ExitCode, String> {
+    let fleet = open_fleet(args)?;
+    let worker = required(args, "--worker")?;
+    let cfg = fleet_worker_config(args, &worker)?;
+    let report = run_worker(&fleet, &cfg, &FaultPlan::none())?;
+    println!(
+        "worker {}: {:?} — {} jobs done, {} steps, {} reclaimed",
+        worker,
+        report.exit,
+        report.jobs_done.len(),
+        report.steps,
+        report.reclaimed
+    );
+    match report.exit {
+        WorkerExit::Drained => Ok(ExitCode::SUCCESS),
+        WorkerExit::Paused | WorkerExit::Killed => Ok(ExitCode::from(EXIT_PAUSED)),
+    }
+}
+
+fn fleet_status(args: &[String]) -> Result<(), String> {
+    let fleet = open_fleet(args)?;
+    let s = fleet.status();
+    println!("fleet:   {}", fleet.root().display());
+    println!("jobs:    {} total", s.total);
+    println!("queued:  {}", s.queued);
+    println!("claimed: {}", s.claimed);
+    println!("done:    {}", s.done);
+    println!("lost:    {}", s.lost);
+    for id in fleet.claimed_ids() {
+        println!("  claimed: {id}");
+    }
+    Ok(())
+}
+
+fn fleet_merge(args: &[String]) -> Result<(), String> {
+    let fleet = open_fleet(args)?;
+    let out = PathBuf::from(required(args, "--out")?);
+    let m = fleet.merge();
+    if !m.unfinished.is_empty() {
+        for id in &m.unfinished {
+            eprintln!("warning: unfinished job {id}");
+        }
+    }
+    m.library.save(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    println!(
+        "fleet merge {}: {} parts joined ({} evaluations), {} unfinished; {} entries -> {}",
+        fleet.root().display(),
+        m.merged_jobs,
+        m.evaluations,
+        m.unfinished.len(),
+        m.library.len(),
+        out.display()
+    );
+    Ok(())
 }
 
 fn parse_graphs(spec: Option<String>) -> Result<Vec<perfdojo_graph::KernelGraph>, String> {

@@ -73,6 +73,18 @@ impl Strategy {
         }
     }
 
+    /// Render the canonical spec string [`Strategy::parse`] accepts —
+    /// `Strategy::parse(&s.spec()) == Some(s)` for every strategy. This is
+    /// how fleet job files persist the strategy.
+    pub fn spec(&self) -> String {
+        match self {
+            Strategy::Heuristic => "heuristic".to_string(),
+            Strategy::Anneal { budget } => format!("anneal:{budget}"),
+            Strategy::AnnealMulti { budget, chains } => format!("anneal:{budget}:{chains}"),
+            Strategy::PerfLlm { episodes } => format!("perfllm:{episodes}"),
+        }
+    }
+
     /// Parse a CLI strategy spec: `heuristic`, `anneal[:budget]`,
     /// `anneal:<budget>:<chains>` (multi-chain), `perfllm[:episodes]`.
     pub fn parse(s: &str) -> Option<Strategy> {
@@ -518,6 +530,18 @@ mod tests {
         assert_eq!(Strategy::parse("anneal:40:0"), None);
         assert_eq!(Strategy::parse("anneal:40:x"), None);
         assert_eq!(Strategy::parse("heuristic:3"), None);
+    }
+
+    #[test]
+    fn strategy_spec_round_trips_through_parse() {
+        for s in [
+            Strategy::Heuristic,
+            Strategy::Anneal { budget: 40 },
+            Strategy::AnnealMulti { budget: 8, chains: 3 },
+            Strategy::PerfLlm { episodes: 2 },
+        ] {
+            assert_eq!(Strategy::parse(&s.spec()), Some(s), "{}", s.spec());
+        }
     }
 
     #[test]

@@ -1,0 +1,1224 @@
+//! Distributed, preemptible tuning fleet: a filesystem-coordinated work
+//! queue of library-build jobs shared by N worker processes (or in-process
+//! worker threads), with deterministic keep-best merging of the partial
+//! libraries the workers emit.
+//!
+//! This is ROADMAP item 4 — "tune the whole kernel universe overnight" —
+//! built from primitives the repo already trusts: the atomic
+//! write-tmp-rename idiom ([`perfdojo_util::trace::atomic_write`]), the
+//! exclusive-rename claim transfer ([`perfdojo_util::claim::try_move`]),
+//! and the PR-5 crash-safe [`BuildCheckpoint`] layer, which bounds the
+//! cost of killing any worker to the job it had in flight.
+//!
+//! # Directory protocol
+//!
+//! A fleet directory holds five subdirectories plus a manifest:
+//!
+//! - `jobs.list` — the full job universe, written once by
+//!   [`FleetDir::init`]; recovery compares live state against it.
+//! - `queue/<id>.job` — jobs nobody owns. A worker **claims** a job by
+//!   renaming it into `claims/` — `rename(2)` is atomic and its source
+//!   vanishes, so exactly one of any number of racing workers wins.
+//! - `claims/<id>.claim` — jobs being worked on. The file carries a
+//!   [`perfdojo_util::claim::Claim`] header (worker id + heartbeat
+//!   counter) above the job body; the owner bumps the beat atomically
+//!   after every checkpoint slice.
+//! - `parts/<id>.part` — one completed job's partial library, wrapped in
+//!   a hash-checked [`render_part`] envelope so a torn (non-atomic)
+//!   write is detected and the job re-runs instead of silently losing or
+//!   corrupting its record.
+//! - `ckpt/<id>/` — the job's [`BuildCheckpoint`] directory. A worker
+//!   killed mid-job leaves its search state here; whoever reclaims the
+//!   job resumes bit-identically (same RNG words, same budget spend).
+//! - `logs/worker-<id>.jsonl` — per-worker operational trace events
+//!   (claims, completions, reclaims); never compared, never merged.
+//!
+//! # Liveness without clocks
+//!
+//! A claim is *stale* when its file content (beat included) stays
+//! byte-identical across [`WorkerConfig::reclaim_after`] consecutive
+//! scans by one observer. Reclamation renames the claim file back into
+//! `queue/`, so concurrent reclaimers resolve to exactly one winner — no
+//! double-tune, no orphan. Even when a job *does* run twice (a worker
+//! that lost its claim keeps going — it cannot tell), the part file it
+//! writes is byte-identical, because every job's outcome is a pure
+//! function of the job identity and seed. Duplicated work can waste
+//! time; it can never change the merged library.
+//!
+//! # Deterministic merge
+//!
+//! [`join`] folds partial libraries keep-best under a *total* order —
+//! lower cost wins, exact cost ties break on the serialized record text —
+//! so the merge is associative, commutative, and idempotent: a true
+//! lattice join. The merged library is byte-identical no matter how many
+//! workers ran, which worker ran which job, in what order the parts
+//! arrived, or whether any worker was killed and resumed along the way.
+//!
+//! # Fault injection
+//!
+//! Crash testing by racing real `kill -9`s is flaky by construction, so
+//! the worker loop threads a seeded [`FaultPlan`] through every
+//! vulnerable point ([`FaultSite`]): kill before claiming, kill at a
+//! mid-job slice boundary, kill after tuning but before the part write,
+//! kill between the part's tmp write and its rename, plus dropped claim
+//! files, duplicated claim files, and torn partial-library writes. Every
+//! crash scenario is a replayable unit test (`tests/fleet_crash.rs`).
+
+use crate::builder::{target_by_name, BuildProgress, LibraryBuilder, Strategy};
+use crate::checkpoint::BuildCheckpoint;
+use crate::format::{self, ScheduleRecord};
+use crate::library::Library;
+use perfdojo_ir::fingerprint::fnv1a;
+use perfdojo_kernels::KernelInstance;
+use perfdojo_util::claim::{try_move, Claim};
+use perfdojo_util::trace::{atomic_write, TraceSink};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Jobs
+
+/// One unit of fleet work: tune one kernel shape on one target with one
+/// strategy and seed. The job file format is line-oriented:
+///
+/// ```text
+/// perfdojo-fleet-job v1
+/// label <kernel label>
+/// dims <d0>x<d1>...
+/// target <target name>
+/// strategy <Strategy::spec>
+/// seed <u64>
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetJob {
+    /// Tune-suite kernel label.
+    pub label: String,
+    /// Constructor dimensions (`by_label_with_shape` arity).
+    pub dims: Vec<usize>,
+    /// Target name.
+    pub target: String,
+    /// Tuning strategy.
+    pub strategy: Strategy,
+    /// Global build seed (per-job seeds derive from it + job identity).
+    pub seed: u64,
+}
+
+impl FleetJob {
+    /// The job's shape string (`64x64`).
+    pub fn shape(&self) -> String {
+        self.dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+    }
+
+    /// Stable filesystem id: sanitized human-readable identity plus an
+    /// fnv1a suffix so sanitization can never collide two jobs.
+    pub fn id(&self) -> String {
+        let identity = format!("{}|{}|{}", self.label, self.shape(), self.target);
+        let safe: String = format!("{}-{}-{}", self.label, self.shape(), self.target)
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+            .collect();
+        format!("{safe}-{:08x}", fnv1a(identity.as_bytes()) as u32)
+    }
+
+    /// Render the job-file text.
+    pub fn render(&self) -> String {
+        format!(
+            "perfdojo-fleet-job v1\nlabel {}\ndims {}\ntarget {}\nstrategy {}\nseed {}\n",
+            self.label,
+            self.shape(),
+            self.target,
+            self.strategy.spec(),
+            self.seed
+        )
+    }
+
+    /// Parse a job file. Tolerates a `perfdojo-claim` header line above
+    /// the body (a reclaimed claim file is moved back into the queue
+    /// verbatim) and ignores unknown lines.
+    pub fn parse(text: &str) -> Result<FleetJob, String> {
+        let mut label = None;
+        let mut dims = None;
+        let mut target = None;
+        let mut strategy = None;
+        let mut seed = None;
+        let mut seen_header = false;
+        for line in text.lines() {
+            if line.starts_with("perfdojo-claim ") {
+                continue;
+            }
+            if line == "perfdojo-fleet-job v1" {
+                seen_header = true;
+                continue;
+            }
+            match line.split_once(' ') {
+                Some(("label", v)) => label = Some(v.to_string()),
+                Some(("dims", v)) => {
+                    dims = Some(
+                        v.split('x')
+                            .map(|d| d.parse::<usize>().map_err(|_| format!("bad dims {v:?}")))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    )
+                }
+                Some(("target", v)) => target = Some(v.to_string()),
+                Some(("strategy", v)) => {
+                    strategy =
+                        Some(Strategy::parse(v).ok_or_else(|| format!("bad strategy {v:?}"))?)
+                }
+                Some(("seed", v)) => {
+                    seed = Some(v.parse::<u64>().map_err(|_| format!("bad seed {v:?}"))?)
+                }
+                _ => {}
+            }
+        }
+        if !seen_header {
+            return Err("missing perfdojo-fleet-job v1 header".to_string());
+        }
+        Ok(FleetJob {
+            label: label.ok_or("job missing label")?,
+            dims: dims.ok_or("job missing dims")?,
+            target: target.ok_or("job missing target")?,
+            strategy: strategy.ok_or("job missing strategy")?,
+            seed: seed.ok_or("job missing seed")?,
+        })
+    }
+
+    /// Reconstruct the kernel instance this job tunes.
+    pub fn kernel(&self) -> Result<KernelInstance, String> {
+        let program = perfdojo_kernels::by_label_with_shape(&self.label, &self.dims)
+            .ok_or_else(|| format!("no kernel {:?} at shape {:?}", self.label, self.dims))?;
+        Ok(KernelInstance {
+            label: self.label.clone(),
+            shape: self.shape(),
+            description: String::from("fleet job"),
+            program: program.clone(),
+            verify_program: program,
+        })
+    }
+
+    /// The full kernels × targets job grid for one strategy + seed —
+    /// what [`FleetDir::init`] seeds the queue with.
+    pub fn grid(
+        kernels: &[KernelInstance],
+        targets: &[String],
+        strategy: Strategy,
+        seed: u64,
+    ) -> Result<Vec<FleetJob>, String> {
+        let mut jobs = Vec::new();
+        for k in kernels {
+            let dims: Vec<usize> = k
+                .shape
+                .split('x')
+                .map(|d| d.parse().map_err(|_| format!("unfleetable shape {:?}", k.shape)))
+                .collect::<Result<_, String>>()?;
+            // jobs must be reconstructible from (label, dims) alone
+            if perfdojo_kernels::by_label_with_shape(&k.label, &dims).is_none() {
+                return Err(format!("kernel {:?} not constructible at {:?}", k.label, dims));
+            }
+            for t in targets {
+                jobs.push(FleetJob {
+                    label: k.label.clone(),
+                    dims: dims.clone(),
+                    target: t.clone(),
+                    strategy,
+                    seed,
+                });
+            }
+        }
+        Ok(jobs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Part files
+
+/// Wrap one job's partial-library text in the hash-checked part envelope:
+///
+/// ```text
+/// perfdojo-fleet-part v1 job=<id> evals=<n> hash=<16-hex fnv1a of body>
+/// <library text>
+/// ```
+pub fn render_part(job_id: &str, evaluations: u64, library_text: &str) -> String {
+    format!(
+        "perfdojo-fleet-part v1 job={job_id} evals={evaluations} hash={:016x}\n{library_text}",
+        fnv1a(library_text.as_bytes())
+    )
+}
+
+/// Parse and integrity-check a part file; `None` for anything torn,
+/// truncated, or mislabeled — the caller treats the job as not done.
+pub fn parse_part(job_id: &str, text: &str) -> Option<(u64, Library)> {
+    let (header, body) = text.split_once('\n')?;
+    let rest = header.strip_prefix("perfdojo-fleet-part v1 job=")?;
+    let (id, rest) = rest.split_once(" evals=")?;
+    if id != job_id {
+        return None;
+    }
+    let (evals, hash) = rest.split_once(" hash=")?;
+    let evaluations: u64 = evals.parse().ok()?;
+    if format!("{:016x}", fnv1a(body.as_bytes())) != hash {
+        return None;
+    }
+    let (lib, stats) = Library::from_text(body).ok()?;
+    if stats.corrupt_entries > 0 {
+        return None;
+    }
+    Some((evaluations, lib))
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic merge (lattice join)
+
+/// True when record `a` beats record `b` under the fleet's total order:
+/// lower predicted cost wins; exact cost ties break on the smaller
+/// serialized record text. Total (via `total_cmp`), so [`join`] is a
+/// genuine lattice join — associative, commutative, idempotent — and the
+/// merged library is byte-identical regardless of arrival order.
+pub fn beats(a: &ScheduleRecord, b: &ScheduleRecord) -> bool {
+    match a.cost.total_cmp(&b.cost) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.to_block() < b.to_block(),
+    }
+}
+
+/// Keep-best join of records into a library under [`beats`].
+pub fn join(records: impl IntoIterator<Item = ScheduleRecord>) -> Library {
+    let mut best: BTreeMap<String, ScheduleRecord> = BTreeMap::new();
+    for r in records {
+        let key = r.sig.key();
+        match best.get(&key) {
+            Some(cur) if !beats(&r, cur) => {}
+            _ => {
+                best.insert(key, r);
+            }
+        }
+    }
+    let (lib, _) = Library::from_text(&format::render(best.values()))
+        .expect("schedule records must re-parse after render");
+    lib
+}
+
+/// Join whole libraries (the coordinator's merge over worker partials).
+pub fn join_libraries(libs: impl IntoIterator<Item = Library>) -> Library {
+    join(libs.into_iter().flat_map(|l| l.records().cloned().collect::<Vec<_>>()))
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+
+/// Where in the worker loop a fault triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Before attempting to claim a job.
+    PreClaim,
+    /// At a mid-job checkpoint-slice boundary (search state persisted).
+    MidJob,
+    /// After the job finished tuning, before the part file is written.
+    PreDone,
+    /// Between writing the part's tmp file and renaming it into place.
+    MidRename,
+}
+
+impl FaultSite {
+    /// Every site, in worker-loop order (the crash-matrix test iterates
+    /// this).
+    pub fn all() -> [FaultSite; 4] {
+        [FaultSite::PreClaim, FaultSite::MidJob, FaultSite::PreDone, FaultSite::MidRename]
+    }
+}
+
+/// What happens when a fault triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker dies on the spot: no cleanup, claim left frozen.
+    Kill,
+    /// The worker's claim file is deleted out from under it; the worker
+    /// keeps running (it cannot tell).
+    DropClaim,
+    /// The job file is duplicated back into the queue while its claim is
+    /// live, so a second worker will run the same job concurrently.
+    DuplicateClaim,
+    /// The part file is written torn (truncated, no atomic rename) and
+    /// the worker dies — the non-atomic-filesystem nightmare scenario.
+    TornPart,
+}
+
+/// One planned fault: worker `worker` triggers `kind` the `nth` time it
+/// reaches `site` (1-based).
+#[derive(Clone, Debug)]
+pub struct Fault {
+    /// Worker id the fault applies to.
+    pub worker: String,
+    /// Trigger site.
+    pub site: FaultSite,
+    /// 1-based visit count at which the fault fires.
+    pub nth: u64,
+    /// Fault behavior.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, replayable fault schedule threaded through the worker
+/// loop. Plans are plain data: the same plan against the same fleet
+/// directory reproduces the same crash scenario every time.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The planned faults.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan (no faults).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add a kill for `worker` at its `nth` visit to `site`.
+    pub fn kill(mut self, worker: &str, site: FaultSite, nth: u64) -> FaultPlan {
+        self.faults.push(Fault { worker: worker.to_string(), site, nth, kind: FaultKind::Kill });
+        self
+    }
+
+    /// Add a non-kill fault for `worker` at its `nth` visit to `site`.
+    pub fn with(mut self, worker: &str, site: FaultSite, nth: u64, kind: FaultKind) -> FaultPlan {
+        self.faults.push(Fault { worker: worker.to_string(), site, nth, kind });
+        self
+    }
+
+    /// A seeded random plan over `workers`: 1–3 faults sampled from the
+    /// full site × kind space. Used by the randomized crash smoke — any
+    /// seed must converge to the same merged library.
+    pub fn seeded(seed: u64, workers: &[String]) -> FaultPlan {
+        let mut rng = perfdojo_util::rng::Rng::seed_from_u64(seed ^ 0xF1EE7);
+        let sites = FaultSite::all();
+        let kinds =
+            [FaultKind::Kill, FaultKind::DropClaim, FaultKind::DuplicateClaim, FaultKind::TornPart];
+        let mut plan = FaultPlan::none();
+        for _ in 0..rng.gen_range(1..4usize) {
+            let worker = &workers[rng.gen_range(0..workers.len())];
+            let site = sites[rng.gen_range(0..sites.len())];
+            // drop/duplicate/torn only make sense while a job is held
+            let kind = match site {
+                FaultSite::PreClaim => FaultKind::Kill,
+                FaultSite::MidJob | FaultSite::PreDone => {
+                    kinds[rng.gen_range(0..3usize)] // kill / drop / duplicate
+                }
+                FaultSite::MidRename => {
+                    if rng.gen_range(0..2usize) == 0 {
+                        FaultKind::Kill
+                    } else {
+                        FaultKind::TornPart
+                    }
+                }
+            };
+            plan.faults.push(Fault {
+                worker: worker.clone(),
+                site,
+                nth: rng.gen_range(1..3u64),
+                kind,
+            });
+        }
+        plan
+    }
+}
+
+/// Worker-local fault cursor: counts visits per site and looks up the
+/// plan. (The plan itself is shared immutably across workers.)
+#[derive(Default)]
+struct FaultCursor {
+    visits: BTreeMap<FaultSite, u64>,
+}
+
+impl FaultCursor {
+    fn check(&mut self, plan: &FaultPlan, worker: &str, site: FaultSite) -> Option<FaultKind> {
+        let n = self.visits.entry(site).or_insert(0);
+        *n += 1;
+        let n = *n;
+        plan.faults
+            .iter()
+            .find(|f| f.worker == worker && f.site == site && f.nth == n)
+            .map(|f| f.kind)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fleet directory
+
+/// Handle to a fleet coordination directory (see the module docs for the
+/// on-disk protocol).
+#[derive(Clone, Debug)]
+pub struct FleetDir {
+    root: PathBuf,
+}
+
+/// Live state summary of a fleet directory.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetStatus {
+    /// Jobs in the manifest.
+    pub total: usize,
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Jobs currently claimed.
+    pub claimed: usize,
+    /// Jobs with a valid part file.
+    pub done: usize,
+    /// Manifest jobs visible nowhere (dropped claims, pre-recovery).
+    pub lost: usize,
+}
+
+impl FleetDir {
+    /// Open (creating if needed) a fleet directory and its substructure.
+    pub fn open(root: &Path) -> io::Result<FleetDir> {
+        for sub in ["queue", "claims", "parts", "ckpt", "logs"] {
+            std::fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(FleetDir { root: root.to_path_buf() })
+    }
+
+    /// The directory root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn queue_path(&self, id: &str) -> PathBuf {
+        self.root.join("queue").join(format!("{id}.job"))
+    }
+
+    fn claim_path(&self, id: &str) -> PathBuf {
+        self.root.join("claims").join(format!("{id}.claim"))
+    }
+
+    fn part_path(&self, id: &str) -> PathBuf {
+        self.root.join("parts").join(format!("{id}.part"))
+    }
+
+    /// The job's private [`BuildCheckpoint`] directory.
+    pub fn ckpt_path(&self, id: &str) -> PathBuf {
+        self.root.join("ckpt").join(id)
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.root.join("jobs.list")
+    }
+
+    /// Seed the queue with `jobs` and write the manifest. Idempotent: a
+    /// job that already exists somewhere (queue, claim, or part) is not
+    /// re-queued, so `init` on a live or finished fleet is a no-op.
+    pub fn init(&self, jobs: &[FleetJob]) -> io::Result<usize> {
+        let mut manifest = String::new();
+        let mut queued = 0;
+        for job in jobs {
+            let id = job.id();
+            manifest.push_str(&job.render());
+            manifest.push_str("---\n");
+            if self.queue_path(&id).exists()
+                || self.claim_path(&id).exists()
+                || self.part_path(&id).exists()
+            {
+                continue;
+            }
+            atomic_write(&self.queue_path(&id), &job.render())?;
+            queued += 1;
+        }
+        atomic_write(&self.manifest_path(), &manifest)?;
+        Ok(queued)
+    }
+
+    /// The manifest job universe (empty when the fleet was never
+    /// initialized).
+    pub fn manifest(&self) -> Vec<FleetJob> {
+        let Ok(text) = std::fs::read_to_string(self.manifest_path()) else {
+            return Vec::new();
+        };
+        text.split("---\n").filter(|b| !b.trim().is_empty()).filter_map(|b| FleetJob::parse(b).ok()).collect()
+    }
+
+    /// Sorted ids of job files currently in the queue.
+    pub fn queued_ids(&self) -> Vec<String> {
+        self.sorted_stems("queue", ".job")
+    }
+
+    /// Sorted ids of currently-claimed jobs.
+    pub fn claimed_ids(&self) -> Vec<String> {
+        self.sorted_stems("claims", ".claim")
+    }
+
+    fn sorted_stems(&self, sub: &str, suffix: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(self.root.join(sub)) {
+            for e in entries.flatten() {
+                if let Some(name) = e.file_name().to_str() {
+                    if let Some(stem) = name.strip_suffix(suffix) {
+                        out.push(stem.to_string());
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Atomically claim the queued job `id` for `worker`: move it into
+    /// `claims/` (exactly one racing claimant wins) and stamp the claim
+    /// header. Returns the parsed job on success.
+    pub fn try_claim(&self, id: &str, worker: &str) -> Result<Option<FleetJob>, String> {
+        let claim_path = self.claim_path(id);
+        match try_move(&self.queue_path(id), &claim_path) {
+            Ok(true) => {}
+            Ok(false) => return Ok(None),
+            Err(e) => return Err(format!("claim {id}: {e}")),
+        }
+        let body = match std::fs::read_to_string(&claim_path) {
+            Ok(b) => b,
+            // a racing reclaimer judged the (not-yet-stamped) claim stale
+            // and snatched it back before we could read it: a lost race,
+            // not an error
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(format!("claim {id}: {e}")),
+        };
+        let job = FleetJob::parse(&body)?;
+        // normalize the body (a reclaimed file still carries the old
+        // claim header) and stamp ownership
+        atomic_write(&claim_path, &Claim::new(worker, &job.render()).render())
+            .map_err(|e| format!("claim {id}: {e}"))?;
+        Ok(Some(job))
+    }
+
+    /// Bump the heartbeat on `worker`'s claim of `id`. A missing or
+    /// foreign claim is left alone (the job was reclaimed or duplicated —
+    /// the worker keeps going; its output is idempotent either way).
+    pub fn heartbeat(&self, id: &str, worker: &str) -> io::Result<()> {
+        let path = self.claim_path(id);
+        let Ok(text) = std::fs::read_to_string(&path) else { return Ok(()) };
+        let Some(mut claim) = Claim::parse(&text) else { return Ok(()) };
+        if claim.worker != worker {
+            return Ok(());
+        }
+        claim.beat += 1;
+        atomic_write(&path, &claim.render())
+    }
+
+    /// Move a stale claim back into the queue. Returns `true` for the
+    /// (exactly one) caller whose rename performed the transfer.
+    pub fn try_reclaim(&self, id: &str) -> io::Result<bool> {
+        try_move(&self.claim_path(id), &self.queue_path(id))
+    }
+
+    /// Read and integrity-check the part file for `id`.
+    pub fn part(&self, id: &str) -> Option<(u64, Library)> {
+        let text = std::fs::read_to_string(self.part_path(id)).ok()?;
+        parse_part(id, &text)
+    }
+
+    /// Write the completed job's part file atomically.
+    pub fn write_part(&self, id: &str, evaluations: u64, lib: &Library) -> io::Result<()> {
+        atomic_write(&self.part_path(id), &render_part(id, evaluations, &lib.to_text()))
+    }
+
+    /// Remove `id`'s claim file (idempotent; used after the part write).
+    pub fn remove_claim(&self, id: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.claim_path(id)) {
+            Err(e) if e.kind() != io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Live state summary against the manifest.
+    pub fn status(&self) -> FleetStatus {
+        let manifest = self.manifest();
+        let mut s = FleetStatus { total: manifest.len(), ..FleetStatus::default() };
+        for job in &manifest {
+            let id = job.id();
+            if self.part(&id).is_some() {
+                s.done += 1;
+            } else if self.claim_path(&id).exists() {
+                s.claimed += 1;
+            } else if self.queue_path(&id).exists() {
+                s.queued += 1;
+            } else {
+                s.lost += 1;
+            }
+        }
+        s
+    }
+
+    /// Coordinator merge: join every valid part keep-best into one
+    /// library, deterministically. Jobs without a valid part are listed
+    /// as unfinished (the fleet is not drained yet — or a torn part was
+    /// discarded and awaits its re-run).
+    pub fn merge(&self) -> MergeOutcome {
+        let mut libs = Vec::new();
+        let mut merged_jobs = 0;
+        let mut evaluations = 0;
+        let mut unfinished = Vec::new();
+        for job in self.manifest() {
+            let id = job.id();
+            match self.part(&id) {
+                Some((evals, lib)) => {
+                    merged_jobs += 1;
+                    evaluations += evals;
+                    libs.push(lib);
+                }
+                None => unfinished.push(id),
+            }
+        }
+        MergeOutcome { library: join_libraries(libs), merged_jobs, evaluations, unfinished }
+    }
+}
+
+/// Result of a coordinator merge over the fleet's part files.
+#[derive(Clone, Debug)]
+pub struct MergeOutcome {
+    /// The joined library.
+    pub library: Library,
+    /// Jobs whose parts merged.
+    pub merged_jobs: usize,
+    /// Total evaluations those jobs spent.
+    pub evaluations: u64,
+    /// Manifest jobs with no valid part yet.
+    pub unfinished: Vec<String>,
+}
+
+// ---------------------------------------------------------------------------
+// The worker loop
+
+/// Per-worker configuration.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Worker id (claim-file ownership tag).
+    pub worker: String,
+    /// Tuning steps per checkpoint slice — the heartbeat cadence and the
+    /// kill granularity (a killed worker loses at most one slice of
+    /// unpersisted search progress... which the resume then re-runs
+    /// bit-identically).
+    pub slice_steps: u64,
+    /// Total tuning steps before a *clean pause*: the claim is released
+    /// back to the queue and the worker exits [`WorkerExit::Paused`].
+    pub step_limit: Option<u64>,
+    /// Total tuning steps before a *simulated crash*: the worker exits
+    /// [`WorkerExit::Killed`] leaving its claim frozen, exactly like a
+    /// `kill -9`.
+    pub kill_after: Option<u64>,
+    /// Consecutive unchanged-content scans after which a claim is stale.
+    pub reclaim_after: u64,
+    /// Milliseconds to sleep between idle scans.
+    pub scan_wait_ms: u64,
+}
+
+impl WorkerConfig {
+    /// A worker named `worker` with defaults: 8-step slices, no limits,
+    /// claims stale after 8 frozen scans 25ms apart (a ~200ms deadline —
+    /// comfortably longer than a tuning slice, so live workers are not
+    /// reclaimed out from under themselves; even when they are, the
+    /// protocol converges, it just wastes a re-run).
+    pub fn new(worker: &str) -> WorkerConfig {
+        WorkerConfig {
+            worker: worker.to_string(),
+            slice_steps: 8,
+            step_limit: None,
+            kill_after: None,
+            reclaim_after: 8,
+            scan_wait_ms: 25,
+        }
+    }
+}
+
+/// How a worker's run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// Every manifest job has a valid part; nothing left to do.
+    Drained,
+    /// The step limit ran out; the in-flight claim was released cleanly.
+    Paused,
+    /// A planned fault (or `kill_after`) killed the worker mid-protocol.
+    Killed,
+}
+
+/// What one worker did.
+#[derive(Clone, Debug)]
+pub struct WorkerReport {
+    /// How the run ended.
+    pub exit: WorkerExit,
+    /// Ids of jobs this worker completed (part written).
+    pub jobs_done: Vec<String>,
+    /// Stale claims this worker moved back to the queue.
+    pub reclaimed: usize,
+    /// Manifest jobs this worker resurrected from nowhere (dropped
+    /// claims).
+    pub requeued_lost: usize,
+    /// Torn part files this worker discarded.
+    pub discarded_torn: usize,
+    /// Tuning steps this worker spent.
+    pub steps: u64,
+}
+
+enum JobRun {
+    Completed,
+    Paused,
+    Killed,
+}
+
+/// Run one worker against the fleet until the manifest is drained, the
+/// step limit pauses it, or a fault kills it. See the module docs for the
+/// protocol.
+pub fn run_worker(
+    fleet: &FleetDir,
+    cfg: &WorkerConfig,
+    plan: &FaultPlan,
+) -> Result<WorkerReport, String> {
+    let mut cursor = FaultCursor::default();
+    let mut report = WorkerReport {
+        exit: WorkerExit::Drained,
+        jobs_done: Vec::new(),
+        reclaimed: 0,
+        requeued_lost: 0,
+        discarded_torn: 0,
+        steps: 0,
+    };
+    let mut sink = TraceSink::new();
+    // claim-id -> (last content, consecutive unchanged scans); and
+    // manifest-id -> consecutive scans seen nowhere
+    let mut frozen: BTreeMap<String, (String, u64)> = BTreeMap::new();
+    let mut absent: BTreeMap<String, u64> = BTreeMap::new();
+    let manifest = fleet.manifest();
+    if manifest.is_empty() {
+        return Err(format!("fleet {} has no manifest — run init first", fleet.root().display()));
+    }
+
+    let exit = 'outer: loop {
+        // -- claim phase: first queued job wins
+        let mut claimed: Option<(String, FleetJob)> = None;
+        for id in fleet.queued_ids() {
+            if cursor.check(plan, &cfg.worker, FaultSite::PreClaim) == Some(FaultKind::Kill) {
+                break 'outer WorkerExit::Killed;
+            }
+            // a duplicated or falsely-reclaimed job can sit in the queue
+            // after its part landed: retire it instead of re-running
+            if fleet.part(&id).is_some() {
+                let _ = std::fs::remove_file(fleet.queue_path(&id));
+                continue;
+            }
+            if let Some(job) = fleet.try_claim(&id, &cfg.worker)? {
+                claimed = Some((id, job));
+                break;
+            }
+        }
+
+        if let Some((id, job)) = claimed {
+            sink.event("claim").str("job", &id).str("worker", &cfg.worker).emit();
+            match run_job(fleet, cfg, plan, &mut cursor, &id, &job, &mut report)? {
+                JobRun::Completed => {
+                    sink.event("done").str("job", &id).emit();
+                    report.jobs_done.push(id);
+                    // the step limit also pauses between jobs — nothing
+                    // to release, the next job is simply left queued
+                    if cfg.step_limit.is_some_and(|limit| report.steps >= limit) {
+                        break WorkerExit::Paused;
+                    }
+                    continue;
+                }
+                JobRun::Paused => break WorkerExit::Paused,
+                JobRun::Killed => break WorkerExit::Killed,
+            }
+        }
+
+        // -- idle phase: nothing claimable. Recover, then wait or finish.
+        let outstanding = scan_recover(fleet, cfg, &mut frozen, &mut absent, &mut report, &mut sink)?;
+        if outstanding == 0 {
+            break WorkerExit::Drained;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(cfg.scan_wait_ms));
+    };
+
+    report.exit = exit;
+    sink.event("exit").str("worker", &cfg.worker).u64("steps", report.steps).emit();
+    let log_path = fleet.root().join("logs").join(format!("worker-{}.jsonl", cfg.worker));
+    // operational log only; losing it changes nothing
+    let _ = sink.save(&log_path);
+    Ok(report)
+}
+
+/// One pass over claims + parts + manifest: finish straggler claims whose
+/// part exists, discard torn parts, reclaim frozen claims, resurrect lost
+/// jobs. Returns how many manifest jobs still lack a valid part.
+fn scan_recover(
+    fleet: &FleetDir,
+    cfg: &WorkerConfig,
+    frozen: &mut BTreeMap<String, (String, u64)>,
+    absent: &mut BTreeMap<String, u64>,
+    report: &mut WorkerReport,
+    sink: &mut TraceSink,
+) -> Result<usize, String> {
+    let io_err = |id: &str, e: io::Error| format!("fleet recover {id}: {e}");
+    // torn parts: discard so the job re-runs (its checkpoint still holds
+    // the finished state; the re-run just re-renders identical bytes)
+    for job in fleet.manifest() {
+        let id = job.id();
+        let path = fleet.part_path(&id);
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if parse_part(&id, &text).is_none() {
+                match std::fs::remove_file(&path) {
+                    Err(e) if e.kind() != io::ErrorKind::NotFound => {
+                        return Err(io_err(&id, e));
+                    }
+                    _ => {
+                        report.discarded_torn += 1;
+                        sink.event("torn_part").str("job", &id).emit();
+                    }
+                }
+            }
+        }
+    }
+    // claims: done-but-unreleased ones are cleaned up; frozen ones are
+    // reclaimed after the deadline
+    let live_claims = fleet.claimed_ids();
+    frozen.retain(|id, _| live_claims.contains(id));
+    for id in live_claims {
+        if fleet.part(&id).is_some() {
+            fleet.remove_claim(&id).map_err(|e| io_err(&id, e))?;
+            continue;
+        }
+        let Ok(content) = std::fs::read_to_string(fleet.claim_path(&id)) else { continue };
+        let entry = frozen.entry(id.clone()).or_insert_with(|| (content.clone(), 0));
+        if entry.0 == content {
+            entry.1 += 1;
+        } else {
+            *entry = (content, 1);
+        }
+        if entry.1 >= cfg.reclaim_after {
+            frozen.remove(&id);
+            if fleet.try_reclaim(&id).map_err(|e| io_err(&id, e))? {
+                report.reclaimed += 1;
+                sink.event("reclaim").str("job", &id).emit();
+            }
+        }
+    }
+    // lost jobs: in the manifest but visible nowhere (a dropped claim);
+    // resurrect after the same deadline. The rename protocol itself has
+    // no all-absent window, so absence really means loss.
+    let mut outstanding = 0;
+    for job in fleet.manifest() {
+        let id = job.id();
+        if fleet.part(&id).is_some() {
+            absent.remove(&id);
+            continue;
+        }
+        outstanding += 1;
+        if fleet.queue_path(&id).exists() || fleet.claim_path(&id).exists() {
+            absent.remove(&id);
+            continue;
+        }
+        let n = absent.entry(id.clone()).or_insert(0);
+        *n += 1;
+        if *n >= cfg.reclaim_after {
+            absent.remove(&id);
+            atomic_write(&fleet.queue_path(&id), &job.render()).map_err(|e| io_err(&id, e))?;
+            report.requeued_lost += 1;
+            sink.event("requeue_lost").str("job", &id).emit();
+        }
+    }
+    Ok(outstanding)
+}
+
+/// Run one claimed job to completion in checkpoint slices, heartbeating
+/// between slices and consulting the fault plan at every vulnerable
+/// point.
+fn run_job(
+    fleet: &FleetDir,
+    cfg: &WorkerConfig,
+    plan: &FaultPlan,
+    cursor: &mut FaultCursor,
+    id: &str,
+    job: &FleetJob,
+    report: &mut WorkerReport,
+) -> Result<JobRun, String> {
+    let target = target_by_name(&job.target).ok_or_else(|| format!("unknown target {:?}", job.target))?;
+    let kernel = job.kernel()?;
+    let builder = LibraryBuilder::new(job.strategy, job.seed);
+    let ckpt = BuildCheckpoint::open(&fleet.ckpt_path(id))
+        .map_err(|e| format!("checkpoint {id}: {e}"))?;
+    let io_err = |e: io::Error| format!("fleet job {id}: {e}");
+
+    let lib = loop {
+        let mut lib = Library::new();
+        let (progress, _, _) = builder.build_into_checkpointed(
+            &mut lib,
+            std::slice::from_ref(&kernel),
+            std::slice::from_ref(&target),
+            &ckpt,
+            Some(cfg.slice_steps),
+        )?;
+        report.steps += cfg.slice_steps;
+        // the simulated kill -9 lands at step N no matter what the slice
+        // accomplished — checked before the finished-job break on purpose
+        if let Some(limit) = cfg.kill_after {
+            if report.steps >= limit {
+                return Ok(JobRun::Killed);
+            }
+        }
+        fleet.heartbeat(id, &cfg.worker).map_err(io_err)?;
+        match cursor.check(plan, &cfg.worker, FaultSite::MidJob) {
+            Some(FaultKind::Kill) => return Ok(JobRun::Killed),
+            Some(FaultKind::DropClaim) => {
+                let _ = std::fs::remove_file(fleet.claim_path(id));
+            }
+            Some(FaultKind::DuplicateClaim) => {
+                atomic_write(&fleet.queue_path(id), &job.render()).map_err(io_err)?;
+            }
+            _ => {}
+        }
+        if progress == BuildProgress::Finished {
+            break lib;
+        }
+        if let Some(limit) = cfg.step_limit {
+            if report.steps >= limit {
+                // clean pause: hand the job back so a sibling (or the
+                // resumed process) continues from the checkpoint
+                fleet.try_reclaim(id).map_err(io_err)?;
+                return Ok(JobRun::Paused);
+            }
+        }
+    };
+
+    if cursor.check(plan, &cfg.worker, FaultSite::PreDone) == Some(FaultKind::Kill) {
+        return Ok(JobRun::Killed);
+    }
+    let evaluations: u64 = ckpt.done_jobs().iter().map(|(_, _, _, e)| *e).sum();
+    let part_text = render_part(id, evaluations, &lib.to_text());
+    match cursor.check(plan, &cfg.worker, FaultSite::MidRename) {
+        Some(FaultKind::Kill) => {
+            // crashed between the tmp write and the rename: the tmp file
+            // exists, the part does not
+            std::fs::write(fleet.part_path(id).with_extension("tmp"), &part_text)
+                .map_err(io_err)?;
+            return Ok(JobRun::Killed);
+        }
+        Some(FaultKind::TornPart) => {
+            // a non-atomic writer died mid-write: half the bytes landed
+            let torn = &part_text[..part_text.len() / 2];
+            std::fs::write(fleet.part_path(id), torn).map_err(io_err)?;
+            return Ok(JobRun::Killed);
+        }
+        _ => {}
+    }
+    fleet.write_part(id, evaluations, &lib).map_err(io_err)?;
+    fleet.remove_claim(id).map_err(io_err)?;
+    Ok(JobRun::Completed)
+}
+
+// ---------------------------------------------------------------------------
+// In-process fleets
+
+/// What an in-process fleet run did.
+#[derive(Clone, Debug)]
+pub struct FleetRunReport {
+    /// Per-worker reports, in worker-id order.
+    pub workers: Vec<WorkerReport>,
+    /// True when every manifest job has a valid part.
+    pub drained: bool,
+}
+
+/// Run `n` in-process worker threads (ids `w0..w{n-1}`) against the
+/// fleet — the deterministic bench/test harness and the `fleet run` CLI
+/// core. `base`'s `worker` field is ignored; its `kill_after` applies to
+/// worker `w0` only (the "one injected kill" scenario — the rest of the
+/// fleet must absorb it).
+pub fn run_fleet(
+    fleet: &FleetDir,
+    n: usize,
+    base: &WorkerConfig,
+    plan: &FaultPlan,
+) -> Result<FleetRunReport, String> {
+    let n = n.max(1);
+    let configs: Vec<WorkerConfig> = (0..n)
+        .map(|i| WorkerConfig {
+            worker: format!("w{i}"),
+            kill_after: if i == 0 { base.kill_after } else { None },
+            ..base.clone()
+        })
+        .collect();
+    let reports: Vec<Result<WorkerReport, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> =
+            configs.iter().map(|cfg| s.spawn(move || run_worker(fleet, cfg, plan))).collect();
+        handles.into_iter().map(|h| h.join().expect("fleet worker panicked")).collect()
+    });
+    let workers = reports.into_iter().collect::<Result<Vec<_>, _>>()?;
+    let drained = {
+        let s = fleet.status();
+        s.total > 0 && s.done == s.total
+    };
+    Ok(FleetRunReport { workers, drained })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfdojo_core::Target;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pdl-fleet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn jobs(labels: &[&str], strategy: Strategy, seed: u64) -> Vec<FleetJob> {
+        let kernels: Vec<KernelInstance> = perfdojo_kernels::tune_suite()
+            .into_iter()
+            .filter(|k| labels.contains(&k.label.as_str()))
+            .collect();
+        assert_eq!(kernels.len(), labels.len());
+        FleetJob::grid(&kernels, &["x86".to_string()], strategy, seed).unwrap()
+    }
+
+    #[test]
+    fn job_file_round_trips_even_with_claim_header() {
+        let job = jobs(&["layernorm 1"], Strategy::Anneal { budget: 17 }, 9).remove(0);
+        assert_eq!(FleetJob::parse(&job.render()).unwrap(), job);
+        // a reclaimed claim file carries a claim header above the body
+        let reclaimed = Claim::new("w3", &job.render()).render();
+        assert_eq!(FleetJob::parse(&reclaimed).unwrap(), job);
+        // the id is filesystem-safe despite the space in the label
+        assert!(job.id().chars().all(|c| c.is_ascii_alphanumeric() || "-_.".contains(c)));
+        assert!(FleetJob::parse("label x\n").is_err(), "headerless text must not parse");
+    }
+
+    #[test]
+    fn part_envelope_detects_torn_writes() {
+        let mut lib = Library::new();
+        let kernels = jobs(&["softmax"], Strategy::Heuristic, 3);
+        let k = kernels[0].kernel().unwrap();
+        LibraryBuilder::new(Strategy::Heuristic, 3).build_into(
+            &mut lib,
+            std::slice::from_ref(&k),
+            &[Target::x86()],
+        );
+        let text = render_part("j1", 42, &lib.to_text());
+        let (evals, back) = parse_part("j1", &text).expect("intact part must parse");
+        assert_eq!(evals, 42);
+        assert_eq!(back.to_text(), lib.to_text());
+        // torn at any byte: either the header breaks or the hash mismatches
+        for cut in [text.len() / 3, text.len() / 2, text.len() - 1] {
+            assert!(parse_part("j1", &text[..cut]).is_none(), "torn at {cut} parsed");
+        }
+        // mislabeled job id is rejected too
+        assert!(parse_part("j2", &text).is_none());
+        // an empty (unimproved-job) library round-trips
+        let empty = render_part("j1", 7, &Library::new().to_text());
+        let (_, lib2) = parse_part("j1", &empty).unwrap();
+        assert!(lib2.is_empty());
+    }
+
+    #[test]
+    fn claim_and_reclaim_are_exclusive() {
+        let dir = tmpdir("claim");
+        let fleet = FleetDir::open(&dir).unwrap();
+        let js = jobs(&["softmax"], Strategy::Heuristic, 3);
+        fleet.init(&js).unwrap();
+        let id = js[0].id();
+        assert!(fleet.try_claim(&id, "w0").unwrap().is_some());
+        assert!(fleet.try_claim(&id, "w1").unwrap().is_none(), "double claim");
+        // heartbeats bump the beat for the owner only
+        fleet.heartbeat(&id, "w1").unwrap();
+        fleet.heartbeat(&id, "w0").unwrap();
+        let claim =
+            Claim::parse(&std::fs::read_to_string(fleet.claim_path(&id)).unwrap()).unwrap();
+        assert_eq!((claim.worker.as_str(), claim.beat), ("w0", 1));
+        // reclaim puts it back; the second reclaimer loses
+        assert!(fleet.try_reclaim(&id).unwrap());
+        assert!(!fleet.try_reclaim(&id).unwrap());
+        assert_eq!(fleet.queued_ids(), vec![id.clone()]);
+        // and the re-queued file (with its stale claim header) re-claims
+        let job = fleet.try_claim(&id, "w1").unwrap().expect("reclaimed job claimable");
+        assert_eq!(job, js[0]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn single_worker_fleet_matches_plain_build() {
+        let dir = tmpdir("plain-eq");
+        let fleet = FleetDir::open(&dir).unwrap();
+        let labels = ["softmax", "matmul"];
+        let strategy = Strategy::Anneal { budget: 12 };
+        fleet.init(&jobs(&labels, strategy, 5)).unwrap();
+        let report = run_fleet(&fleet, 1, &WorkerConfig::new(""), &FaultPlan::none()).unwrap();
+        assert!(report.drained);
+        let merged = fleet.merge();
+        assert!(merged.unfinished.is_empty());
+        assert_eq!(merged.merged_jobs, 2);
+        assert!(merged.evaluations > 0);
+
+        let kernels: Vec<KernelInstance> = perfdojo_kernels::tune_suite()
+            .into_iter()
+            .filter(|k| labels.contains(&k.label.as_str()))
+            .collect();
+        let mut plain = Library::new();
+        LibraryBuilder::new(strategy, 5).build_into(&mut plain, &kernels, &[Target::x86()]);
+        assert_eq!(
+            merged.library.to_text(),
+            plain.to_text(),
+            "fleet must reproduce the plain build byte-for-byte"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_counts_do_not_change_the_merged_bytes() {
+        let labels = ["softmax", "matmul", "relu", "reducemean"];
+        let run = |n: usize, tag: &str| {
+            let dir = tmpdir(tag);
+            let fleet = FleetDir::open(&dir).unwrap();
+            fleet.init(&jobs(&labels, Strategy::Anneal { budget: 10 }, 7)).unwrap();
+            let report = run_fleet(&fleet, n, &WorkerConfig::new(""), &FaultPlan::none()).unwrap();
+            assert!(report.drained, "{n} workers failed to drain");
+            let text = fleet.merge().library.to_text();
+            std::fs::remove_dir_all(&dir).unwrap();
+            text
+        };
+        let one = run(1, "wc1");
+        assert!(!one.is_empty());
+        assert_eq!(one, run(3, "wc3"), "1 vs 3 workers diverged");
+    }
+
+    #[test]
+    fn status_tracks_the_job_lifecycle() {
+        let dir = tmpdir("status");
+        let fleet = FleetDir::open(&dir).unwrap();
+        let js = jobs(&["softmax", "matmul"], Strategy::Heuristic, 3);
+        fleet.init(&js).unwrap();
+        assert_eq!(
+            fleet.status(),
+            FleetStatus { total: 2, queued: 2, ..FleetStatus::default() }
+        );
+        let id = js[0].id();
+        fleet.try_claim(&id, "w0").unwrap().unwrap();
+        assert_eq!(fleet.status().claimed, 1);
+        // init is idempotent on a live fleet: nothing re-queued
+        assert_eq!(fleet.init(&js).unwrap(), 0);
+        assert_eq!(fleet.status().claimed, 1);
+        // a dropped claim shows up as lost
+        std::fs::remove_file(fleet.claim_path(&id)).unwrap();
+        assert_eq!(fleet.status().lost, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paused_worker_releases_its_claim() {
+        let dir = tmpdir("pause");
+        let fleet = FleetDir::open(&dir).unwrap();
+        fleet.init(&jobs(&["softmax"], Strategy::Anneal { budget: 40 }, 5)).unwrap();
+        let cfg = WorkerConfig {
+            slice_steps: 4,
+            step_limit: Some(4),
+            ..WorkerConfig::new("w0")
+        };
+        let report = run_worker(&fleet, &cfg, &FaultPlan::none()).unwrap();
+        assert_eq!(report.exit, WorkerExit::Paused);
+        let s = fleet.status();
+        assert_eq!((s.queued, s.claimed), (1, 0), "pause must hand the job back");
+        // a fresh unlimited worker finishes from the checkpoint
+        let report = run_worker(&fleet, &WorkerConfig::new("w1"), &FaultPlan::none()).unwrap();
+        assert_eq!(report.exit, WorkerExit::Drained);
+        assert!(fleet.merge().unfinished.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -21,6 +21,10 @@
 //! - [`dispatch`] — `Library::lookup`: exact hit → fallback replay →
 //!   heuristic pass → naive, every served schedule re-validated and (when
 //!   small enough) numerically verified.
+//! - [`fleet`] — the distributed, preemptible tuning fleet: a
+//!   filesystem-coordinated work queue claimed via atomic renames, with
+//!   heartbeat claims, stale-claim reclamation, deterministic lattice-join
+//!   merging, and a seeded fault-injection plan for replayable crash tests.
 //! - [`admission`] — the serving tier's bounded query queue and
 //!   deduplicating tune-miss queue.
 //! - [`serve::Server`] — the concurrent schedule-serving daemon core:
@@ -34,6 +38,7 @@ pub mod admission;
 pub mod builder;
 pub mod checkpoint;
 pub mod dispatch;
+pub mod fleet;
 pub mod format;
 pub mod library;
 pub mod serve;
@@ -43,6 +48,10 @@ pub use admission::{AdmissionError, AdmissionQueue, TuneQueue};
 pub use builder::{target_by_name, BuildProgress, LibraryBuilder, Strategy, TuneOutcome};
 pub use checkpoint::BuildCheckpoint;
 pub use dispatch::{DispatchResult, Disposition};
+pub use fleet::{
+    join, join_libraries, run_fleet, run_worker, FaultKind, FaultPlan, FaultSite, FleetDir,
+    FleetJob, FleetRunReport, FleetStatus, MergeOutcome, WorkerConfig, WorkerExit, WorkerReport,
+};
 pub use format::{FormatError, LoadStats, Provenance, ScheduleRecord};
 pub use library::{current_model_version, Library, LibraryStats, MergeReport};
 pub use serve::{

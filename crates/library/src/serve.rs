@@ -387,6 +387,14 @@ impl Server {
         &self.target
     }
 
+    /// Replace the tuning strategy for subsequent drains — the operator
+    /// move after a drain produced no improvement: retry the same misses
+    /// (their keys were forgotten by the failed drain) with a bigger
+    /// budget.
+    pub fn set_strategy(&mut self, strategy: Strategy) {
+        self.config.strategy = strategy;
+    }
+
     /// The current snapshot (readers pass a spread hint; see
     /// [`ShardedSlot::read`]).
     pub fn snapshot(&self, hint: u64) -> Arc<ServeSnapshot> {

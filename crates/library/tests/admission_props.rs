@@ -51,6 +51,50 @@ fn failed_drain_releases_the_key_for_retuning() {
     assert_eq!(working.pending_tunes(), 0);
 }
 
+/// The other half of the forget-on-failed-drain contract, previously
+/// uncovered: the SAME key failing, being re-enqueued, and then
+/// SUCCEEDING on a later drain through the same server. The failed leg
+/// uses a zero-budget strategy (provably produces no record); the
+/// operator then swaps in a working strategy via `set_strategy` — the
+/// retune-with-a-real-budget move — and the identical key must tune,
+/// swap in, and return to the deduplicated steady state.
+#[test]
+fn failed_key_retried_through_same_server_succeeds() {
+    let target = perfdojo_core::Target::x86();
+    let zero_budget =
+        ServeConfig { strategy: Strategy::Anneal { budget: 0 }, ..ServeConfig::default() };
+    let mut server = Server::new(Library::new(), target, zero_budget);
+    let q = ServeQuery::of("rmsnorm", &[64, 64]).unwrap();
+
+    // leg 1: miss, drain fails (zero budget), key forgotten
+    assert!(server.lookup_now(&q).tier.is_miss());
+    match server.drain_tunes().unwrap() {
+        TuneProgress::Swapped { tuned, unimproved, .. } => {
+            assert_eq!((tuned, unimproved), (0, 1));
+        }
+        p => panic!("expected a swap, got {p:?}"),
+    }
+
+    // leg 2: the same key re-enqueues (it was forgotten), and with a
+    // working strategy the retry tunes it for real
+    assert!(server.lookup_now(&q).tier.is_miss());
+    assert_eq!(server.pending_tunes(), 1, "failed key did not re-enqueue");
+    server.set_strategy(Strategy::Heuristic);
+    match server.drain_tunes().unwrap() {
+        TuneProgress::Swapped { tuned, unimproved, .. } => {
+            assert_eq!((tuned, unimproved), (1, 0), "retried key did not tune");
+        }
+        p => panic!("expected a swap, got {p:?}"),
+    }
+
+    // leg 3: the key now serves as a hit and stays deduplicated — no
+    // ghost job from the failed era lingers, none can be re-enqueued
+    assert!(!server.lookup_now(&q).tier.is_miss(), "retried key still missing");
+    assert_eq!(server.pending_tunes(), 0);
+    assert_eq!(server.stats().tune_jobs, 2, "exactly one job per era");
+    assert_eq!(server.stats().tuned, 1);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
 

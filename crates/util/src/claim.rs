@@ -1,0 +1,143 @@
+//! Filesystem claim files: the coordination primitive of the build fleet.
+//!
+//! A *claim* is how concurrent worker processes divide a directory of job
+//! files without a coordinator: ownership of a job is transferred by
+//! [`try_move`] — an atomic `rename(2)` whose source disappears the
+//! instant it succeeds, so exactly one of any number of racing claimants
+//! wins and every loser observes a clean "not found". The same primitive
+//! runs in reverse for stale-claim reclamation (move the claim file back
+//! into the queue), which is why a dead worker's job is re-queued exactly
+//! once no matter how many reclaimers race for it.
+//!
+//! The claim file itself carries a [`Claim`] header — the owning worker id
+//! and a heartbeat counter the owner bumps via
+//! [`crate::trace::atomic_write`] — above the original job body. Liveness
+//! is judged without clocks: an observer that sees the same file content
+//! across enough consecutive scans declares the owner dead. The format:
+//!
+//! ```text
+//! perfdojo-claim v1 worker=<id> beat=<n>
+//! <job body, verbatim>
+//! ```
+
+use std::io;
+use std::path::Path;
+
+/// Atomically move `src` to `dst`, claiming exclusive ownership of it.
+///
+/// Returns `Ok(true)` when this caller performed the move, `Ok(false)`
+/// when `src` no longer exists (a concurrent claimant won the race), and
+/// an error for anything else. Note the POSIX caveat: if `dst` already
+/// exists it is silently replaced — callers keep at most one live claim
+/// path per job so a replaced destination is always a stale duplicate.
+pub fn try_move(src: &Path, dst: &Path) -> io::Result<bool> {
+    match std::fs::rename(src, dst) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// A parsed claim file: owner, heartbeat counter, and the claimed body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Claim {
+    /// Id of the worker holding the claim.
+    pub worker: String,
+    /// Heartbeat counter; the owner bumps it while working.
+    pub beat: u64,
+    /// The claimed job body, verbatim (everything below the header line).
+    pub body: String,
+}
+
+impl Claim {
+    /// A fresh claim by `worker` over `body`, at beat 0.
+    pub fn new(worker: &str, body: &str) -> Claim {
+        Claim { worker: worker.to_string(), beat: 0, body: body.to_string() }
+    }
+
+    /// Render to the on-disk claim-file text.
+    pub fn render(&self) -> String {
+        format!("perfdojo-claim v1 worker={} beat={}\n{}", self.worker, self.beat, self.body)
+    }
+
+    /// Parse claim-file text; `None` when the header is missing or
+    /// malformed (the file is mid-transfer or not a claim at all).
+    pub fn parse(text: &str) -> Option<Claim> {
+        let (header, body) = match text.split_once('\n') {
+            Some((h, b)) => (h, b),
+            None => (text, ""),
+        };
+        let rest = header.strip_prefix("perfdojo-claim v1 worker=")?;
+        let (worker, beat) = rest.split_once(" beat=")?;
+        if worker.is_empty() {
+            return None;
+        }
+        Some(Claim {
+            worker: worker.to_string(),
+            beat: beat.parse().ok()?,
+            body: body.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pdu-claim-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn claim_round_trips_and_rejects_malformed() {
+        let c = Claim { worker: "w3".into(), beat: 17, body: "label softmax\nseed 5\n".into() };
+        assert_eq!(Claim::parse(&c.render()), Some(c.clone()));
+        // beat bump round-trips too
+        let bumped = Claim { beat: 18, ..c };
+        assert_eq!(Claim::parse(&bumped.render()).unwrap().beat, 18);
+        // headerless, empty-worker, and garbage text all fail to parse
+        assert_eq!(Claim::parse("label softmax\n"), None);
+        assert_eq!(Claim::parse("perfdojo-claim v1 worker= beat=0\nx"), None);
+        assert_eq!(Claim::parse("perfdojo-claim v1 worker=w beat=x\n"), None);
+        assert_eq!(Claim::parse(""), None);
+        // a header with no body at all is a valid (empty-body) claim
+        assert_eq!(Claim::parse("perfdojo-claim v1 worker=w beat=3").unwrap().body, "");
+    }
+
+    #[test]
+    fn try_move_transfers_exactly_once() {
+        let d = tmpdir("once");
+        let src = d.join("job");
+        let dst = d.join("claim");
+        std::fs::write(&src, "body").unwrap();
+        assert!(try_move(&src, &dst).unwrap());
+        assert!(!src.exists());
+        assert_eq!(std::fs::read_to_string(&dst).unwrap(), "body");
+        // the second claimant finds the source gone
+        assert!(!try_move(&src, &dst).unwrap());
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+
+    #[test]
+    fn concurrent_movers_yield_one_winner() {
+        let d = tmpdir("race");
+        let src = d.join("job");
+        std::fs::write(&src, "body").unwrap();
+        let wins: Vec<bool> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let src = src.clone();
+                    let dst = d.join(format!("claim-{i}"));
+                    s.spawn(move || try_move(&src, &dst).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(wins.iter().filter(|w| **w).count(), 1, "{wins:?}");
+        std::fs::remove_dir_all(&d).unwrap();
+    }
+}

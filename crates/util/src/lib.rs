@@ -20,12 +20,15 @@
 //!   bit-exact float codecs (the substrate of checkpoint/resume);
 //! * [`sharded`] — sharded `RwLock<Arc<T>>` snapshot publication for
 //!   read-mostly serving (never-torn hot swaps);
+//! * [`claim`] — atomic exclusive file transfer and claim-file
+//!   (worker id + heartbeat) parsing for filesystem work queues;
 //! * [`zipf`] — Zipf-distributed rank sampling for skewed load
 //!   generation.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod claim;
 pub mod lru;
 pub mod par;
 pub mod proptest_lite;
