@@ -40,24 +40,31 @@
 #      same bytes again; and two `--exp fleet` runs must emit a
 #      byte-identical `BENCH_fleet.json` whose model scaling is >= 1.7x
 #      from 1 to 4 workers.
+#  11. Arena/cache-keying smoke: the incremental-vs-naive A/B suite must
+#      also hold under the release optimizer (arena traversals and fp128
+#      cache keys at full speed), a fresh double `--exp searchperf` run must
+#      agree on every non-timing field, and the fresh run must not regress
+#      the committed BENCH_searchperf.json on cache quality: every kernel
+#      keeps `identical_results: true` and no kernel's cache_hit_rate drops
+#      below the committed value.
 #
 # Usage: ./ci.sh
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== 1/10 perfdojo-util: warning-free build (-D warnings) =="
+echo "== 1/11 perfdojo-util: warning-free build (-D warnings) =="
 RUSTFLAGS="-D warnings" cargo build -q -p perfdojo-util --offline
 RUSTFLAGS="-D warnings" cargo test -q -p perfdojo-util --offline
 
-echo "== 2/10 tier-1 verify: release build + tests =="
+echo "== 2/11 tier-1 verify: release build + tests =="
 cargo build --release --workspace --offline
 cargo test -q --offline
 
-echo "== 3/10 full workspace tests (offline) =="
+echo "== 3/11 full workspace tests (offline) =="
 cargo test -q --workspace --offline
 
-echo "== 4/10 schedule-library pipeline: build, dispatch, stats =="
+echo "== 4/11 schedule-library pipeline: build, dispatch, stats =="
 PDLIB_DIR=$(mktemp -d)
 trap 'rm -rf "$PDLIB_DIR"' EXIT
 PDLIB="$PDLIB_DIR/ci.pdl"
@@ -75,7 +82,7 @@ grep -q "disposition: fallback-replay" "$PDLIB_DIR/q2.txt"
 ./target/release/perfdojo-lib stats --lib "$PDLIB" | tee "$PDLIB_DIR/stats.txt"
 grep -q "entries:         2" "$PDLIB_DIR/stats.txt"
 
-echo "== 5/10 differential fuzz smoke: fixed seed, deterministic, clean =="
+echo "== 5/11 differential fuzz smoke: fixed seed, deterministic, clean =="
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz1.txt"
 ./target/release/fuzz --seed 0xC0FFEE --iters 200 > "$PDLIB_DIR/fuzz2.txt"
 # the report must be byte-identical across runs — no timestamps, no
@@ -90,7 +97,7 @@ if ./target/release/fuzz --seed 0xC0FFEE --iters 60 --sabotage truncate-split \
 fi
 grep -q "FINDING" "$PDLIB_DIR/fuzz3.txt"
 
-echo "== 6/10 search-engine smoke: A/B determinism + searchperf report =="
+echo "== 6/11 search-engine smoke: A/B determinism + searchperf report =="
 # the incremental engine must be bit-identical to the naive one on every
 # tune-suite kernel and strategy
 cargo test -q -p perfdojo-search --offline --test incremental_ab
@@ -115,7 +122,7 @@ if grep -q '"cache_hits": 0,' "$PDLIB_DIR/sp1.json"; then
     exit 1
 fi
 
-echo "== 7/10 checkpoint/resume smoke: pause at step limit, resume, compare =="
+echo "== 7/11 checkpoint/resume smoke: pause at step limit, resume, compare =="
 CKPT_ARGS=(--kernels softmax,matmul --targets x86 --strategy anneal:40 --seed 7)
 # reference: one uninterrupted checkpointed build
 ./target/release/perfdojo-lib build --out "$PDLIB_DIR/full.pdl" \
@@ -158,7 +165,7 @@ fi
 # and the unit pin for the cooling-schedule division guard
 cargo test -q -p perfdojo-search --offline zero_budget
 
-echo "== 8/10 serving-tier smoke: deterministic load gen, hot swap, pause =="
+echo "== 8/11 serving-tier smoke: deterministic load gen, hot swap, pause =="
 # fixed-seed load-test experiment: two runs must emit byte-identical
 # reports (no wall-clock fields inside — plain cmp, no stripping)
 (cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp serve > serve1.txt)
@@ -224,7 +231,7 @@ cmp "$PDLIB_DIR/srv-full.pdl" "$PDLIB_DIR/srv-sliced.pdl"
 # release scheduler, not just the debug one
 cargo test -q --release -p perfdojo-library --offline --test serve_stress
 
-echo "== 9/10 graph-tier smoke: block dispatch, determinism, random oracle =="
+echo "== 9/11 graph-tier smoke: block dispatch, determinism, random oracle =="
 # fixed-seed graph experiment: byte-identical across two runs, and the
 # headline claim holds — block dispatch never loses to per-node dispatch
 (cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp graph > graph1.txt)
@@ -259,7 +266,7 @@ grep -q "per-node fallback" "$PDLIB_DIR/gq2.txt"
     | tee "$PDLIB_DIR/gc.txt"
 grep -q "12 random graphs passed the differential oracle" "$PDLIB_DIR/gc.txt"
 
-echo "== 10/10 fleet smoke: worker-count invariance, injected kill, reproducible report =="
+echo "== 10/11 fleet smoke: worker-count invariance, injected kill, reproducible report =="
 FLEET_ARGS=(--kernels softmax,matmul,relu,reducemean --strategy anneal:12 --seed 5)
 # same job grid at 2 and at 4 workers must merge byte-identical libraries
 ./target/release/perfdojo-lib fleet init --dir "$PDLIB_DIR/farm2" "${FLEET_ARGS[@]}"
@@ -302,5 +309,39 @@ grep -q '"merged_identical_across_worker_counts": true' "$PDLIB_DIR/fleet1.json"
 grep -q '"kill_resume_identical": true' "$PDLIB_DIR/fleet1.json"
 awk -F': ' '/"speedup_1_to_4"/ { gsub(/,/, "", $2); exit !($2 >= 1.7) }' \
     "$PDLIB_DIR/fleet1.json"
+
+echo "== 11/11 arena/cache-keying smoke: release A/B + cache-quality regression =="
+# the incremental engine must stay bit-identical to the naive one under the
+# release optimizer too — arena traversals and fp128 cache keying only run
+# at full speed there, and an optimizer-dependent divergence would slip
+# straight past the debug-mode run in gate 6
+cargo test -q --release -p perfdojo-search --offline --test incremental_ab
+# fresh fixed-seed double run: every non-timing field must agree between
+# the two runs (same strip as gate 6, independent artifacts)
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp searchperf > sp11a.txt)
+mv "$PDLIB_DIR/BENCH_searchperf.json" "$PDLIB_DIR/sp11a.json"
+(cd "$PDLIB_DIR" && "$OLDPWD/target/release/figures" --exp searchperf > sp11b.txt)
+mv "$PDLIB_DIR/BENCH_searchperf.json" "$PDLIB_DIR/sp11b.json"
+diff <(strip_timing "$PDLIB_DIR/sp11a.json") <(strip_timing "$PDLIB_DIR/sp11b.json")
+# cache-quality regression vs the committed report: the fresh run must
+# cover the same kernel rows, keep identical_results true on every one,
+# and must not drop any kernel's cache_hit_rate below the committed value
+# (improvements are fine — only a drop fails)
+diff <(grep '"kernel":' BENCH_searchperf.json) \
+     <(grep '"kernel":' "$PDLIB_DIR/sp11a.json")
+if grep -q '"identical_results": false' "$PDLIB_DIR/sp11a.json"; then
+    echo "ci.sh: fresh searchperf run lost naive/incremental identity" >&2
+    exit 1
+fi
+paste <(grep '"cache_hit_rate"' BENCH_searchperf.json) \
+      <(grep '"cache_hit_rate"' "$PDLIB_DIR/sp11a.json") \
+    | awk -F'[:,]' '{
+        committed = $2 + 0; fresh = $4 + 0
+        if (fresh + 1e-9 < committed) {
+            printf "ci.sh: cache_hit_rate regressed: committed %s, fresh %s\n", \
+                committed, fresh > "/dev/stderr"
+            exit 1
+        }
+    }'
 
 echo "ci.sh: all gates passed"

@@ -44,8 +44,21 @@ impl EngineRow {
     }
 }
 
+/// The parallelism the multi-chain row actually ran under: the same number
+/// `perfdojo_util::par::par_map` spawns against, not an independent query
+/// that could disagree with it.
 fn cores() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    perfdojo_util::par::cores()
+}
+
+/// Geometric mean of the per-kernel wall speedups — the cross-kernel
+/// headline (a single kernel's outlier can no longer carry the number).
+fn geomean_speedup(rows: &[EngineRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = rows.iter().map(|r| r.wall_speedup().max(1e-12).ln()).sum();
+    (log_sum / rows.len() as f64).exp()
 }
 
 fn results_identical(a: &SearchResult, b: &SearchResult) -> bool {
@@ -184,6 +197,10 @@ fn emit_json(rows: &[EngineRow], mc: &MultiChainRow) -> String {
         rows.iter().all(|r| r.identical)
     ));
     j.push_str(&format!(
+        "  \"wall_speedup_geomean\": {:.2},\n",
+        geomean_speedup(rows)
+    ));
+    j.push_str(&format!(
         "  \"speedup_target_met\": {}\n",
         rows.iter().any(|r| r.budget >= HEADLINE_BUDGET && r.wall_speedup() >= 3.0)
     ));
@@ -244,6 +261,10 @@ fn try_run_searchperf(json_path: Option<&std::path::Path>) -> Result<String, Str
         mc.seed_stable,
         mc.matches_sequential_best,
     ));
+    t.note(format!(
+        "geomean wall speedup across kernels: {}",
+        fmt_x(geomean_speedup(&rows))
+    ));
     let json = emit_json(&rows, &mc);
     if let Some(path) = json_path {
         match std::fs::write(path, &json) {
@@ -293,6 +314,8 @@ mod tests {
         assert!(j.contains("\"identical_results\": true"), "{j}");
         assert!(j.contains("\"cache_effective\": true"), "{j}");
         assert!(j.contains("\"all_identical\": true"), "{j}");
+        assert!(j.contains("\"wall_speedup_geomean\""), "{j}");
         assert!(j.contains("\"multi_chain\""), "{j}");
+        assert!(j.contains("\"cores\""), "{j}");
     }
 }

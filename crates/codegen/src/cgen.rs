@@ -90,7 +90,7 @@ fn emit_node(p: &Program, n: &Node, level: usize, out: &mut String) {
             indent(level, out);
             let trip = s.size.as_const().unwrap_or(0);
             out.push_str(&format!("for (int {var} = 0; {var} < {trip}; ++{var}) {{\n"));
-            for c in &s.children {
+            for c in s.children.iter() {
                 emit_node(p, c, level + 1, out);
             }
             indent(level, out);

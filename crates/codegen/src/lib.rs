@@ -11,4 +11,6 @@ pub mod cgen;
 pub mod lower;
 
 pub use cgen::to_c;
-pub use lower::{lower, AffineAddr, Loop, LoopKind, Lowered, LoweredKernel, MemRef, OpClass, Stmt};
+pub use lower::{
+    lower, lower_arena, AffineAddr, Loop, LoopKind, Lowered, LoweredKernel, MemRef, OpClass, Stmt,
+};

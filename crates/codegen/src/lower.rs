@@ -1,5 +1,12 @@
 //! Lowering from the tree IR to the loop-nest virtual ISA.
+//!
+//! The hot entry point is [`lower_arena`]: it walks the flat [`Arena`] view
+//! (typed ids, contiguous region-access rows) instead of recursing through
+//! `Box`/`Arc` tree nodes. [`lower`] is a convenience wrapper that flattens
+//! first; the private tree walker is kept as the executable reference the
+//! conformance test pins `lower_arena` against.
 
+use perfdojo_ir::arena::{AccId, AExpr, Arena, ExprId, NodeId};
 use perfdojo_ir::{
     Access, BinaryOp, DType, Expr, Location, Node, Program, ScopeKind, UnaryOp,
 };
@@ -230,8 +237,156 @@ impl fmt::Display for LowerError {
 
 impl std::error::Error for LowerError {}
 
-/// Lower a (validated) program.
+/// Lower a (validated) program. Flattens into an [`Arena`] and delegates to
+/// [`lower_arena`]; callers that already hold an arena should call that
+/// directly.
 pub fn lower(p: &Program) -> Result<LoweredKernel, LowerError> {
+    lower_arena(&Arena::build(p))
+}
+
+/// Lower a program from its flat arena view: identical output (and error)
+/// to the tree walker, without per-node pointer chasing or re-collecting
+/// read lists.
+pub fn lower_arena(a: &Arena) -> Result<LoweredKernel, LowerError> {
+    let buffers = a
+        .buffers
+        .iter()
+        .map(|b| BufferInfo {
+            name: b.name.clone(),
+            location: b.location,
+            bytes: b.bytes(),
+            dtype: b.dtype,
+        })
+        .collect();
+    let mut body = Vec::new();
+    for r in a.roots() {
+        body.push(lower_anode(a, r)?);
+    }
+    let useful_flops = body.iter().map(|n| fused_flops(n, 1)).sum();
+    Ok(LoweredKernel { name: a.name.clone(), buffers, body, useful_flops })
+}
+
+fn lower_anode(a: &Arena, id: NodeId) -> Result<Lowered, LowerError> {
+    if let Some(s) = a.scope(id) {
+        let trip = s
+            .size
+            .as_const()
+            .ok_or_else(|| LowerError::Unsupported("dynamic scope size".into()))?;
+        let (kind, ssr, frep) = (LoopKind::from_scope(s.kind), s.ssr, s.frep);
+        let mut body = Vec::new();
+        for c in a.children(id) {
+            body.push(lower_anode(a, c)?);
+        }
+        Ok(Lowered::Loop(Loop {
+            trip,
+            kind,
+            ssr,
+            frep,
+            depth: a.node(id).depth as usize,
+            body,
+        }))
+    } else {
+        let op = a.op(id).expect("node is scope or op");
+        // Region rows are the out access then the reads in `OpNode::reads`
+        // order, so the store is lowered first exactly like the tree walker
+        // (error precedence included).
+        let rows = a.region(id);
+        let store = lower_aaccess(a, rows[0].acc)?;
+        let mut loads = Vec::with_capacity(rows.len() - 1);
+        for r in rows.iter().skip(1) {
+            loads.push(lower_aaccess(a, r.acc)?);
+        }
+        let mut flops = Vec::new();
+        let expr_depth = classify_arena(a, op.expr, &mut flops);
+        Ok(Lowered::Stmt(Stmt {
+            loads,
+            store,
+            flops,
+            expr_depth,
+            reads_own_output: a.op_reads_own_output(op),
+        }))
+    }
+}
+
+fn lower_aaccess(a: &Arena, acc: AccId) -> Result<MemRef, LowerError> {
+    let rec = *a.access(acc);
+    let buf = a
+        .buffer_holding(rec.name)
+        .ok_or_else(|| LowerError::UnknownArray(a.name_str(rec.name).to_string()))?;
+    if !rec.all_affine {
+        return Err(LowerError::Unsupported(format!(
+            "indirect access to {}",
+            a.name_str(rec.name)
+        )));
+    }
+    let strides = buf.strides();
+    let mut addr = AffineAddr::default();
+    let mut by_depth: std::collections::BTreeMap<usize, i64> = std::collections::BTreeMap::new();
+    let n = a.indices(acc).len();
+    for dim in 0..n {
+        let af = a.affine_index(acc, dim).expect("all indices affine");
+        let s = strides[dim] as i64;
+        let (terms, offset) = a.affine(af);
+        addr.offset += s * offset;
+        for &(d, c) in terms {
+            *by_depth.entry(d as usize).or_insert(0) += s * c;
+        }
+    }
+    addr.strides = by_depth.into_iter().filter(|&(_, s)| s != 0).collect();
+    Ok(MemRef {
+        buffer: buf.name.clone(),
+        location: buf.location,
+        elem_bytes: buf.dtype.bytes(),
+        addr,
+    })
+}
+
+/// [`classify`] on the flattened expression graph.
+fn classify_arena(a: &Arena, e: ExprId, flops: &mut Vec<OpClass>) -> usize {
+    match *a.expr(e) {
+        AExpr::Load(_) | AExpr::Const(_) | AExpr::Index(_) => 0,
+        AExpr::Unary(op, x) => {
+            let d = classify_arena(a, x, flops);
+            flops.push(match op {
+                UnaryOp::Neg | UnaryOp::Relu | UnaryOp::Abs => OpClass::AddLike,
+                UnaryOp::Recip => OpClass::DivLike,
+                UnaryOp::Exp
+                | UnaryOp::Log
+                | UnaryOp::Sqrt
+                | UnaryOp::Rsqrt
+                | UnaryOp::Tanh
+                | UnaryOp::Sigmoid => OpClass::Special,
+            });
+            d + 1
+        }
+        AExpr::Binary(op, x, y) => {
+            // FMA fusion: Add(Mul(x,y), z) or Add(z, Mul(x,y))
+            if op == BinaryOp::Add {
+                for (m, other) in [(x, y), (y, x)] {
+                    if let AExpr::Binary(BinaryOp::Mul, mx, my) = *a.expr(m) {
+                        let dx = classify_arena(a, mx, flops);
+                        let dy = classify_arena(a, my, flops);
+                        let dz = classify_arena(a, other, flops);
+                        flops.push(OpClass::Fma);
+                        return dx.max(dy).max(dz) + 1;
+                    }
+                }
+            }
+            let da = classify_arena(a, x, flops);
+            let db = classify_arena(a, y, flops);
+            flops.push(match op {
+                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Max | BinaryOp::Min => OpClass::AddLike,
+                BinaryOp::Mul => OpClass::MulLike,
+                BinaryOp::Div => OpClass::DivLike,
+            });
+            da.max(db) + 1
+        }
+    }
+}
+
+/// Reference tree-walking lowering, kept for the conformance test.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn lower_tree(p: &Program) -> Result<LoweredKernel, LowerError> {
     let buffers = p
         .buffers
         .iter()
@@ -270,7 +425,7 @@ fn lower_node(p: &Program, n: &Node, depth: usize) -> Result<Lowered, LowerError
                 .as_const()
                 .ok_or_else(|| LowerError::Unsupported("dynamic scope size".into()))?;
             let mut body = Vec::new();
-            for c in &s.children {
+            for c in s.children.iter() {
                 body.push(lower_node(p, c, depth + 1)?);
             }
             Ok(Lowered::Loop(Loop {
@@ -470,6 +625,46 @@ mod tests {
         let stmts = k.body[0].stmts();
         assert_eq!(stmts[0].store.addr.stride(1), 0);
         assert_eq!(stmts[0].store.addr.stride(0), 1);
+    }
+
+    #[test]
+    fn arena_lowering_matches_tree_lowering() {
+        // Bit-identical lowered kernels across the suite and a few
+        // transformed shapes exercised elsewhere: the incremental engine's
+        // correctness contract hangs off this equality.
+        for k in perfdojo_kernels::small_suite() {
+            let via_arena = lower(&k.program);
+            let via_tree = lower_tree(&k.program);
+            assert_eq!(via_arena, via_tree, "lowering diverges on {}", k.label);
+        }
+    }
+
+    #[test]
+    fn arena_lowering_matches_tree_errors() {
+        // Indirect access: same error, same precedence (store before loads,
+        // unknown array before indirection).
+        let src = "\
+kernel ind
+in idx, x
+out z
+idx i32 [8] heap
+x f32 [8] heap
+z f32 [8] heap
+
+8 | z[{0}] = x[idx[{0}]]
+";
+        let p = perfdojo_ir::parse_program(src).unwrap();
+        assert_eq!(lower(&p), lower_tree(&p));
+        assert!(matches!(lower(&p), Err(LowerError::Unsupported(_))));
+
+        let mut b = ProgramBuilder::new("ghost");
+        b.output("z", &[4]);
+        b.scope(4, |b| {
+            b.op(out("z", &[0]), ld("nowhere", &[0]));
+        });
+        let p = b.build();
+        assert_eq!(lower(&p), lower_tree(&p));
+        assert_eq!(lower(&p), Err(LowerError::UnknownArray("nowhere".into())));
     }
 
     #[test]

@@ -17,9 +17,11 @@ pub mod target;
 pub use target::Target;
 
 use perfdojo_interp::{verify_equivalent, VerifyReport};
-use perfdojo_ir::{validate, Program};
+use perfdojo_ir::{exact_fp128, validate, Arena, Fp128, Program};
 use perfdojo_machine::{Machine, MachineError};
-use perfdojo_transform::{available_actions, Action, History, TransformError, TransformLibrary};
+use perfdojo_transform::{
+    available_actions, available_actions_in, Action, History, TransformError, TransformLibrary,
+};
 use perfdojo_util::lru::LruCache;
 use std::fmt;
 
@@ -81,9 +83,17 @@ pub enum VerifyMode {
 const VERIFY_WORK_LIMIT: u64 = 2_000_000;
 
 /// Default capacity of the fingerprint-keyed cost cache. Sized so the
-/// working set of a multi-thousand-evaluation SA run fits while a chain's
-/// clone stays tens of megabytes at worst (keys are full program texts).
+/// working set of a multi-thousand-evaluation SA run fits; keys are 128-bit
+/// program fingerprints ([`perfdojo_ir::exact_fp128`]), so a chain's clone
+/// carries kilobytes of keys, not megabytes of program text.
 pub const DEFAULT_COST_CACHE_CAPACITY: usize = 2048;
+
+/// Capacity of the applicable-actions memo ([`Dojo::actions_cached`]).
+/// Entries are whole action vectors — hundreds of `(Transform, Loc)` pairs
+/// on deep states — so each entry is a few KiB; at this capacity the memo
+/// tops out around the same working set as the cost cache (a few MiB),
+/// which keeps the finder sweep off the hot path for revisited states.
+pub const DEFAULT_ACTIONS_MEMO_CAPACITY: usize = 2048;
 
 /// Which evaluation engine the Dojo runs.
 ///
@@ -109,6 +119,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Evaluations that ran the machine model (and populated the cache).
     pub misses: u64,
+    /// Audited hits whose stored program text did not match the probe — a
+    /// 128-bit fingerprint collision, counted and answered by a real
+    /// evaluation instead of a wrong cached cost. Expected to stay 0.
+    pub collisions: u64,
     /// Live cached entries.
     pub entries: usize,
     /// Configured cache capacity (0 when the cache is disabled).
@@ -127,6 +141,117 @@ impl CacheStats {
     }
 }
 
+/// One cost-cache entry: the modelled runtime plus, under audit, the exact
+/// program text the key was derived from (used to detect collisions).
+#[derive(Clone)]
+struct CacheEntry {
+    cost: f64,
+    text: Option<String>,
+}
+
+/// Fingerprint-keyed cost cache: [`Fp128`] exact-program fingerprint →
+/// model runtime. Probing hashes the program in place (24-byte key) instead
+/// of rendering its full text, which was the single largest per-evaluation
+/// cost of the old text-keyed cache. Collisions at 128 bits + length are
+/// astronomically unlikely but not assumed away: in audit mode every hit
+/// re-renders the exact text and compares it against the stored text; a
+/// mismatch is counted ([`CacheStats::collisions`]) and treated as a miss,
+/// so a collision can degrade the hit rate but never the results.
+#[derive(Clone)]
+struct CostCache {
+    lru: LruCache<Fp128, CacheEntry>,
+    hits: u64,
+    misses: u64,
+    collisions: u64,
+    /// Compare exact program text on every hit. On by default in debug
+    /// builds; [`Dojo::with_cache_audit`] forces it on in release.
+    audit: bool,
+    /// Test hook: collapse every key to one constant fingerprint so the
+    /// collision-audit path is exercised deterministically.
+    truncated_keys: bool,
+}
+
+impl CostCache {
+    fn new(capacity: usize) -> Self {
+        CostCache {
+            lru: LruCache::new(capacity),
+            hits: 0,
+            misses: 0,
+            collisions: 0,
+            audit: cfg!(debug_assertions),
+            truncated_keys: false,
+        }
+    }
+
+    fn key(&self, p: &Program) -> Fp128 {
+        if self.truncated_keys {
+            Fp128 { hi: 0, lo: 0, len: 0 }
+        } else {
+            exact_fp128(p)
+        }
+    }
+
+    /// Warm the cache with a known cost without touching the hit/miss
+    /// counters (the initial program's evaluation is accounted by the
+    /// constructor, not the cache).
+    fn seed(&mut self, p: &Program, cost: f64) {
+        let key = self.key(p);
+        let text = self.audit.then(|| perfdojo_ir::exact_text(p));
+        self.lru.insert(key, CacheEntry { cost, text });
+    }
+
+    fn effective_key(&self, key: Fp128) -> Fp128 {
+        if self.truncated_keys {
+            Fp128 { hi: 0, lo: 0, len: 0 }
+        } else {
+            key
+        }
+    }
+
+    /// Probe for a cached cost. Audited hits re-render `p`'s exact text and
+    /// compare: a mismatch (distinct programs on one fingerprint) counts a
+    /// collision and reports a miss, so a collision can degrade the hit
+    /// rate but never the results.
+    fn probe(&mut self, key: Fp128, p: &Program) -> Option<f64> {
+        let key = self.effective_key(key);
+        if let Some(entry) = self.lru.get(&key) {
+            let collided = self.audit
+                && entry
+                    .text
+                    .as_deref()
+                    .is_some_and(|t| t != perfdojo_ir::exact_text(p));
+            if !collided {
+                self.hits += 1;
+                return Some(entry.cost);
+            }
+            self.collisions += 1;
+            debug_assert!(
+                self.truncated_keys,
+                "128-bit cost-cache key collision on distinct programs"
+            );
+        }
+        None
+    }
+
+    /// Record a freshly evaluated cost (counts the miss; overwrites a
+    /// collided entry).
+    fn record(&mut self, key: Fp128, p: &Program, cost: f64) {
+        let key = self.effective_key(key);
+        self.misses += 1;
+        let text = self.audit.then(|| perfdojo_ir::exact_text(p));
+        self.lru.insert(key, CacheEntry { cost, text });
+    }
+
+    fn lookup(&mut self, key: Fp128, machine: &Machine, p: &Program) -> Result<f64, MachineError> {
+        if let Some(cost) = self.probe(key, p) {
+            return Ok(cost);
+        }
+        let cost = machine.evaluate(p)?.seconds;
+        self.record(key, p, cost);
+        Ok(cost)
+    }
+}
+
 /// The optimization game for one kernel on one target.
 #[derive(Clone)]
 pub struct Dojo {
@@ -140,10 +265,25 @@ pub struct Dojo {
     best: (Program, f64),
     evaluations: u64,
     engine: Engine,
-    /// Exact program text → model runtime. `None` disables caching.
-    cache: Option<LruCache<String, f64>>,
-    cache_hits: u64,
-    cache_misses: u64,
+    /// Fingerprint-keyed cost cache (`None` under the naive engine).
+    cache: Option<CostCache>,
+    /// Memoized fingerprint of `history.current()`, reset by every
+    /// state-changing method. Nothing in the workspace mutates the public
+    /// `history` field directly (all mutation goes through [`Dojo::step`],
+    /// [`Dojo::undo`], [`Dojo::reset`] and [`Dojo::load_sequence`]); code
+    /// that does so anyway must not expect memoized state to track it.
+    current_fp: Option<Fp128>,
+    /// Memoized flat arena view of `history.current()`, built lazily and
+    /// invalidated with `current_fp`. Cost-miss lowering and actions-miss
+    /// finder sweeps share it, so each state is flattened at most once.
+    current_arena: Option<Arena>,
+    /// Applicable-actions memo keyed by exact fingerprint (incremental
+    /// engine only). Search loops re-query unchanged states constantly —
+    /// every rejected SA move queries the same state again — and a memo hit
+    /// skips the full finder sweep.
+    actions_memo: Option<LruCache<Fp128, Vec<Action>>>,
+    /// Scratch slot backing [`Dojo::actions_cached`] when the memo is off.
+    actions_scratch: Vec<Action>,
     /// `prior_runtimes[i]` is the runtime of the state *before* history
     /// step `i` — `None` when that state was reached via `load_sequence`
     /// (intermediate states are not evaluated there). `undo` restores from
@@ -157,8 +297,9 @@ impl Dojo {
         validate(&program).map_err(DojoError::Invalid)?;
         let est = machine.evaluate(&program).map_err(DojoError::Machine)?;
         let runtime = est.seconds;
-        let mut cache = LruCache::new(DEFAULT_COST_CACHE_CAPACITY);
-        cache.insert(perfdojo_ir::exact_text(&program), runtime);
+        let mut cache = CostCache::new(DEFAULT_COST_CACHE_CAPACITY);
+        cache.misses = 1; // the initial evaluation above
+        cache.seed(&program, runtime);
         Ok(Dojo {
             history: History::new(program.clone()),
             machine,
@@ -170,8 +311,10 @@ impl Dojo {
             evaluations: 1,
             engine: Engine::Incremental,
             cache: Some(cache),
-            cache_hits: 0,
-            cache_misses: 1, // the initial evaluation above
+            current_fp: None,
+            current_arena: None,
+            actions_memo: Some(LruCache::new(DEFAULT_ACTIONS_MEMO_CAPACITY)),
+            actions_scratch: Vec::new(),
             prior_runtimes: Vec::new(),
         })
     }
@@ -195,8 +338,7 @@ impl Dojo {
     pub fn with_naive_engine(mut self) -> Self {
         self.engine = Engine::Naive;
         self.cache = None;
-        self.cache_hits = 0;
-        self.cache_misses = 0;
+        self.actions_memo = None;
         self
     }
 
@@ -205,9 +347,46 @@ impl Dojo {
     /// rate; eviction correctness is pinned by tests.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         if self.engine == Engine::Incremental {
-            let mut cache = LruCache::new(capacity);
-            cache.insert(perfdojo_ir::exact_text(&self.history.initial), self.initial_runtime);
+            let mut cache = CostCache::new(capacity);
+            if let Some(old) = &self.cache {
+                cache.hits = old.hits;
+                cache.misses = old.misses;
+                cache.collisions = old.collisions;
+                cache.audit = old.audit;
+                cache.truncated_keys = old.truncated_keys;
+            }
+            cache.seed(&self.history.initial, self.initial_runtime);
             self.cache = Some(cache);
+        }
+        self
+    }
+
+    /// Force the collision audit on (it defaults to on only in debug
+    /// builds): every cache hit re-renders the exact program text and
+    /// compares it against the text stored with the entry, so a 128-bit
+    /// fingerprint collision is detected and counted
+    /// ([`CacheStats::collisions`]) instead of silently returning a wrong
+    /// cost.
+    pub fn with_cache_audit(mut self) -> Self {
+        if let Some(c) = self.cache.as_mut() {
+            c.audit = true;
+            // re-store the seed entry so it carries its audit text
+            c.seed(&self.history.initial, self.initial_runtime);
+        }
+        self
+    }
+
+    /// Test hook: collapse every cache key to one constant fingerprint so
+    /// distinct programs are guaranteed to collide, exercising the audit
+    /// path deterministically. Implies [`Dojo::with_cache_audit`].
+    #[doc(hidden)]
+    pub fn with_truncated_cache_keys(mut self) -> Self {
+        if let Some(c) = self.cache.as_mut() {
+            c.truncated_keys = true;
+            c.audit = true;
+            // drop entries stored under real keys; everything now shares one
+            c.lru = LruCache::new(c.lru.capacity());
+            c.seed(&self.history.initial, self.initial_runtime);
         }
         self
     }
@@ -219,11 +398,15 @@ impl Dojo {
 
     /// Cost-cache counters (all zero under the naive engine).
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.cache_hits,
-            misses: self.cache_misses,
-            entries: self.cache.as_ref().map_or(0, |c| c.len()),
-            capacity: self.cache.as_ref().map_or(0, |c| c.capacity()),
+        match &self.cache {
+            Some(c) => CacheStats {
+                hits: c.hits,
+                misses: c.misses,
+                collisions: c.collisions,
+                entries: c.lru.len(),
+                capacity: c.lru.capacity(),
+            },
+            None => CacheStats::default(),
         }
     }
 
@@ -236,39 +419,66 @@ impl Dojo {
     }
 
     /// Cached cost lookup (static so callers can split borrows against
-    /// `self.history`): exact program text → model runtime. A hit skips
-    /// the whole lower + analytical-cost pass; text keys make collisions
-    /// impossible, so cached and uncached engines agree bit-for-bit.
+    /// `self.history`): 128-bit exact-program fingerprint → model runtime.
+    /// A hit skips the whole lower + analytical-cost pass, and a probe
+    /// hashes the program in place instead of rendering its full text. The
+    /// audit path compares exact text on hits, so a fingerprint collision
+    /// is detected and re-evaluated rather than silently wrong — cached and
+    /// uncached engines agree bit-for-bit either way.
     fn cost_lookup(
-        cache: &mut Option<LruCache<String, f64>>,
-        hits: &mut u64,
-        misses: &mut u64,
+        cache: &mut Option<CostCache>,
         machine: &Machine,
         p: &Program,
     ) -> Result<f64, MachineError> {
-        let Some(cache) = cache.as_mut() else {
-            return machine.evaluate(p).map(|e| e.seconds);
-        };
-        let key = perfdojo_ir::exact_text(p);
-        if let Some(&c) = cache.get(&key) {
-            *hits += 1;
-            return Ok(c);
+        match cache.as_mut() {
+            Some(c) => c.lookup(exact_fp128(p), machine, p),
+            None => machine.evaluate(p).map(|e| e.seconds),
         }
-        let c = machine.evaluate(p)?.seconds;
-        *misses += 1;
-        cache.insert(key, c);
-        Ok(c)
     }
 
-    /// Cost of the current history state through the cache.
+    /// Drop every per-state memo (fingerprint, arena). Called by every
+    /// state-changing method.
+    fn invalidate_state_memos(&mut self) {
+        self.current_fp = None;
+        self.current_arena = None;
+    }
+
+    /// Fingerprint of the current state, memoized until the next state
+    /// change (the same state is fingerprinted several times per search
+    /// step: cost probe, actions memo, repeat probes on rejected moves).
+    fn fp_of_current(&mut self) -> Fp128 {
+        match self.current_fp {
+            Some(f) => f,
+            None => {
+                let f = exact_fp128(self.history.current());
+                self.current_fp = Some(f);
+                f
+            }
+        }
+    }
+
+    /// Build (or reuse) the flat arena view of the current state.
+    fn ensure_arena(&mut self) {
+        if self.current_arena.is_none() {
+            self.current_arena = Some(Arena::build(self.history.current()));
+        }
+    }
+
+    /// Cost of the current history state through the cache. A miss lowers
+    /// from the shared per-state arena ([`Machine::evaluate_arena`]) so the
+    /// flattening pass is not repeated by a following actions query.
     fn cost_of_current(&mut self) -> Result<f64, MachineError> {
-        Self::cost_lookup(
-            &mut self.cache,
-            &mut self.cache_hits,
-            &mut self.cache_misses,
-            &self.machine,
-            self.history.current(),
-        )
+        if self.cache.is_none() {
+            return self.machine.evaluate(self.history.current()).map(|e| e.seconds);
+        }
+        let key = self.fp_of_current();
+        if let Some(cost) = self.cache.as_mut().expect("checked above").probe(key, self.history.current()) {
+            return Ok(cost);
+        }
+        self.ensure_arena();
+        let est = self.machine.evaluate_arena(self.current_arena.as_ref().expect("just built"))?;
+        self.cache.as_mut().expect("checked above").record(key, self.history.current(), est.seconds);
+        Ok(est.seconds)
     }
 
     /// The current program state.
@@ -318,6 +528,34 @@ impl Dojo {
         available_actions(self.current(), &self.library)
     }
 
+    /// All applicable moves at the current state, memoized by exact program
+    /// fingerprint under the incremental engine. Returns exactly what
+    /// [`Dojo::actions`] returns for this state — the memo stores the full
+    /// `available_actions` result — but a revisited state (every rejected
+    /// SA move re-queries its unchanged state) skips the finder sweep.
+    /// The naive engine has no memo and recomputes, keeping it an honest
+    /// baseline.
+    pub fn actions_cached(&mut self) -> &[Action] {
+        if self.actions_memo.is_none() {
+            self.actions_scratch = available_actions(self.history.current(), &self.library);
+            return &self.actions_scratch;
+        }
+        let key = self.fp_of_current();
+        if self.actions_memo.as_mut().expect("checked above").get(&key).is_none() {
+            self.ensure_arena();
+            let acts = available_actions_in(
+                self.current_arena.as_ref().expect("just built"),
+                &self.library,
+            );
+            self.actions_memo.as_mut().expect("checked above").insert(key, acts);
+        }
+        self.actions_memo
+            .as_mut()
+            .expect("checked above")
+            .get(&key)
+            .expect("present or just inserted")
+    }
+
     /// Reward for a runtime: `r = c/T`, normalized so the initial state's
     /// reward is 1 (§3.1).
     pub fn reward_of(&self, runtime: f64) -> f64 {
@@ -330,14 +568,7 @@ impl Dojo {
     /// cached and uncached engines is what makes their traces bit-equal.
     pub fn evaluate(&mut self, p: &Program) -> Result<f64, DojoError> {
         self.evaluations += 1;
-        Self::cost_lookup(
-            &mut self.cache,
-            &mut self.cache_hits,
-            &mut self.cache_misses,
-            &self.machine,
-            p,
-        )
-        .map_err(DojoError::Machine)
+        Self::cost_lookup(&mut self.cache, &self.machine, p).map_err(DojoError::Machine)
     }
 
     /// Preview a move: the runtime it would lead to (counts one
@@ -352,6 +583,7 @@ impl Dojo {
     pub fn step(&mut self, action: Action) -> Result<StepResult, DojoError> {
         let prior_runtime = self.current_runtime;
         self.history.push(action).map_err(DojoError::Transform)?;
+        self.invalidate_state_memos();
         if let VerifyMode::Sampled { trials } = self.verify {
             let small = self.history.initial.dynamic_op_instances() <= VERIFY_WORK_LIMIT;
             if small {
@@ -396,6 +628,7 @@ impl Dojo {
     /// undercounting bug.
     pub fn undo(&mut self) -> Option<Action> {
         let a = self.history.pop()?;
+        self.invalidate_state_memos();
         let recorded = self.prior_runtimes.pop().flatten();
         self.current_runtime = match (self.engine, recorded) {
             (Engine::Incremental, Some(rt)) => rt,
@@ -420,6 +653,7 @@ impl Dojo {
     /// from earlier episodes' evaluations).
     pub fn reset(&mut self) {
         self.history.truncate_to(0);
+        self.invalidate_state_memos();
         self.prior_runtimes.clear();
         self.current_runtime = self.initial_runtime;
     }
@@ -457,6 +691,7 @@ impl Dojo {
         }
         self.prior_runtimes = vec![None; h.len()];
         self.history = h;
+        self.invalidate_state_memos();
         self.current_runtime = runtime;
         if runtime < self.best.1 {
             self.best = (self.current().clone(), runtime);
@@ -482,12 +717,19 @@ impl Dojo {
         // failed evaluation can roll the dojo back to the pre-call sequence
         let undone_steps = self.history.steps[k..].to_vec();
         let undone_runtimes = self.prior_runtimes[k..].to_vec();
+        // only a real change invalidates the fingerprint memo: reloading the
+        // already-applied sequence (the search loops' no-op probe of their
+        // unchanged current state) keeps it warm
+        if self.history.len() > k {
+            self.invalidate_state_memos();
+        }
         self.history.truncate_to(k);
         self.prior_runtimes.truncate(k);
         for s in &steps[k..] {
             // skip-on-inapplicable, matching `replay_sequence` semantics;
             // intermediate runtimes are unknown (not evaluated)
             if self.history.push(s.clone()).is_ok() {
+                self.invalidate_state_memos();
                 self.prior_runtimes.push(None);
             }
         }
@@ -504,6 +746,7 @@ impl Dojo {
                     let reapplied = self.history.push(s);
                     debug_assert!(reapplied.is_ok(), "rollback replays a previously-applied step");
                 }
+                self.invalidate_state_memos();
                 self.prior_runtimes.extend(undone_runtimes);
                 return Err(DojoError::Machine(e));
             }
@@ -695,6 +938,36 @@ mod tests {
         let misses_before = d.cache_stats().misses;
         d.step(a).unwrap(); // same state again: must be a hit
         assert_eq!(d.cache_stats().misses, misses_before);
+    }
+
+    #[test]
+    fn forced_key_collision_is_detected_and_stays_exact() {
+        // Collapse every cache key to one fingerprint: distinct programs
+        // now collide by construction, and the text audit must catch each
+        // one, count it, and fall back to a real evaluation.
+        let mut d = softmax_dojo().with_truncated_cache_keys();
+        let mut naive = softmax_dojo().with_naive_engine();
+        for i in 0..3 {
+            let a = d.actions().into_iter().nth(i).unwrap();
+            let r1 = d.step(a.clone()).unwrap();
+            let r2 = naive.step(a).unwrap();
+            assert_eq!(r1.runtime.to_bits(), r2.runtime.to_bits());
+        }
+        let s = d.cache_stats();
+        assert!(s.collisions > 0, "distinct programs on one key must collide");
+        assert_eq!(s.entries, 1, "all entries share the truncated key");
+    }
+
+    #[test]
+    fn audited_cache_reports_no_collisions_under_real_keys() {
+        let mut d = softmax_dojo().with_cache_audit();
+        let a = d.actions().into_iter().next().unwrap();
+        d.step(a.clone()).unwrap();
+        d.undo().unwrap();
+        d.step(a).unwrap(); // revisit: a hit whose audit must pass
+        let s = d.cache_stats();
+        assert_eq!(s.collisions, 0);
+        assert!(s.hits >= 1);
     }
 
     #[test]

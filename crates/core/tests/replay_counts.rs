@@ -66,11 +66,21 @@ fn fresh_load_applies_each_step_once_not_twice() {
     let _g = COUNTER_LOCK.lock().unwrap();
     let mut d = softmax_dojo();
     let seq = warm_sequence(&mut d, 4);
+
+    // a dojo that never applied these steps has no redo journal to serve
+    // them from: each is applied exactly once
+    let mut fresh = softmax_dojo();
+    let before = apply_count();
+    fresh.load_sequence(&seq).unwrap();
+    let incremental = apply_count() - before;
+    assert_eq!(incremental, 4, "no shared prefix: each step applied exactly once");
+
+    // the dojo that played the sequence retains the popped post-states:
+    // reset + reload is pure redo-journal restoration
     d.reset();
     let before = apply_count();
     d.load_sequence(&seq).unwrap();
-    let incremental = apply_count() - before;
-    assert_eq!(incremental, 4, "no shared prefix: each step applied exactly once");
+    assert_eq!(apply_count() - before, 0, "reset + reload restores from the redo journal");
 
     // the naive baseline still double-applies: one replay pass to discover
     // skips, one re-application pass to record history
@@ -79,6 +89,21 @@ fn fresh_load_applies_each_step_once_not_twice() {
     naive.load_sequence(&seq).unwrap();
     let doubled = apply_count() - before;
     assert_eq!(doubled, 8, "naive engine applies every step twice");
+}
+
+#[test]
+fn rejected_retract_repush_applies_nothing() {
+    let _g = COUNTER_LOCK.lock().unwrap();
+    let mut d = softmax_dojo();
+    let seq = warm_sequence(&mut d, 4);
+    // the annealing hot pattern: propose retracting the last step
+    // (load_sequence of the 3-prefix), reject it, and re-load the full
+    // sequence — the re-push must restore the journaled post-state
+    d.load_sequence(&seq[..3]).unwrap();
+    let before = apply_count();
+    d.load_sequence(&seq).unwrap();
+    assert_eq!(apply_count() - before, 0, "re-pushing the just-popped step is a restore");
+    assert_eq!(d.history.steps, seq);
 }
 
 #[test]

@@ -222,7 +222,7 @@ fn erase_depth(node: &mut Node, removed: usize) {
             op.expr = op.expr.substitute(removed, &zero).remap_depths(&mut remap);
         }
         Node::Scope(s) => {
-            for c in &mut s.children {
+            for c in s.children_mut() {
                 erase_depth(c, removed);
             }
         }
@@ -235,7 +235,7 @@ fn remove_scope_level(p: &Program, path: &Path) -> Option<Program> {
     let mut q = p.clone();
     let removed_depth = path.len().checked_sub(1)?;
     let mut children = match q.node(path)? {
-        Node::Scope(s) => s.children.clone(),
+        Node::Scope(s) => s.children.to_vec(),
         Node::Op(_) => return None,
     };
     for c in &mut children {

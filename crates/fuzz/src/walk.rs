@@ -174,7 +174,7 @@ impl Sabotage {
                 // After the split, `path` is the outer scope; its first
                 // child is the freshly created inner scope.
                 let Some(Node::Scope(outer)) = p.node_mut(path) else { return };
-                let Some(Node::Scope(inner)) = outer.children.first_mut() else { return };
+                let Some(Node::Scope(inner)) = outer.children_mut().first_mut() else { return };
                 if let ScopeSize::Const(n) = inner.size {
                     if n >= 2 {
                         inner.size = ScopeSize::Const(n - 1);

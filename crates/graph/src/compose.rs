@@ -118,7 +118,7 @@ fn rename_node(n: &Node, m: &BTreeMap<String, String>) -> Node {
     match n {
         Node::Scope(s) => {
             let mut s2 = s.clone();
-            s2.children = s.children.iter().map(|c| rename_node(c, m)).collect();
+            s2.set_children(s.children.iter().map(|c| rename_node(c, m)).collect());
             Node::Scope(s2)
         }
         Node::Op(op) => Node::Op(OpNode {

@@ -125,7 +125,7 @@ mod tests {
         // which clamps every element the reference leaves alone
         fn sabotage(n: &mut Node) -> bool {
             match n {
-                Node::Scope(s) => s.children.iter_mut().any(sabotage),
+                Node::Scope(s) => s.children_mut().iter_mut().any(sabotage),
                 Node::Op(op) => sabotage_expr(&mut op.expr),
             }
         }

@@ -189,7 +189,7 @@ fn exec_node(
             iters.push(0);
             for i in 0..trip {
                 *iters.last_mut().unwrap() = i as i64;
-                for c in &s.children {
+                for c in s.children.iter() {
                     exec_node(p, c, mem, iters)?;
                 }
             }

@@ -23,6 +23,7 @@
 //!   expressible for completeness tests (Table 2).
 
 pub mod affine;
+pub mod arena;
 pub mod buffer;
 pub mod builder;
 pub mod expr;
@@ -35,10 +36,11 @@ pub mod text;
 pub mod validate;
 
 pub use affine::Affine;
+pub use arena::Arena;
 pub use buffer::{BufDim, BufferDecl, DType, Location};
 pub use builder::ProgramBuilder;
 pub use expr::{Access, BinaryOp, Expr, IndexExpr, UnaryOp};
-pub use fingerprint::{exact_hash, exact_text, structure_hash, structure_text};
+pub use fingerprint::{exact_fp128, exact_hash, exact_text, structure_hash, structure_text, Fp128};
 pub use node::{Node, OpNode, Scope, ScopeKind, ScopeSize};
 pub use parse::{parse_program, ParseError};
 pub use path::Path;

@@ -2,6 +2,7 @@
 
 use crate::expr::{Access, BinaryOp, Expr};
 use std::fmt;
+use std::sync::Arc;
 
 /// How a scope's iteration range is instantiated (textual suffixes in
 /// parentheses). `Seq` is the default; everything else is set by
@@ -97,8 +98,11 @@ pub struct Scope {
     /// Snitch stream semantic registers: affine input streams of the body
     /// are fed by hardware data movers instead of explicit loads.
     pub ssr: bool,
-    /// Ordered children (scopes and/or operations).
-    pub children: Vec<Node>,
+    /// Ordered children (scopes and/or operations), shared copy-on-write:
+    /// cloning a program (or snapshotting a pre-state in `History`) shares
+    /// every unchanged subtree, and mutation through [`Scope::children_mut`]
+    /// copies only the vectors on the path actually being rewritten.
+    pub children: Arc<Vec<Node>>,
 }
 
 impl Scope {
@@ -109,8 +113,21 @@ impl Scope {
             kind: ScopeKind::Seq,
             frep: false,
             ssr: false,
-            children,
+            children: Arc::new(children),
         }
+    }
+
+    /// Mutable access to the children, cloning the vector first if it is
+    /// shared with another program snapshot (copy-on-write discipline: every
+    /// structural mutation goes through here, so untouched siblings stay
+    /// shared).
+    pub fn children_mut(&mut self) -> &mut Vec<Node> {
+        Arc::make_mut(&mut self.children)
+    }
+
+    /// Replace the children wholesale.
+    pub fn set_children(&mut self, children: Vec<Node>) {
+        self.children = Arc::new(children);
     }
 
     /// Constant trip count (panics on excluded dynamic sizes — callers run

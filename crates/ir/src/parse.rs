@@ -46,7 +46,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         while stack.len() > depth {
             let done = stack.pop().unwrap();
             match stack.last_mut() {
-                Some(parent) => parent.children.push(Node::Scope(done)),
+                Some(parent) => parent.children_mut().push(Node::Scope(done)),
                 None => p.roots.push(Node::Scope(done)),
             }
         }
@@ -102,7 +102,7 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         let op_txt = segs[segs.len() - 1].trim();
         let op = parse_op(op_txt, lineno)?;
         match stack.last_mut() {
-            Some(parent) => parent.children.push(Node::Op(op)),
+            Some(parent) => parent.children_mut().push(Node::Op(op)),
             None => p.roots.push(Node::Op(op)),
         }
     }
@@ -168,7 +168,7 @@ fn parse_scope_header(s: &str, lineno: usize) -> Result<Scope, ParseError> {
             kind: ScopeKind::Seq,
             frep: false,
             ssr: false,
-            children: Vec::new(),
+            children: std::sync::Arc::new(Vec::new()),
         });
     }
     // split off :x suffixes
@@ -197,7 +197,7 @@ fn parse_scope_header(s: &str, lineno: usize) -> Result<Scope, ParseError> {
         let mut lx = Lexer::new(base, lineno);
         ScopeSize::DataDep(lx.parse_access_after_ident()?)
     };
-    Ok(Scope { size, kind, frep, ssr, children: Vec::new() })
+    Ok(Scope { size, kind, frep, ssr, children: std::sync::Arc::new(Vec::new()) })
 }
 
 fn parse_op(s: &str, lineno: usize) -> Result<OpNode, ParseError> {

@@ -122,7 +122,7 @@ pub fn get_mut<'a>(roots: &'a mut [Node], path: &Path) -> Option<&'a mut Node> {
     let (&first, rest) = path.0.split_first()?;
     let mut node = roots.get_mut(first)?;
     for &i in rest {
-        node = node.as_scope_mut()?.children.get_mut(i)?;
+        node = node.as_scope_mut()?.children_mut().get_mut(i)?;
     }
     Some(node)
 }
@@ -136,7 +136,7 @@ pub fn siblings_mut<'a>(roots: &'a mut Vec<Node>, path: &Path) -> Option<(&'a mu
         Some(p) if p.is_empty() => Some((roots, idx)),
         Some(p) => {
             let parent = get_mut(roots, &p)?;
-            Some((&mut parent.as_scope_mut()?.children, idx))
+            Some((parent.as_scope_mut()?.children_mut(), idx))
         }
     }
 }

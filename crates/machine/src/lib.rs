@@ -34,8 +34,8 @@ pub use estimate::Estimate;
 /// and treat entries tuned under another version as stale.
 pub const MODEL_VERSION: u32 = 1;
 
-use perfdojo_codegen::{lower, LoweredKernel};
-use perfdojo_ir::Program;
+use perfdojo_codegen::{lower, lower_arena, LoweredKernel};
+use perfdojo_ir::{arena::Arena, Program};
 use std::fmt;
 
 /// Evaluation failure.
@@ -106,8 +106,20 @@ impl Machine {
     }
 
     /// Evaluate a program: lower it and run the analytical executor.
+    /// Lowering runs on the flat arena walker ([`perfdojo_codegen::lower`]
+    /// flattens and delegates to [`perfdojo_codegen::lower_arena`]), so
+    /// cost estimation never chases tree pointers.
     pub fn evaluate(&self, p: &Program) -> Result<Estimate, MachineError> {
         let k = lower(p).map_err(|e| MachineError::Lowering(e.to_string()))?;
+        self.evaluate_lowered(&k)
+    }
+
+    /// Evaluate from an already-flattened arena view, skipping the
+    /// per-evaluation `Arena::build`. The incremental engine keeps one
+    /// arena per state and shares it between cost estimation and the
+    /// transform finders.
+    pub fn evaluate_arena(&self, a: &Arena) -> Result<Estimate, MachineError> {
+        let k = lower_arena(a).map_err(|e| MachineError::Lowering(e.to_string()))?;
         self.evaluate_lowered(&k)
     }
 

@@ -140,17 +140,25 @@ pub fn anneal_resume(
         let progress = state.spent as f64 / budget.max(1) as f64;
         let temp = state.t0 * (state.t_end / state.t0).powf(progress);
 
-        let cand = space.neighbor(&state.current, dojo, &mut state.rng);
+        // The candidate is `state.current` edited in place — cloning a
+        // hundreds-of-actions sequence every iteration was a measurable
+        // slice of the incremental engine's hot loop. Rejection (and the
+        // unreplayable-candidate path) reverts the edit instead.
+        let undo = space.propose(&mut state.current, dojo, &mut state.rng);
         let hits_before = dojo.cache_stats().hits;
-        let Ok(cost) = dojo.load_sequence(&cand) else { continue };
+        let Ok(cost) = dojo.load_sequence(&state.current) else {
+            crate::space::revert(&mut state.current, undo);
+            continue;
+        };
         let cache_hit = dojo.cache_stats().hits > hits_before;
         let accept = cost <= state.current_cost || {
             let d = (cost - state.current_cost) / temp.max(1e-30);
             state.rng.random_bool((-d).exp().clamp(0.0, 1.0))
         };
         if accept {
-            state.current = cand;
             state.current_cost = cost;
+        } else {
+            crate::space::revert(&mut state.current, undo);
         }
         if cost < state.best_runtime {
             state.best_runtime = cost;

@@ -24,7 +24,7 @@ pub use parallel::{
 };
 pub use passes::{greedy_pass, heuristic_pass, naive_pass};
 pub use sampling::{random_sampling, sampling_resume, SamplingState};
-pub use space::{EdgesSpace, HeuristicSpace, SearchSpace};
+pub use space::{revert, EdgesSpace, HeuristicSpace, SearchSpace, Undo};
 
 /// One point of a convergence curve: (evaluations so far, best runtime).
 pub type TracePoint = (u64, f64);

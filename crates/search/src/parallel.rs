@@ -5,9 +5,11 @@
 //! This parallelizes *within* a kernel the way `perfdojo-library`'s
 //! `LibraryBuilder` already parallelizes *across* kernels: each chain owns
 //! a full `Dojo` clone (history, cost cache and all), runs on
-//! `perfdojo_util::par::par_map`'s scoped thread pool, and derives its
-//! seed purely from the caller's seed and its chain index. Because
-//! `par_map` returns results in input order and per-chain work is
+//! `perfdojo_util::par::par_map`'s scoped thread pool — or in a plain loop
+//! when `par::cores()` reports a single core, where a pool could only slow
+//! the same serialized work down — and derives its seed purely from the
+//! caller's seed and its chain index. Because chains come back in input
+//! order on either path and per-chain work is
 //! self-contained, the merged result is a pure function of
 //! `(dojo, chains, budget, seed)` — the same no matter how many worker
 //! threads the machine offers.
@@ -19,8 +21,33 @@
 use crate::{SearchResult, SearchSpace};
 use perfdojo_core::Dojo;
 use perfdojo_ir::fingerprint::fnv1a;
-use perfdojo_util::par::par_map;
+use perfdojo_util::par::{cores, par_map};
 use perfdojo_util::trace::TraceSink;
+
+/// Run the given chains, each on its own clone of `dojo`.
+///
+/// On a machine with more than one core the chains fan out on
+/// `par_map`'s scoped pool. On a single core a pool can only add
+/// scheduling and synchronization overhead on top of the same serialized
+/// work, so the chains run in a plain loop instead — the per-chain work is
+/// byte-for-byte the same either way (clone, run, collect in chain order),
+/// so results are identical and the single-core wall-clock is never worse
+/// than running the chains sequentially by hand.
+fn map_chains(
+    dojo: &Dojo,
+    chain_ids: Vec<usize>,
+    run_chain: impl Fn(&mut Dojo, usize) -> SearchResult + Sync,
+) -> Vec<SearchResult> {
+    let run = |c: usize| {
+        let mut chain_dojo = dojo.clone();
+        run_chain(&mut chain_dojo, c)
+    };
+    if cores() == 1 {
+        chain_ids.into_iter().map(run).collect()
+    } else {
+        par_map(chain_ids, run)
+    }
+}
 
 /// Seed for one chain: mixed from the global seed and the chain index so
 /// chains are decorrelated and insensitive to how work lands on threads.
@@ -104,9 +131,8 @@ pub fn anneal_parallel_resumable(
     let chains = chains.max(1);
     completed.truncate(chains);
     let start = completed.len();
-    let fresh = par_map((start..chains).collect::<Vec<_>>(), |c| {
-        let mut chain_dojo = dojo.clone();
-        crate::simulated_annealing(&mut chain_dojo, space, budget_per_chain, chain_seed(seed, c))
+    let fresh = map_chains(dojo, (start..chains).collect(), |chain_dojo, c| {
+        crate::simulated_annealing(chain_dojo, space, budget_per_chain, chain_seed(seed, c))
     });
     let fresh_evals: u64 = fresh.iter().map(|r| r.trace.last().map_or(0, |t| t.0)).sum();
     dojo.charge_evaluations(fresh_evals);
@@ -149,10 +175,7 @@ fn parallel_search(
     run_chain: impl Fn(&mut Dojo, usize) -> SearchResult + Sync,
 ) -> SearchResult {
     let chains = chains.max(1);
-    let results = par_map((0..chains).collect::<Vec<_>>(), |c| {
-        let mut chain_dojo = dojo.clone();
-        run_chain(&mut chain_dojo, c)
-    });
+    let results = map_chains(dojo, (0..chains).collect(), run_chain);
     let (best, total_evals) = merge_chains(results);
     dojo.charge_evaluations(total_evals);
     if best.best_runtime < dojo.best().1 {

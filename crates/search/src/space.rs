@@ -11,6 +11,50 @@ use perfdojo_core::Dojo;
 use perfdojo_transform::{Action, Loc, Transform};
 use perfdojo_util::rng::{IndexedRandom, Rng};
 
+/// How to restore a candidate sequence after an in-place [`SearchSpace::propose`].
+///
+/// `propose` edits the candidate directly instead of cloning it (an
+/// annealing chain deep in a run carries hundreds of actions, and cloning
+/// them every iteration dominated the incremental engine's hot loop), so
+/// rejection needs an explicit inverse. [`revert`] applies it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Undo {
+    /// Remove the action that `propose` pushed at the end.
+    PopLast,
+    /// Re-insert `action` at `index` (inverse of a removal or retract).
+    Reinsert {
+        /// Position the action was removed from.
+        index: usize,
+        /// The removed action.
+        action: Action,
+    },
+    /// Put `action` back at `index` (inverse of an in-place replacement).
+    Restore {
+        /// Position that was overwritten.
+        index: usize,
+        /// The original action.
+        action: Action,
+    },
+    /// Replace the whole sequence (generic fallback for spaces that only
+    /// implement [`SearchSpace::neighbor`]).
+    Swap(Vec<Action>),
+    /// The proposal left the sequence unchanged.
+    None,
+}
+
+/// Apply an [`Undo`] record, restoring `seq` to its pre-`propose` content.
+pub fn revert(seq: &mut Vec<Action>, undo: Undo) {
+    match undo {
+        Undo::PopLast => {
+            seq.pop();
+        }
+        Undo::Reinsert { index, action } => seq.insert(index, action),
+        Undo::Restore { index, action } => seq[index] = action,
+        Undo::Swap(old) => *seq = old,
+        Undo::None => {}
+    }
+}
+
 /// A structure over candidate transformation sequences. `Sync` so one
 /// space instance can serve the K concurrent chains of the parallel
 /// searches ([`crate::parallel`]).
@@ -20,6 +64,15 @@ pub trait SearchSpace: Sync {
 
     /// A random neighbor of `seq`.
     fn neighbor(&self, seq: &[Action], dojo: &mut Dojo, rng: &mut Rng) -> Vec<Action>;
+
+    /// Edit `seq` in place to a random neighbor and return the inverse
+    /// edit. Must draw the exact same random decisions as [`Self::neighbor`]
+    /// so both forms produce bit-identical trajectories; the default
+    /// delegates to `neighbor` and swaps the whole sequence.
+    fn propose(&self, seq: &mut Vec<Action>, dojo: &mut Dojo, rng: &mut Rng) -> Undo {
+        let next = self.neighbor(seq, dojo, rng);
+        Undo::Swap(std::mem::replace(seq, next))
+    }
 }
 
 /// Edge-structured space: follow the transformation graph one move at a
@@ -41,11 +94,30 @@ impl SearchSpace for EdgesSpace {
         if dojo.load_sequence(&next).is_err() {
             return next;
         }
-        let actions = dojo.actions();
-        if let Some(a) = actions.choose(rng) {
-            next.push(a.clone());
+        let a = dojo.actions_cached().choose(rng).cloned();
+        if let Some(a) = a {
+            next.push(a);
         }
         next
+    }
+
+    fn propose(&self, seq: &mut Vec<Action>, dojo: &mut Dojo, rng: &mut Rng) -> Undo {
+        // same decision sequence as `neighbor`, applied in place
+        if !seq.is_empty() && rng.random_bool(0.25) {
+            let action = seq.pop().expect("checked non-empty");
+            return Undo::Reinsert { index: seq.len(), action };
+        }
+        if dojo.load_sequence(seq).is_err() {
+            return Undo::None;
+        }
+        let a = dojo.actions_cached().choose(rng).cloned();
+        match a {
+            Some(a) => {
+                seq.push(a);
+                Undo::PopLast
+            }
+            None => Undo::None,
+        }
     }
 }
 
@@ -90,6 +162,43 @@ impl SearchSpace for HeuristicSpace {
             }
         }
         next
+    }
+
+    fn propose(&self, seq: &mut Vec<Action>, dojo: &mut Dojo, rng: &mut Rng) -> Undo {
+        // same decision sequence as `neighbor`, applied in place
+        if seq.is_empty() {
+            return EdgesSpace.propose(seq, dojo, rng);
+        }
+        match rng.random_range(0..3u32) {
+            0 => {
+                let i = rng.random_range(0..seq.len());
+                match reparameterize(&seq[i], dojo, rng) {
+                    Some(alt) => {
+                        let action = std::mem::replace(&mut seq[i], alt);
+                        Undo::Restore { index: i, action }
+                    }
+                    None => Undo::None,
+                }
+            }
+            1 => {
+                let i = rng.random_range(0..seq.len());
+                let action = seq.remove(i);
+                Undo::Reinsert { index: i, action }
+            }
+            _ => {
+                if dojo.load_sequence(seq).is_err() {
+                    return Undo::None;
+                }
+                let suggestions = suggest(dojo);
+                match suggestions.choose(rng) {
+                    Some(a) => {
+                        seq.push(a.clone());
+                        Undo::PopLast
+                    }
+                    None => Undo::None,
+                }
+            }
+        }
     }
 }
 
@@ -195,6 +304,33 @@ mod tests {
             s = n;
         }
         assert!(grew);
+    }
+
+    /// `propose` must mirror `neighbor` decision-for-decision: same rng
+    /// seed, same resulting candidate — and `revert` must be its exact
+    /// inverse. This is what keeps the in-place annealing loop bit-identical
+    /// to the historical clone-based one.
+    #[test]
+    fn propose_matches_neighbor_and_reverts() {
+        for space in [&EdgesSpace as &dyn SearchSpace, &HeuristicSpace] {
+            let mut d1 = dojo();
+            let mut d2 = dojo();
+            let mut rng1 = Rng::seed_from_u64(7);
+            let mut rng2 = Rng::seed_from_u64(7);
+            let mut s1 = space.initial(&mut d1);
+            let mut s2 = space.initial(&mut d2);
+            assert_eq!(s1, s2);
+            for _ in 0..20 {
+                let before = s2.clone();
+                let next = space.neighbor(&s1, &mut d1, &mut rng1);
+                let undo = space.propose(&mut s2, &mut d2, &mut rng2);
+                assert_eq!(s2, next, "propose and neighbor must agree");
+                let mut reverted = s2.clone();
+                revert(&mut reverted, undo);
+                assert_eq!(reverted, before, "revert must restore the pre-propose candidate");
+                s1 = next;
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,13 @@ use perfdojo_ir::Program;
 /// snapshots are moves, not extra clones: `push` already owns the outgoing
 /// program and simply retains it. This is what makes the Dojo's prefix
 /// replay (`perfdojo-core`) incremental.
+///
+/// The non-destructive property is bidirectional: `pop` retains the
+/// removed step's *post*-state in a redo journal (again a move, not a
+/// clone), so re-pushing the action just popped restores its result
+/// without re-applying the transformation. Annealing searches hit this
+/// constantly — a rejected "retract the last step" proposal pops a step
+/// and immediately re-pushes it. Any diverging push discards the journal.
 #[derive(Clone, Debug)]
 pub struct History {
     /// The untransformed program.
@@ -31,6 +38,12 @@ pub struct History {
     current: Program,
     /// `pre[i]` is the program state *before* `steps[i]` was applied.
     pre: Vec<Program>,
+    /// Redo journal: `(action, post-state)` pairs retained by `pop` /
+    /// `truncate_to`, most recently popped last. Valid only for the exact
+    /// position they were popped from, which the LIFO discipline
+    /// guarantees: each entry corresponds to the state left after the pop
+    /// that created it, and the journal is cleared by any diverging push.
+    redo: Vec<(Action, Program)>,
 }
 
 /// Result of replaying an edited sequence: the reached program plus the
@@ -46,7 +59,13 @@ pub struct Replay {
 impl History {
     /// Start a history at `initial`.
     pub fn new(initial: Program) -> Self {
-        History { current: initial.clone(), initial, steps: Vec::new(), pre: Vec::new() }
+        History {
+            current: initial.clone(),
+            initial,
+            steps: Vec::new(),
+            pre: Vec::new(),
+            redo: Vec::new(),
+        }
     }
 
     /// The current (fully transformed) program.
@@ -66,7 +85,21 @@ impl History {
 
     /// Apply and record one action. The outgoing program is retained as the
     /// step's pre-state snapshot (a move, not a clone).
+    ///
+    /// Re-pushing the action most recently popped restores its retained
+    /// post-state instead of re-applying the transformation (application
+    /// purity makes the two indistinguishable); pushing anything else
+    /// discards the redo journal.
     pub fn push(&mut self, action: Action) -> Result<&Program, TransformError> {
+        if let Some((redone, _)) = self.redo.last() {
+            if *redone == action {
+                let (action, post) = self.redo.pop().expect("just checked");
+                self.steps.push(action);
+                self.pre.push(std::mem::replace(&mut self.current, post));
+                return Ok(&self.current);
+            }
+            self.redo.clear();
+        }
         let next = action.apply(&self.current)?;
         self.steps.push(action);
         self.pre.push(std::mem::replace(&mut self.current, next));
@@ -74,20 +107,24 @@ impl History {
     }
 
     /// Undo the most recent action (O(1): restores the step's pre-state
-    /// snapshot; application purity makes this identical to a replay).
+    /// snapshot; application purity makes this identical to a replay). The
+    /// undone post-state moves to the redo journal.
     pub fn pop(&mut self) -> Option<Action> {
         let last = self.steps.pop()?;
-        self.current = self.pre.pop().expect("pre-state recorded per step");
+        let post = std::mem::replace(
+            &mut self.current,
+            self.pre.pop().expect("pre-state recorded per step"),
+        );
+        self.redo.push((last.clone(), post));
         Some(last)
     }
 
     /// Truncate back to the first `len` steps (O(steps dropped), no
-    /// replay). No-op when `len >= self.len()`.
+    /// replay; the dropped steps move to the redo journal in pop order).
+    /// No-op when `len >= self.len()`.
     pub fn truncate_to(&mut self, len: usize) {
-        if len < self.steps.len() {
-            self.steps.truncate(len);
-            self.pre.truncate(len + 1);
-            self.current = self.pre.pop().expect("pre-state recorded per step");
+        while self.steps.len() > len {
+            self.pop();
         }
     }
 
@@ -254,6 +291,46 @@ mod tests {
         };
         h.pop().unwrap();
         assert_eq!(h.current(), &mid);
+    }
+
+    #[test]
+    fn repush_after_pop_restores_without_reapplying() {
+        let p = base();
+        let mut h = History::new(p);
+        let a = split(8, &[0, 0]);
+        let b = Action { transform: Transform::Parallelize, loc: Loc::Node(Path::from([0])) };
+        h.push(a.clone()).unwrap();
+        h.push(b.clone()).unwrap();
+        let deepest = h.current().clone();
+        // pop twice, re-push the same actions: both restores come from the
+        // redo journal (the zero-apply pin lives in perfdojo-core's
+        // isolated `replay_counts` binary, where the process-global apply
+        // counter is not polluted by concurrent tests)
+        h.pop().unwrap();
+        h.pop().unwrap();
+        h.push(a).unwrap();
+        h.push(b).unwrap();
+        assert_eq!(h.current(), &deepest);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn diverging_push_discards_redo_journal() {
+        let p = base();
+        let mut h = History::new(p);
+        let a = split(8, &[0, 0]);
+        h.push(a).unwrap();
+        h.pop().unwrap();
+        // a different action clears the journal and applies normally
+        let c = split(4, &[0, 0]);
+        h.push(c).unwrap();
+        let inner = h.current().node(&Path::from([0, 0, 0])).unwrap().as_scope().unwrap();
+        assert_eq!(inner.trip(), 4);
+        // the popped split-8 post-state must be gone: re-pushing split 8
+        // now applies on top of split 4 (nested), not restore the old state
+        let d = split(2, &[0, 0, 0]);
+        h.push(d).unwrap();
+        assert_eq!(h.len(), 2);
     }
 
     #[test]

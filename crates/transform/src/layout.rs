@@ -229,7 +229,7 @@ fn rewrite_accesses(nodes: &mut [Node], f: &mut dyn FnMut(&mut perfdojo_ir::Acce
                 f(&mut op.out);
                 rewrite_expr(&mut op.expr, f);
             }
-            Node::Scope(s) => rewrite_accesses(&mut s.children, f),
+            Node::Scope(s) => rewrite_accesses(s.children_mut(), f),
         }
     }
 }

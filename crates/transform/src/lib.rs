@@ -19,6 +19,7 @@
 //! [`TransformLibrary`]).
 
 pub mod deps;
+pub mod finders;
 pub mod history;
 pub mod layout;
 pub mod scopes;
@@ -28,7 +29,7 @@ pub use history::{replay, replay_sequence, History, Replay, ReplayError};
 pub use layout::BufDimLoc;
 pub use serial::{parse_action, parse_loc, parse_transform};
 
-use perfdojo_ir::{Location, Path, Program, ScopeKind};
+use perfdojo_ir::{Arena, Location, Path, Program, ScopeKind};
 use std::fmt;
 
 /// Failure to apply a transformation.
@@ -156,7 +157,73 @@ impl fmt::Display for Transform {
 impl Transform {
     /// All locations in `p` where this transformation applies without
     /// violating semantics (paper: applicability detection).
+    ///
+    /// Convenience wrapper that flattens `p` into an [`Arena`] and scans it;
+    /// callers querying many transforms on one program state should build
+    /// the arena once and use [`Transform::find_locations_in`] (as
+    /// [`available_actions`] does).
     pub fn find_locations(&self, p: &Program) -> Vec<Loc> {
+        self.find_locations_in(&Arena::build(p))
+    }
+
+    /// Arena-based applicability scan: same results, same order as
+    /// [`Transform::find_locations_tree`], without re-walking the tree per
+    /// query (see [`finders`]).
+    pub fn find_locations_in(&self, a: &Arena) -> Vec<Loc> {
+        match self {
+            Transform::SplitScope { tile } => {
+                finders::find_split(a, *tile).into_iter().map(Loc::Node).collect()
+            }
+            Transform::JoinScopes => finders::find_join(a).into_iter().map(Loc::Node).collect(),
+            Transform::FissionScope => finders::find_fission(a)
+                .into_iter()
+                .map(|(p_, i)| Loc::NodeAt(p_, i))
+                .collect(),
+            Transform::InterchangeScopes => {
+                finders::find_interchange(a).into_iter().map(Loc::Node).collect()
+            }
+            Transform::ReorderOps => finders::find_reorder(a).into_iter().map(Loc::Node).collect(),
+            Transform::SplitReduction { tile } => {
+                finders::find_split_reduction(a, *tile).into_iter().map(Loc::Node).collect()
+            }
+            Transform::Unroll => finders::find_unroll(a).into_iter().map(Loc::Node).collect(),
+            Transform::Vectorize { width } => {
+                finders::find_vectorize(a, *width).into_iter().map(Loc::Node).collect()
+            }
+            Transform::Parallelize => {
+                finders::find_parallelize(a).into_iter().map(Loc::Node).collect()
+            }
+            Transform::BindGpu(kind) => {
+                finders::find_bind_gpu(a, *kind).into_iter().map(Loc::Node).collect()
+            }
+            Transform::SetSeq => finders::find_set_seq(a).into_iter().map(Loc::Node).collect(),
+            Transform::ReuseDims => {
+                finders::find_reuse(a).into_iter().map(Loc::BufferDim).collect()
+            }
+            Transform::MaterializeDims => {
+                finders::find_materialize(a).into_iter().map(Loc::BufferDim).collect()
+            }
+            Transform::SwapDims => {
+                finders::find_swap_dims(a).into_iter().map(Loc::BufferDim).collect()
+            }
+            Transform::PadDim { align } => {
+                finders::find_pad(a, *align).into_iter().map(Loc::BufferDim).collect()
+            }
+            Transform::SetLocation(target) => {
+                finders::find_set_location(a, *target).into_iter().map(Loc::Buffer).collect()
+            }
+            Transform::EnableSsr => {
+                finders::find_enable_ssr(a).into_iter().map(Loc::Node).collect()
+            }
+            Transform::EnableFrep => {
+                finders::find_enable_frep(a).into_iter().map(Loc::Node).collect()
+            }
+        }
+    }
+
+    /// Reference tree-walking applicability scan. Kept as the executable
+    /// specification the arena finders are conformance-tested against.
+    pub fn find_locations_tree(&self, p: &Program) -> Vec<Loc> {
         match self {
             Transform::SplitScope { tile } => {
                 scopes::find_split(p, *tile).into_iter().map(Loc::Node).collect()
@@ -375,9 +442,15 @@ impl TransformLibrary {
 /// the Dojo's action space at the current state (hundreds of moves on
 /// nontrivial kernels, per the paper).
 pub fn available_actions(p: &Program, lib: &TransformLibrary) -> Vec<Action> {
+    available_actions_in(&Arena::build(p), lib)
+}
+
+/// [`available_actions`] on an already-built [`Arena`]: one flattening pass
+/// serves every transform in the library.
+pub fn available_actions_in(a: &Arena, lib: &TransformLibrary) -> Vec<Action> {
     let mut out = Vec::new();
     for t in &lib.transforms {
-        for loc in t.find_locations(p) {
+        for loc in t.find_locations_in(a) {
             out.push(Action { transform: t.clone(), loc });
         }
     }

@@ -44,7 +44,7 @@ fn remap_subtree(node: &Node, f: &mut dyn FnMut(usize) -> usize) -> Node {
             kind: s.kind,
             frep: s.frep,
             ssr: s.ssr,
-            children: s.children.iter().map(|c| remap_subtree(c, f)).collect(),
+            children: std::sync::Arc::new(s.children.iter().map(|c| remap_subtree(c, f)).collect()),
         }),
     }
 }
@@ -61,7 +61,7 @@ fn substitute_subtree(node: &Node, depth: usize, repl: &Affine) -> Node {
             kind: s.kind,
             frep: s.frep,
             ssr: s.ssr,
-            children: s.children.iter().map(|c| substitute_subtree(c, depth, repl)).collect(),
+            children: std::sync::Arc::new(s.children.iter().map(|c| substitute_subtree(c, depth, repl)).collect()),
         }),
     }
 }
@@ -162,7 +162,7 @@ pub fn apply_join(p: &Program, path: &Path) -> Result<Program, TransformError> {
     };
     let mut out = p.clone();
     if let Some(Node::Scope(s1)) = out.node_mut(path) {
-        s1.children.extend(s2_children);
+        s1.children_mut().extend(s2_children.iter().cloned());
     }
     let (sibs, idx) = perfdojo_ir::path::siblings_mut(&mut out.roots, &next)
         .ok_or_else(|| TransformError::NotApplicable("sibling lookup failed".into()))?;

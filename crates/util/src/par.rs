@@ -10,13 +10,20 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Number of worker threads for `n` items: every core, capped by `n`.
-fn workers_for(n: usize) -> usize {
+/// Independent cores the pool can use, as [`std::thread::available_parallelism`]
+/// reports (4 when the query fails). This is exactly what [`par_map`] spawns
+/// against, so callers deciding between a thread fan-out and a plain loop —
+/// and benchmarks reporting the parallelism they ran under — see the same
+/// number the pool does.
+pub fn cores() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
-        .min(n)
-        .max(1)
+}
+
+/// Number of worker threads for `n` items: every core, capped by `n`.
+fn workers_for(n: usize) -> usize {
+    cores().min(n).max(1)
 }
 
 /// Apply `f` to every item on a scoped thread pool; results in input order.
