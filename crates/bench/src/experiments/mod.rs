@@ -11,6 +11,7 @@ pub mod searchperf;
 pub mod serve;
 pub mod snitch;
 pub mod tables;
+pub mod transfer;
 pub mod x86;
 
 pub use ablations::*;
@@ -24,6 +25,7 @@ pub use searchperf::*;
 pub use serve::*;
 pub use snitch::*;
 pub use tables::*;
+pub use transfer::*;
 pub use x86::*;
 
 /// Comma-separated labels of the tuning suite, for error messages when an
@@ -61,6 +63,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn() -> String)> {
         ("fleet", fleet::exp_fleet),
         ("graph", graph::exp_graph),
         ("resume", resume::exp_resume),
+        ("transfer", transfer::exp_transfer),
         ("ablate_maxq", ablations::exp_ablate_maxq),
         ("ablate_reward", ablations::exp_ablate_reward),
         ("ablate_dqn", ablations::exp_ablate_dqn),

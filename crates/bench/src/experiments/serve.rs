@@ -82,6 +82,7 @@ fn pretuned() -> Vec<(&'static str, Vec<usize>)> {
 struct RoundStats {
     served: usize,
     exact: usize,
+    parameterized: usize,
     nearest: usize,
     heuristic: usize,
     naive: usize,
@@ -154,8 +155,15 @@ fn run_load() -> Result<ServeRun, String> {
     let mut wall_serving = 0.0;
 
     for _ in 0..ROUNDS {
-        let mut stats =
-            RoundStats { served: 0, exact: 0, nearest: 0, heuristic: 0, naive: 0, swap: None };
+        let mut stats = RoundStats {
+            served: 0,
+            exact: 0,
+            parameterized: 0,
+            nearest: 0,
+            heuristic: 0,
+            naive: 0,
+            swap: None,
+        };
         let t0 = Instant::now();
         for _ in 0..REQUESTS_PER_ROUND {
             let q = queries[zipf.sample(&mut rng)].clone();
@@ -174,6 +182,7 @@ fn run_load() -> Result<ServeRun, String> {
                 stats.served += 1;
                 match r.tier {
                     HitTier::Exact => stats.exact += 1,
+                    HitTier::Parameterized => stats.parameterized += 1,
                     HitTier::Nearest => stats.nearest += 1,
                     HitTier::Heuristic => stats.heuristic += 1,
                     HitTier::Naive => stats.naive += 1,
@@ -224,11 +233,18 @@ fn emit_json(run: &ServeRun) -> String {
     j.push_str(&format!("  \"submitted\": {},\n", run.submitted));
     j.push_str(&format!("  \"rejected\": {},\n", run.rejected));
     j.push_str(&format!("  \"served\": {},\n", run.latencies.len()));
-    let (e, n, h, v) = run.rounds.iter().fold((0, 0, 0, 0), |acc, r| {
-        (acc.0 + r.exact, acc.1 + r.nearest, acc.2 + r.heuristic, acc.3 + r.naive)
+    let (e, p, n, h, v) = run.rounds.iter().fold((0, 0, 0, 0, 0), |acc, r| {
+        (
+            acc.0 + r.exact,
+            acc.1 + r.parameterized,
+            acc.2 + r.nearest,
+            acc.3 + r.heuristic,
+            acc.4 + r.naive,
+        )
     });
     j.push_str(&format!(
-        "  \"tiers\": {{ \"exact\": {e}, \"nearest\": {n}, \"heuristic\": {h}, \"naive\": {v} }},\n"
+        "  \"tiers\": {{ \"exact\": {e}, \"parameterized\": {p}, \"nearest\": {n}, \
+         \"heuristic\": {h}, \"naive\": {v} }},\n"
     ));
     j.push_str(&format!(
         "  \"latency_units\": {{ \"p50\": {}, \"p99\": {}, \"max\": {} }},\n",
@@ -244,10 +260,12 @@ fn emit_json(run: &ServeRun) -> String {
     j.push_str("  \"per_round\": [\n");
     for (i, r) in run.rounds.iter().enumerate() {
         j.push_str(&format!(
-            "    {{ \"round\": {i}, \"served\": {}, \"exact\": {}, \"nearest\": {}, \
+            "    {{ \"round\": {i}, \"served\": {}, \"exact\": {}, \"parameterized\": {}, \
+             \"nearest\": {}, \
              \"heuristic\": {}, \"naive\": {}, \"swap_generation\": {}, \"swap_tuned\": {} }}{}\n",
             r.served,
             r.exact,
+            r.parameterized,
             r.nearest,
             r.heuristic,
             r.naive,
@@ -264,13 +282,14 @@ fn try_run_serve(json_path: Option<&std::path::Path>) -> Result<String, String> 
     let run = run_load()?;
     let mut t = Table::new(
         "Serving tier: Zipf load, between-round tune drains and hot swaps (x86)",
-        &["round", "served", "exact", "nearest", "heuristic", "naive", "swap"],
+        &["round", "served", "exact", "param", "nearest", "heuristic", "naive", "swap"],
     );
     for (i, r) in run.rounds.iter().enumerate() {
         t.row(vec![
             i.to_string(),
             r.served.to_string(),
             r.exact.to_string(),
+            r.parameterized.to_string(),
             r.nearest.to_string(),
             r.heuristic.to_string(),
             r.naive.to_string(),

@@ -19,7 +19,7 @@ use perfdojo_rl::PerfLlmConfig;
 use perfdojo_search::checkpoint::{parse_anneal, parse_chains, serialize_anneal, serialize_chains};
 use perfdojo_search::parallel::merge_chains;
 use perfdojo_search::{
-    anneal_parallel_resumable, anneal_resume, AnnealProgress, AnnealState, HeuristicSpace,
+    anneal_parallel_resumable_warm, anneal_resume, AnnealProgress, AnnealState, HeuristicSpace,
     SearchResult,
 };
 use perfdojo_transform::Action;
@@ -152,12 +152,48 @@ pub struct LibraryBuilder {
     pub strategy: Strategy,
     /// Global seed; per-job seeds are derived from it.
     pub seed: u64,
+    /// Transfer index used to warm-start search-based jobs: each job's
+    /// search begins from the materialized family schedule (when one fits
+    /// the job's kernel) instead of the empty program. `None` tunes cold.
+    /// The index is part of a job's identity — rebuilding or resuming with
+    /// a different index is a different build.
+    pub warm: Option<std::sync::Arc<crate::transfer::TransferIndex>>,
 }
 
 impl LibraryBuilder {
-    /// A builder with the given strategy and global seed.
+    /// A builder with the given strategy and global seed (cold: no
+    /// transfer warm-starting).
     pub fn new(strategy: Strategy, seed: u64) -> LibraryBuilder {
-        LibraryBuilder { strategy, seed }
+        LibraryBuilder { strategy, seed, warm: None }
+    }
+
+    /// Warm-start search-based jobs from the given transfer index.
+    pub fn with_warm_index(
+        mut self,
+        index: std::sync::Arc<crate::transfer::TransferIndex>,
+    ) -> LibraryBuilder {
+        self.warm = Some(index);
+        self
+    }
+
+    /// Warm-start search-based jobs from parameterized schedules fit over
+    /// `lib`'s records (a no-op when nothing fits).
+    pub fn with_warm_from(self, lib: &Library) -> LibraryBuilder {
+        let index = crate::transfer::TransferIndex::build(lib);
+        if index.is_empty() {
+            return self;
+        }
+        self.with_warm_index(std::sync::Arc::new(index))
+    }
+
+    /// The warm-start sequence for one job: the transfer index's
+    /// materialized schedule for the job's kernel signature, empty when
+    /// there is no index or no covering family.
+    pub fn warm_steps(&self, kernel: &KernelInstance, target: &Target) -> Vec<Action> {
+        self.warm
+            .as_ref()
+            .and_then(|ix| ix.materialize_for(&KernelSig::of(&kernel.program, &target.name)))
+            .unwrap_or_default()
     }
 
     /// Seed for one job, mixed from the global seed and job identity so a
@@ -184,22 +220,36 @@ impl LibraryBuilder {
         };
         let naive_cost = dojo.initial_runtime();
         let seed = self.job_seed(&kernel.label, &target.name);
+        let warm = self.warm_steps(kernel, target);
         let (steps, cost) = match &self.strategy {
             Strategy::Heuristic => {
                 let runtime = perfdojo_search::heuristic_pass(&mut dojo);
                 (dojo.history.steps.clone(), runtime)
             }
             Strategy::Anneal { budget } => {
-                let r = perfdojo_search::anneal_heuristic(&mut dojo, *budget, seed);
+                let r = perfdojo_search::simulated_annealing_warm(
+                    &mut dojo,
+                    &HeuristicSpace,
+                    *budget,
+                    seed,
+                    &warm,
+                );
                 (r.best_steps, r.best_runtime)
             }
             Strategy::AnnealMulti { budget, chains } => {
-                let r = perfdojo_search::anneal_heuristic_parallel(&mut dojo, *chains, *budget, seed);
+                let r = perfdojo_search::anneal_parallel_warm(
+                    &mut dojo,
+                    &HeuristicSpace,
+                    *chains,
+                    *budget,
+                    seed,
+                    &warm,
+                );
                 (r.best_steps, r.best_runtime)
             }
             Strategy::PerfLlm { episodes } => {
                 let cfg = PerfLlmConfig { episodes: *episodes, ..PerfLlmConfig::default() };
-                let r = perfdojo_rl::optimize(&mut dojo, &cfg, seed);
+                let r = perfdojo_rl::optimize_warm(&mut dojo, &cfg, seed, &warm);
                 (r.best_steps, r.best_runtime)
             }
         };
@@ -376,6 +426,7 @@ impl LibraryBuilder {
         let naive_cost = dojo.initial_runtime();
         let base_evals = dojo.evaluations();
         let seed = self.job_seed(&kernel.label, &target.name);
+        let warm = self.warm_steps(kernel, target);
         let ctx = |e: String| format!("{} on {}: {e}", kernel.label, target.name);
         if inflight.is_none() {
             sink.event("job")
@@ -397,7 +448,7 @@ impl LibraryBuilder {
                         s.reattach(&mut dojo);
                         s
                     }
-                    None => AnnealState::start(&mut dojo, &HeuristicSpace, seed),
+                    None => AnnealState::start_with_warm(&mut dojo, &HeuristicSpace, seed, &warm),
                 };
                 loop {
                     // a zero-step probe distinguishes "budget spent" from
@@ -427,12 +478,13 @@ impl LibraryBuilder {
                         return Ok(Sliced::Paused(Some(serialize_chains(&done_chains))));
                     }
                     let upto = done_chains.len() + 1;
-                    best = Some(anneal_parallel_resumable(
+                    best = Some(anneal_parallel_resumable_warm(
                         &mut dojo,
                         &HeuristicSpace,
                         upto,
                         *budget,
                         seed,
+                        &warm,
                         &mut done_chains,
                         Some(sink),
                     ));
@@ -446,7 +498,7 @@ impl LibraryBuilder {
                 let cfg = PerfLlmConfig { episodes: *episodes, ..PerfLlmConfig::default() };
                 let mut st = match &inflight {
                     Some(text) => perfdojo_rl::parse_train(text).map_err(&ctx)?,
-                    None => perfdojo_rl::TrainState::start(&dojo, &cfg, seed),
+                    None => perfdojo_rl::TrainState::start_warm(&mut dojo, &cfg, seed, &warm),
                 };
                 while st.episodes_done < cfg.episodes {
                     if !take_step(remaining) {
@@ -616,13 +668,12 @@ mod tests {
     /// Run a checkpointed build to completion in `step_limit`-sized slices,
     /// returning the final library text and the cache_hit-stripped trace.
     fn run_checkpointed(
-        strategy: Strategy,
+        builder: &LibraryBuilder,
         kernels: &[KernelInstance],
         targets: &[Target],
         dir: &std::path::Path,
         step_limit: Option<u64>,
     ) -> (String, String) {
-        let builder = LibraryBuilder::new(strategy, 5);
         let ckpt = BuildCheckpoint::open(dir).unwrap();
         loop {
             let mut lib = match Library::load(&ckpt.partial_path()) {
@@ -652,7 +703,8 @@ mod tests {
             LibraryBuilder::new(strategy, 5).build_into(&mut plain, &kernels, &targets);
 
             let dir = ckpt_tmpdir("plain-eq");
-            let (ckpt_text, _) = run_checkpointed(strategy, &kernels, &targets, &dir, None);
+            let builder = LibraryBuilder::new(strategy, 5);
+            let (ckpt_text, _) = run_checkpointed(&builder, &kernels, &targets, &dir, None);
             assert_eq!(plain.to_text(), ckpt_text, "{strategy:?}");
             std::fs::remove_dir_all(&dir).unwrap();
         }
@@ -664,16 +716,98 @@ mod tests {
         let targets = [Target::x86()];
         let strategy = Strategy::Anneal { budget: 10 };
 
+        let builder = LibraryBuilder::new(strategy, 5);
         let full_dir = ckpt_tmpdir("full");
         let (full_lib, full_trace) =
-            run_checkpointed(strategy, &kernels, &targets, &full_dir, None);
+            run_checkpointed(&builder, &kernels, &targets, &full_dir, None);
 
         let sliced_dir = ckpt_tmpdir("sliced");
         let (sliced_lib, sliced_trace) =
-            run_checkpointed(strategy, &kernels, &targets, &sliced_dir, Some(3));
+            run_checkpointed(&builder, &kernels, &targets, &sliced_dir, Some(3));
 
         assert_eq!(full_lib, sliced_lib, "library bytes must not depend on pausing");
         assert_eq!(full_trace, sliced_trace, "trace (minus cache_hit) must not depend on pausing");
+        std::fs::remove_dir_all(&full_dir).unwrap();
+        std::fs::remove_dir_all(&sliced_dir).unwrap();
+    }
+
+    /// A transfer index fit over a heuristic-tuned layernorm family (two
+    /// shapes), for warm-starting builds over the same kernels.
+    fn layernorm_warm_builder(strategy: Strategy) -> LibraryBuilder {
+        let kernels = tune(&["layernorm 1", "layernorm 2"]);
+        let mut donor = Library::new();
+        LibraryBuilder::new(Strategy::Heuristic, 7).build_into(
+            &mut donor,
+            &kernels,
+            &[Target::x86()],
+        );
+        let builder = LibraryBuilder::new(strategy, 5).with_warm_from(&donor);
+        assert!(builder.warm.is_some(), "layernorm family must fit");
+        builder
+    }
+
+    #[test]
+    fn warm_from_empty_library_is_cold() {
+        let builder = LibraryBuilder::new(Strategy::Anneal { budget: 10 }, 5)
+            .with_warm_from(&Library::new());
+        assert!(builder.warm.is_none());
+    }
+
+    #[test]
+    fn warm_build_is_deterministic_and_never_worse_than_cold() {
+        let kernels = tune(&["layernorm 1", "layernorm 2"]);
+        let targets = [Target::x86()];
+        let strategy = Strategy::Anneal { budget: 25 };
+
+        let mut cold = Library::new();
+        LibraryBuilder::new(strategy, 5).build_into(&mut cold, &kernels, &targets);
+
+        let warm_builder = layernorm_warm_builder(strategy);
+        let run = || {
+            let mut lib = Library::new();
+            warm_builder.build_into(&mut lib, &kernels, &targets);
+            lib
+        };
+        let warm = run();
+        assert_eq!(warm.to_text(), run().to_text(), "warm builds must be reproducible");
+        for rec in warm.records() {
+            let cold_rec = cold
+                .records()
+                .find(|r| r.sig.key() == rec.sig.key())
+                .expect("cold build tuned the same kernel");
+            assert!(
+                rec.cost <= cold_rec.cost,
+                "{}: warm {} worse than cold {}",
+                rec.label,
+                rec.cost,
+                cold_rec.cost
+            );
+        }
+    }
+
+    #[test]
+    fn warm_paused_and_resumed_build_is_byte_identical() {
+        // the exit-4 path: a warm-started checkpointed build killed at a
+        // step limit must resume to the exact bytes of an uninterrupted one
+        let kernels = tune(&["layernorm 1", "layernorm 2"]);
+        let targets = [Target::x86()];
+        let builder = layernorm_warm_builder(Strategy::Anneal { budget: 10 });
+
+        let full_dir = ckpt_tmpdir("warm-full");
+        let (full_lib, full_trace) =
+            run_checkpointed(&builder, &kernels, &targets, &full_dir, None);
+
+        let sliced_dir = ckpt_tmpdir("warm-sliced");
+        let (sliced_lib, sliced_trace) =
+            run_checkpointed(&builder, &kernels, &targets, &sliced_dir, Some(3));
+
+        assert_eq!(full_lib, sliced_lib, "warm library bytes must not depend on pausing");
+        assert_eq!(full_trace, sliced_trace);
+
+        // and the checkpointed warm build equals the plain warm build
+        let mut plain = Library::new();
+        builder.build_into(&mut plain, &kernels, &targets);
+        assert_eq!(plain.to_text(), full_lib);
         std::fs::remove_dir_all(&full_dir).unwrap();
         std::fs::remove_dir_all(&sliced_dir).unwrap();
     }
@@ -684,13 +818,14 @@ mod tests {
         let targets = [Target::x86()];
         let strategy = Strategy::PerfLlm { episodes: 3 };
 
+        let builder = LibraryBuilder::new(strategy, 5);
         let full_dir = ckpt_tmpdir("llm-full");
         let (full_lib, full_trace) =
-            run_checkpointed(strategy, &kernels, &targets, &full_dir, None);
+            run_checkpointed(&builder, &kernels, &targets, &full_dir, None);
 
         let sliced_dir = ckpt_tmpdir("llm-sliced");
         let (sliced_lib, sliced_trace) =
-            run_checkpointed(strategy, &kernels, &targets, &sliced_dir, Some(1));
+            run_checkpointed(&builder, &kernels, &targets, &sliced_dir, Some(1));
 
         assert_eq!(full_lib, sliced_lib);
         assert_eq!(full_trace, sliced_trace);

@@ -4,14 +4,17 @@
 //!
 //! 1. **Exact hit** — a record at the query's exact [`KernelSig`]: replay
 //!    its edits strictly.
-//! 2. **Fallback replay** — the nearest same-operator shape: replay its
+//! 2. **Parameterized** — the query's kernel family (same operator, any
+//!    shape) fit a parameterized schedule ([`crate::transfer`]):
+//!    materialize it at the query shape and replay leniently.
+//! 3. **Fallback replay** — the nearest same-operator shape: replay its
 //!    edits leniently (steps whose locations no longer exist at the new
 //!    shape are skipped), then re-validate. The paper's transformations are
 //!    location-addressed, so a schedule tuned at 24576x512 usually applies
 //!    verbatim at 128x64.
-//! 3. **Fallback heuristic** — nothing replayable: run the deterministic
+//! 4. **Fallback heuristic** — nothing replayable: run the deterministic
 //!    heuristic pass fresh.
-//! 4. **Naive** — even the heuristic found nothing; serve the program
+//! 5. **Naive** — even the heuristic found nothing; serve the program
 //!    untransformed.
 //!
 //! Every served schedule is re-validated (`perfdojo_ir::validate`), must
@@ -26,6 +29,7 @@ use perfdojo_core::{Dojo, Target};
 use perfdojo_ir::{validate, Program};
 use perfdojo_transform::{replay, replay_sequence, Action};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Above this many dynamic op instances, numeric verification is skipped
 /// (interpreting paper-scale kernels is not practical); mirrors the Dojo's
@@ -40,6 +44,15 @@ const VERIFY_TRIALS: usize = 2;
 pub enum Disposition {
     /// An exact-signature record replayed cleanly.
     ExactHit,
+    /// A parameterized family schedule materialized at the query shape.
+    Parameterized {
+        /// Key of the record that donated the schedule skeleton.
+        donor: String,
+        /// Records the parameter fit was taken over.
+        support: usize,
+        /// Worst per-parameter log residual of the fit.
+        residual: f64,
+    },
     /// A nearest-shape record replayed (possibly with skipped steps).
     FallbackReplay {
         /// Key of the record the schedule was borrowed from.
@@ -59,6 +72,9 @@ impl fmt::Display for Disposition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Disposition::ExactHit => write!(f, "exact-hit"),
+            Disposition::Parameterized { donor, support, residual } => {
+                write!(f, "parameterized from {donor} (support {support}, residual {residual:.3})")
+            }
             Disposition::FallbackReplay { from, distance, skipped } => {
                 write!(f, "fallback-replay from {from} (distance {distance:.3}, {skipped} skipped)")
             }
@@ -73,6 +89,7 @@ impl Disposition {
     pub fn tag(&self) -> &'static str {
         match self {
             Disposition::ExactHit => "exact-hit",
+            Disposition::Parameterized { .. } => "parameterized",
             Disposition::FallbackReplay { .. } => "fallback-replay",
             Disposition::FallbackHeuristic => "fallback-heuristic",
             Disposition::Naive => "naive",
@@ -113,6 +130,48 @@ struct Candidate {
     program: Program,
 }
 
+static EXACT_HITS: AtomicU64 = AtomicU64::new(0);
+static PARAMETERIZED_HITS: AtomicU64 = AtomicU64::new(0);
+static PARAMETERIZED_REJECTS: AtomicU64 = AtomicU64::new(0);
+static REPLAY_HITS: AtomicU64 = AtomicU64::new(0);
+static EMPTY_RECORD_SKIPS: AtomicU64 = AtomicU64::new(0);
+static HEURISTIC_SERVES: AtomicU64 = AtomicU64::new(0);
+static NAIVE_SERVES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide dispatch counters, one per tier outcome.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Tier-1 serves (exact-signature replay accepted).
+    pub exact_hits: u64,
+    /// Tier-2 serves (parameterized family schedule accepted).
+    pub parameterized_hits: u64,
+    /// Parameterized candidates that failed the acceptance checks.
+    pub parameterized_rejects: u64,
+    /// Tier-3 serves (nearest-shape lenient replay accepted).
+    pub replay_hits: u64,
+    /// Nearest records with no steps at all — nothing to replay, so the
+    /// tier is skipped (explicitly, and visibly here).
+    pub empty_record_skips: u64,
+    /// Tier-4 serves (fresh heuristic pass accepted).
+    pub heuristic_serves: u64,
+    /// Tier-5 serves (naive program, nothing else helped).
+    pub naive_serves: u64,
+}
+
+/// Snapshot of the process-wide dispatch counters. Compare deltas, not
+/// absolute values — other tests and serving threads dispatch concurrently.
+pub fn dispatch_stats() -> DispatchStats {
+    DispatchStats {
+        exact_hits: EXACT_HITS.load(Ordering::Relaxed),
+        parameterized_hits: PARAMETERIZED_HITS.load(Ordering::Relaxed),
+        parameterized_rejects: PARAMETERIZED_REJECTS.load(Ordering::Relaxed),
+        replay_hits: REPLAY_HITS.load(Ordering::Relaxed),
+        empty_record_skips: EMPTY_RECORD_SKIPS.load(Ordering::Relaxed),
+        heuristic_serves: HEURISTIC_SERVES.load(Ordering::Relaxed),
+        naive_serves: NAIVE_SERVES.load(Ordering::Relaxed),
+    }
+}
+
 impl Library {
     /// Resolve a schedule for `query` (a naive program) on `target`.
     ///
@@ -123,12 +182,12 @@ impl Library {
         let sig = KernelSig::of(query, &target.name);
         let naive_cost = target.machine.evaluate(query).map(|e| e.seconds).unwrap_or(f64::INFINITY);
 
-        // Tiers 1–2: cached records (exact, then nearest-shape).
+        // Tiers 1–3: cached records (exact, parameterized, nearest-shape).
         if let Some(result) = self.lookup_cached(&sig, query, target) {
             return result;
         }
 
-        // Tier 3: heuristic pass, tuned fresh for this query.
+        // Tier 4: heuristic pass, tuned fresh for this query.
         if let Ok(mut dojo) = Dojo::for_target(query.clone(), target) {
             let cost = perfdojo_search::heuristic_pass(&mut dojo);
             let steps = dojo.history.steps.clone();
@@ -139,12 +198,14 @@ impl Library {
                     program: dojo.current().clone(),
                 };
                 if let Some(result) = accept(cand, query, target, naive_cost) {
+                    HEURISTIC_SERVES.fetch_add(1, Ordering::Relaxed);
                     return result;
                 }
             }
         }
 
-        // Tier 4: naive.
+        // Tier 5: naive.
+        NAIVE_SERVES.fetch_add(1, Ordering::Relaxed);
         DispatchResult {
             disposition: Disposition::Naive,
             steps: Vec::new(),
@@ -156,8 +217,9 @@ impl Library {
     }
 
     /// The cached tiers of [`Library::lookup`] alone: exact hit (strict
-    /// replay) then nearest-shape fallback (lenient replay), both behind
-    /// the full acceptance checks. `None` means "nothing cached replayed" —
+    /// replay), then a parameterized family schedule ([`crate::transfer`]),
+    /// then nearest-shape fallback (lenient replay), all behind the full
+    /// acceptance checks. `None` means "nothing cached replayed" —
     /// the caller decides the fallback (full `lookup` runs the heuristic
     /// and naive tiers; subgraph dispatch in `serve` instead falls back to
     /// per-node single-kernel dispatch).
@@ -183,34 +245,79 @@ impl Library {
                     program,
                 };
                 if let Some(result) = accept(cand, query, target, naive_cost) {
+                    EXACT_HITS.fetch_add(1, Ordering::Relaxed);
                     return Some(result);
                 }
             }
         }
 
-        // Tier 2: nearest-shape fallback, lenient replay.
-        if let Some((rec, distance)) = self.nearest(sig) {
-            let rep = replay_sequence(query, &rec.steps);
-            let skipped = rep.skipped.len();
-            if skipped < rec.steps.len() {
-                let steps: Vec<Action> = rec
-                    .steps
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| !rep.skipped.contains(i))
-                    .map(|(_, a)| a.clone())
-                    .collect();
+        // Tier 2: parameterized family schedule, materialized at the query
+        // shape and replayed leniently.
+        if let Some(ps) = crate::transfer::fit_for(self, sig) {
+            let steps = ps.materialize(&sig.shape);
+            let rep = replay_sequence(query, &steps);
+            let applied: Vec<Action> = steps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !rep.skipped.contains(i))
+                .map(|(_, a)| a.clone())
+                .collect();
+            let served = if applied.is_empty() {
+                None
+            } else {
                 let cand = Candidate {
-                    disposition: Disposition::FallbackReplay {
-                        from: rec.sig.key(),
-                        distance,
-                        skipped,
+                    disposition: Disposition::Parameterized {
+                        donor: ps.donor.clone(),
+                        support: ps.support,
+                        residual: ps.residual,
                     },
-                    steps,
+                    steps: applied,
                     program: rep.program,
                 };
-                if let Some(result) = accept(cand, query, target, naive_cost) {
+                accept(cand, query, target, naive_cost)
+            };
+            match served {
+                Some(result) => {
+                    PARAMETERIZED_HITS.fetch_add(1, Ordering::Relaxed);
                     return Some(result);
+                }
+                None => {
+                    PARAMETERIZED_REJECTS.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // Tier 3: nearest-shape fallback, lenient replay.
+        if let Some((rec, distance)) = self.nearest(sig) {
+            if rec.steps.is_empty() {
+                // a zero-step record has nothing to replay; without this
+                // branch `skipped < rec.steps.len()` is vacuously false and
+                // the tier vanished with no stats trace
+                EMPTY_RECORD_SKIPS.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let rep = replay_sequence(query, &rec.steps);
+                let skipped = rep.skipped.len();
+                if skipped < rec.steps.len() {
+                    let steps: Vec<Action> = rec
+                        .steps
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !rep.skipped.contains(i))
+                        .map(|(_, a)| a.clone())
+                        .collect();
+                    let cand = Candidate {
+                        disposition: Disposition::FallbackReplay {
+                            from: rec.sig.key(),
+                            distance,
+                            skipped,
+                        },
+                        steps,
+                        program: rep.program,
+                    };
+                    if let Some(result) = accept(cand, query, target, naive_cost) {
+                        REPLAY_HITS.fetch_add(1, Ordering::Relaxed);
+                        return Some(result);
+                    }
                 }
             }
         }
@@ -231,7 +338,9 @@ fn accept(
         return None;
     }
     let cost = target.machine.evaluate(&cand.program).ok()?.seconds;
-    if cost > naive_cost {
+    // a poisoned or degenerate machine model can price a candidate at NaN;
+    // `cost > naive_cost` is false for NaN, so finiteness must be explicit
+    if !cost.is_finite() || cost > naive_cost {
         return None;
     }
     let verified = if query.dynamic_op_instances() <= VERIFY_WORK_LIMIT {
@@ -365,5 +474,99 @@ mod tests {
         assert!(query.dynamic_op_instances() > 2_000_000);
         assert_eq!(r.verified, None);
         assert!(r.cost <= r.naive_cost);
+    }
+
+    /// Library tuned over a two-shape family, queried at a third shape.
+    fn family_library() -> (Library, Target) {
+        let target = Target::x86();
+        let kernels: Vec<_> = perfdojo_kernels::tune_suite()
+            .into_iter()
+            .filter(|k| k.label.starts_with("layernorm"))
+            .collect();
+        let mut lib = Library::new();
+        LibraryBuilder::new(Strategy::Heuristic, 3).build_into(
+            &mut lib,
+            &kernels,
+            std::slice::from_ref(&target),
+        );
+        (lib, target)
+    }
+
+    #[test]
+    fn parameterized_tier_serves_family_fit() {
+        let (lib, target) = family_library();
+        let query = perfdojo_kernels::by_label_with_shape("layernorm 1", &[96, 48]).unwrap();
+        let before = dispatch_stats();
+        let r = lib.lookup(&query, &target);
+        assert_eq!(r.disposition.tag(), "parameterized", "{}", r.disposition);
+        assert!(r.speedup() >= 1.0);
+        assert_eq!(r.verified, Some(true), "the tier is numerically verified like the others");
+        assert!(!r.steps.is_empty());
+        let Disposition::Parameterized { donor, support, residual } = &r.disposition else {
+            panic!("tag/variant mismatch");
+        };
+        assert!(donor.contains("|x86"), "donor key names a library record: {donor}");
+        assert!(*support >= 1);
+        assert!(residual.is_finite());
+        let after = dispatch_stats();
+        assert!(after.parameterized_hits > before.parameterized_hits);
+    }
+
+    #[test]
+    fn poisoned_machine_model_serves_naive() {
+        let (lib, target) = tuned_library();
+        let mut poisoned = target.clone();
+        poisoned.machine.config.clock_ghz = f64::NAN; // every Estimate.seconds is NaN
+        let query = perfdojo_kernels::softmax(64, 64);
+        let r = lib.lookup(&query, &poisoned);
+        // before the finiteness guard, `cost > naive_cost` was false for
+        // NaN and the exact-hit tier served a NaN-cost schedule
+        assert_eq!(r.disposition, Disposition::Naive, "{}", r.disposition);
+        assert!(r.steps.is_empty());
+        assert!(r.cost.is_nan());
+    }
+
+    #[test]
+    fn zero_step_nearest_record_is_counted_in_stats() {
+        use crate::format::{Provenance, ScheduleRecord};
+        let target = Target::x86();
+        let mut lib = Library::new();
+        // a zero-step record (loadable from disk: step lines are optional)
+        lib.merge([ScheduleRecord {
+            sig: KernelSig::of(&perfdojo_kernels::softmax(4, 8), &target.name),
+            label: "softmax".into(),
+            steps: Vec::new(),
+            cost: 1.0e-9,
+            naive_cost: 2.0e-9,
+            model_version: crate::library::current_model_version(),
+            provenance: Provenance { strategy: "test".into(), seed: 0, budget: 1 },
+        }]);
+        let query = perfdojo_kernels::softmax(4, 16);
+        let before = dispatch_stats();
+        let r = lib.lookup(&query, &target);
+        let after = dispatch_stats();
+        assert!(
+            after.empty_record_skips > before.empty_record_skips,
+            "the empty-record skip must leave a stats trace"
+        );
+        // the tier falls through instead of serving the empty schedule
+        assert_ne!(r.disposition.tag(), "fallback-replay", "{}", r.disposition);
+        assert!(r.cost <= r.naive_cost || r.disposition == Disposition::Naive);
+    }
+
+    #[test]
+    fn dispatch_stats_count_every_tier() {
+        let (lib, target) = tuned_library();
+        let before = dispatch_stats();
+        lib.lookup(&perfdojo_kernels::softmax(64, 64), &target); // exact
+        lib.lookup(
+            &perfdojo_kernels::by_label_with_shape("softmax", &[96, 64]).unwrap(),
+            &target,
+        ); // replay
+        lib.lookup(&perfdojo_kernels::by_label_with_shape("rmsnorm", &[64, 64]).unwrap(), &target); // heuristic
+        let after = dispatch_stats();
+        assert!(after.exact_hits > before.exact_hits);
+        assert!(after.replay_hits > before.replay_hits);
+        assert!(after.heuristic_serves > before.heuristic_serves);
     }
 }

@@ -501,6 +501,38 @@ impl FleetDir {
         self.root.join("jobs.list")
     }
 
+    /// The frozen transfer-index file warm-starting every job (absent =
+    /// every job tunes cold).
+    pub fn warm_path(&self) -> PathBuf {
+        self.root.join("warm.pdt")
+    }
+
+    /// Freeze a transfer index fit over `lib`'s records, warm-starting
+    /// every job the fleet runs. Write-once by design: a job's outcome must
+    /// be a pure function of its identity and seed (parts are compared
+    /// byte-for-byte across workers), so the index is frozen at fleet init
+    /// and never updated while workers run. Returns `false` without
+    /// writing when an index is already frozen or nothing fits.
+    pub fn set_warm_from(&self, lib: &Library) -> io::Result<bool> {
+        if self.warm_path().exists() {
+            return Ok(false);
+        }
+        let index = crate::transfer::TransferIndex::build(lib);
+        if index.is_empty() {
+            return Ok(false);
+        }
+        atomic_write(&self.warm_path(), &index.render())?;
+        Ok(true)
+    }
+
+    /// The frozen warm index, when one was set at init (unreadable or
+    /// corrupt files mean cold tuning, not failure: the worker protocol
+    /// tolerates torn files everywhere else too).
+    pub fn warm_index(&self) -> Option<crate::transfer::TransferIndex> {
+        let text = std::fs::read_to_string(self.warm_path()).ok()?;
+        crate::transfer::TransferIndex::parse(&text).ok()
+    }
+
     /// Seed the queue with `jobs` and write the manifest. Idempotent: a
     /// job that already exists somewhere (queue, claim, or part) is not
     /// re-queued, so `init` on a live or finished fleet is a no-op.
@@ -934,7 +966,12 @@ fn run_job(
 ) -> Result<JobRun, String> {
     let target = target_by_name(&job.target).ok_or_else(|| format!("unknown target {:?}", job.target))?;
     let kernel = job.kernel()?;
-    let builder = LibraryBuilder::new(job.strategy, job.seed);
+    let mut builder = LibraryBuilder::new(job.strategy, job.seed);
+    if let Some(index) = fleet.warm_index() {
+        // the index is frozen at init, so every worker (and every retry
+        // after a crash) warm-starts the job identically
+        builder = builder.with_warm_index(std::sync::Arc::new(index));
+    }
     let ckpt = BuildCheckpoint::open(&fleet.ckpt_path(id))
         .map_err(|e| format!("checkpoint {id}: {e}"))?;
     let io_err = |e: io::Error| format!("fleet job {id}: {e}");
@@ -1157,6 +1194,45 @@ mod tests {
             merged.library.to_text(),
             plain.to_text(),
             "fleet must reproduce the plain build byte-for-byte"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn warm_fleet_matches_plain_warm_build_and_freezes_once() {
+        let dir = tmpdir("warm-eq");
+        let fleet = FleetDir::open(&dir).unwrap();
+        let labels = ["layernorm 1", "layernorm 2"];
+        let strategy = Strategy::Anneal { budget: 12 };
+        let kernels: Vec<KernelInstance> = perfdojo_kernels::tune_suite()
+            .into_iter()
+            .filter(|k| labels.contains(&k.label.as_str()))
+            .collect();
+
+        // donor library: heuristic-tuned family the index fits over
+        let mut donor = Library::new();
+        LibraryBuilder::new(Strategy::Heuristic, 7).build_into(
+            &mut donor,
+            &kernels,
+            &[Target::x86()],
+        );
+        assert!(fleet.set_warm_from(&donor).unwrap(), "layernorm family must fit");
+        assert!(!fleet.set_warm_from(&donor).unwrap(), "warm index is write-once");
+
+        fleet.init(&jobs(&labels, strategy, 5)).unwrap();
+        let report = run_fleet(&fleet, 2, &WorkerConfig::new(""), &FaultPlan::none()).unwrap();
+        assert!(report.drained);
+        let merged = fleet.merge();
+        assert!(merged.unfinished.is_empty());
+
+        let mut plain = Library::new();
+        LibraryBuilder::new(strategy, 5)
+            .with_warm_from(&donor)
+            .build_into(&mut plain, &kernels, &[Target::x86()]);
+        assert_eq!(
+            merged.library.to_text(),
+            plain.to_text(),
+            "warm fleet must reproduce the plain warm build byte-for-byte"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -18,9 +18,13 @@
 //!   crash-safe sequential variant that persists per-job progress.
 //! - [`checkpoint::BuildCheckpoint`] — the on-disk checkpoint directory
 //!   (done-job list, partial library, in-flight search state, event log).
-//! - [`dispatch`] — `Library::lookup`: exact hit → fallback replay →
-//!   heuristic pass → naive, every served schedule re-validated and (when
-//!   small enough) numerically verified.
+//! - [`dispatch`] — `Library::lookup`: exact hit → parameterized →
+//!   fallback replay → heuristic pass → naive, every served schedule
+//!   re-validated and (when small enough) numerically verified.
+//! - [`transfer`] — cross-shape generalization: per kernel-family
+//!   parameterized schedules fit over tuned records, materialized for any
+//!   query shape; feeds the parameterized dispatch tier and warm-starts
+//!   tune-miss / fleet searches.
 //! - [`fleet`] — the distributed, preemptible tuning fleet: a
 //!   filesystem-coordinated work queue claimed via atomic renames, with
 //!   heartbeat claims, stale-claim reclamation, deterministic lattice-join
@@ -43,11 +47,12 @@ pub mod format;
 pub mod library;
 pub mod serve;
 pub mod sig;
+pub mod transfer;
 
 pub use admission::{AdmissionError, AdmissionQueue, TuneQueue};
 pub use builder::{target_by_name, BuildProgress, LibraryBuilder, Strategy, TuneOutcome};
 pub use checkpoint::BuildCheckpoint;
-pub use dispatch::{DispatchResult, Disposition};
+pub use dispatch::{dispatch_stats, DispatchResult, DispatchStats, Disposition};
 pub use fleet::{
     join, join_libraries, run_fleet, run_worker, FaultKind, FaultPlan, FaultSite, FleetDir,
     FleetJob, FleetRunReport, FleetStatus, MergeOutcome, WorkerConfig, WorkerExit, WorkerReport,
@@ -59,3 +64,6 @@ pub use serve::{
     ServeStats, Server, TuneJob, TuneProgress,
 };
 pub use sig::KernelSig;
+pub use transfer::{
+    fit_family, fit_for, ParamFn, ParamSchedule, ParamStep, TransferIndex, RESIDUAL_LIMIT,
+};

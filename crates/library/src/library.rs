@@ -98,11 +98,17 @@ impl Library {
             if r.model_version != version || r.sig == *sig {
                 continue;
             }
-            if let Some(d) = sig.shape_distance(&r.sig) {
-                match &best {
-                    Some((_, bd)) if *bd <= d => {}
-                    _ => best = Some((r, d)),
-                }
+            let Some(d) = sig.shape_distance(&r.sig) else {
+                continue;
+            };
+            // pinned total order (distance, then sig key), independent of
+            // map iteration or insertion order
+            let better = match &best {
+                None => true,
+                Some((b, bd)) => d < *bd || (d == *bd && r.sig.key() < b.sig.key()),
+            };
+            if better {
+                best = Some((r, d));
             }
         }
         best
@@ -288,6 +294,25 @@ mod tests {
         // different target: nothing to fall back to
         let q_arm = KernelSig::of(&perfdojo_kernels::softmax(4, 16), "arm");
         assert!(lib.nearest(&q_arm).is_none());
+    }
+
+    #[test]
+    fn nearest_equidistant_candidates_resolve_by_key_in_any_insertion_order() {
+        let v = current_model_version();
+        let q = KernelSig::of(&perfdojo_kernels::softmax(4, 16), "x86");
+        // cols 8 and 32 are both one factor of two from 16: equal distance
+        let a = record(8, 1.0, &v);
+        let b = record(32, 1.0, &v);
+        let da = q.shape_distance(&a.sig).unwrap();
+        let db = q.shape_distance(&b.sig).unwrap();
+        assert_eq!(da.to_bits(), db.to_bits(), "candidates must be exactly equidistant");
+        let winner_key = a.sig.key().min(b.sig.key());
+        for pair in [[a.clone(), b.clone()], [b, a]] {
+            let mut lib = Library::new();
+            lib.merge(pair);
+            let (r, _) = lib.nearest(&q).unwrap();
+            assert_eq!(r.sig.key(), winner_key, "tie must pin to the smaller key");
+        }
     }
 
     #[test]

@@ -159,6 +159,8 @@ impl ServeQuery {
 pub enum HitTier {
     /// Exact-signature record replayed.
     Exact,
+    /// Parameterized family schedule materialized at the query shape.
+    Parameterized,
     /// Nearest-shape record replayed.
     Nearest,
     /// Fresh heuristic pass (a cache miss — enqueues a tune job).
@@ -168,10 +170,12 @@ pub enum HitTier {
 }
 
 impl HitTier {
-    /// Reporting tag (`exact` / `nearest` / `heuristic` / `naive`).
+    /// Reporting tag (`exact` / `parameterized` / `nearest` / `heuristic`
+    /// / `naive`).
     pub fn tag(&self) -> &'static str {
         match self {
             HitTier::Exact => "exact",
+            HitTier::Parameterized => "parameterized",
             HitTier::Nearest => "nearest",
             HitTier::Heuristic => "heuristic",
             HitTier::Naive => "naive",
@@ -186,6 +190,7 @@ impl HitTier {
     fn of(d: &Disposition) -> HitTier {
         match d {
             Disposition::ExactHit => HitTier::Exact,
+            Disposition::Parameterized { .. } => HitTier::Parameterized,
             Disposition::FallbackReplay { .. } => HitTier::Nearest,
             Disposition::FallbackHeuristic => HitTier::Heuristic,
             Disposition::Naive => HitTier::Naive,
@@ -205,6 +210,8 @@ pub fn latency_units(r: &DispatchResult) -> u64 {
     match &r.disposition {
         // index probe + strict replay of the recorded steps
         Disposition::ExactHit => 1 + steps,
+        // family fit + materialization + lenient replay
+        Disposition::Parameterized { .. } => 6 + steps,
         // nearest scan + lenient replay, including the skipped attempts
         Disposition::FallbackReplay { skipped, .. } => 4 + steps + *skipped as u64,
         // a fresh tuning pass is an order of magnitude above a replay
@@ -246,6 +253,8 @@ pub struct ServeStats {
     pub served: u64,
     /// Exact-hit replies.
     pub exact: u64,
+    /// Parameterized-schedule replies.
+    pub parameterized: u64,
     /// Nearest-shape replies.
     pub nearest: u64,
     /// Fresh-heuristic replies.
@@ -272,6 +281,7 @@ struct Counters {
     rejected: AtomicU64,
     served: AtomicU64,
     exact: AtomicU64,
+    parameterized: AtomicU64,
     nearest: AtomicU64,
     heuristic: AtomicU64,
     naive: AtomicU64,
@@ -424,6 +434,7 @@ impl Server {
             rejected: c.rejected.load(Ordering::Relaxed),
             served: c.served.load(Ordering::Relaxed),
             exact: c.exact.load(Ordering::Relaxed),
+            parameterized: c.parameterized.load(Ordering::Relaxed),
             nearest: c.nearest.load(Ordering::Relaxed),
             heuristic: c.heuristic.load(Ordering::Relaxed),
             naive: c.naive.load(Ordering::Relaxed),
@@ -498,6 +509,7 @@ impl Server {
         self.counters.served.fetch_add(1, Ordering::Relaxed);
         match tier {
             HitTier::Exact => &self.counters.exact,
+            HitTier::Parameterized => &self.counters.parameterized,
             HitTier::Nearest => &self.counters.nearest,
             HitTier::Heuristic => &self.counters.heuristic,
             HitTier::Naive => &self.counters.naive,
@@ -539,6 +551,10 @@ impl Server {
                     self.counters.exact.fetch_add(1, Ordering::Relaxed);
                     self.counters.block_exact.fetch_add(1, Ordering::Relaxed);
                 }
+                HitTier::Parameterized => {
+                    self.counters.parameterized.fetch_add(1, Ordering::Relaxed);
+                    self.counters.block_nearest.fetch_add(1, Ordering::Relaxed);
+                }
                 _ => {
                     self.counters.nearest.fetch_add(1, Ordering::Relaxed);
                     self.counters.block_nearest.fetch_add(1, Ordering::Relaxed);
@@ -568,6 +584,7 @@ impl Server {
             let t = HitTier::of(&r.disposition);
             match t {
                 HitTier::Exact => &self.counters.exact,
+                HitTier::Parameterized => &self.counters.parameterized,
                 HitTier::Nearest => &self.counters.nearest,
                 HitTier::Heuristic => &self.counters.heuristic,
                 HitTier::Naive => &self.counters.naive,
@@ -645,7 +662,13 @@ impl Server {
         }
         let kernels: Vec<KernelInstance> = jobs.iter().map(|(_, j)| j.kernel()).collect();
         let targets = [self.target.clone()];
-        let builder = LibraryBuilder::new(self.config.strategy, self.config.seed);
+        // warm-start tune jobs from the served snapshot's family schedules:
+        // a miss near a tuned family begins from the transferred schedule
+        // instead of the empty program. Jobs already in flight from a paused
+        // drain resume from their checkpointed search state, which embeds
+        // the warm start they began with.
+        let builder = LibraryBuilder::new(self.config.strategy, self.config.seed)
+            .with_warm_from(&self.snapshot(0).library);
 
         // build into a scratch library so the served snapshot is untouched
         // until the merge below publishes a complete replacement

@@ -54,10 +54,12 @@ fn store(target: &Target) -> Library {
 #[test]
 fn nearest_shape_fallback_is_deterministic_across_runs_and_threads() {
     let target = Target::x86();
-    let lib = store(&target);
-    // 48x96 was never tuned: resolution must go through the nearest-shape
-    // fallback tier, which involves distance ranking and lenient replay —
-    // the most re-entrant machinery dispatch has.
+    // A single-record store: the parameterized tier needs a family of two,
+    // so an untuned shape must go through the nearest-shape fallback tier,
+    // which involves distance ranking and lenient replay — the most
+    // re-entrant machinery dispatch has.
+    let mut lib = Library::new();
+    assert_eq!(lib.merge([tuned_record(64, 64, &target)]).inserted, 1);
     let query = perfdojo_kernels::softmax(48, 96);
 
     let reference = lib.lookup(&query, &target);
@@ -77,6 +79,32 @@ fn nearest_shape_fallback_is_deterministic_across_runs_and_threads() {
 
     // Concurrent lookups from a worker pool (thread count = machine
     // dependent): shared-nothing reads must not observe any difference.
+    let results = par_map(vec![(); 16], |()| fingerprint(&lib.lookup(&query, &target)));
+    for (i, got) in results.iter().enumerate() {
+        assert_eq!(got, &want, "concurrent lookup {i} diverged");
+    }
+}
+
+#[test]
+fn parameterized_tier_is_deterministic_across_runs_and_threads() {
+    let target = Target::x86();
+    // Two same-family records with matching heuristic skeletons: an untuned
+    // shape resolves via the parameterized tier (family fit + materialize).
+    let lib = store(&target);
+    let query = perfdojo_kernels::softmax(48, 96);
+
+    let reference = lib.lookup(&query, &target);
+    assert_eq!(
+        reference.disposition.tag(),
+        "parameterized",
+        "query was expected to resolve via the parameterized tier, got {}",
+        reference.disposition
+    );
+    let want = fingerprint(&reference);
+    for run in 0..4 {
+        let got = fingerprint(&lib.lookup(&query, &target));
+        assert_eq!(got, want, "sequential lookup {run} diverged");
+    }
     let results = par_map(vec![(); 16], |()| fingerprint(&lib.lookup(&query, &target)));
     for (i, got) in results.iter().enumerate() {
         assert_eq!(got, &want, "concurrent lookup {i} diverged");

@@ -139,6 +139,7 @@ fn readers_never_see_torn_swaps_and_match_sequential_replay() {
                     Fingerprint {
                         tier: match r.tier {
                             perfdojo_library::HitTier::Exact => "exact-hit",
+                            perfdojo_library::HitTier::Parameterized => "parameterized",
                             perfdojo_library::HitTier::Nearest => "fallback-replay",
                             perfdojo_library::HitTier::Heuristic => "fallback-heuristic",
                             perfdojo_library::HitTier::Naive => "naive",

@@ -103,6 +103,34 @@ impl TrainState {
         }
     }
 
+    /// Start a fresh run warm-started from a transferred schedule: the warm
+    /// sequence is leniently replayed (charged to `spent`), seeds
+    /// best-so-far when it wins, and the dojo is rewound — episodes still
+    /// start from `reset`, exactly as cold training does. An empty `warm`
+    /// is byte-identical to [`TrainState::start`].
+    pub fn start_warm(
+        dojo: &mut Dojo,
+        cfg: &PerfLlmConfig,
+        seed: u64,
+        warm: &[Action],
+    ) -> TrainState {
+        let warm_result = if warm.is_empty() {
+            None
+        } else {
+            let r = dojo.load_sequence(warm).ok().map(|rt| (dojo.history.steps.clone(), rt));
+            dojo.reset();
+            r
+        };
+        let mut state = TrainState::start(dojo, cfg, seed);
+        if let Some((steps, rt)) = warm_result {
+            if rt < state.best_runtime {
+                state.best_runtime = rt;
+                state.best_steps = steps;
+            }
+        }
+        state
+    }
+
     /// Consume the state into a [`PerfLlmResult`].
     pub fn into_result(self) -> PerfLlmResult {
         PerfLlmResult {
@@ -261,6 +289,19 @@ pub fn optimize(dojo: &mut Dojo, cfg: &PerfLlmConfig, seed: u64) -> PerfLlmResul
     state.into_result()
 }
 
+/// [`optimize`] warm-started from a transferred schedule (see
+/// [`TrainState::start_warm`]).
+pub fn optimize_warm(
+    dojo: &mut Dojo,
+    cfg: &PerfLlmConfig,
+    seed: u64,
+    warm: &[Action],
+) -> PerfLlmResult {
+    let mut state = TrainState::start_warm(dojo, cfg, seed, warm);
+    train_episodes(dojo, cfg, &mut state, None, None);
+    state.into_result()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +349,36 @@ mod tests {
             matches!(a.transform, perfdojo_transform::Transform::BindGpu(_))
         });
         assert!(uses_gpu || r.best_runtime >= init * 0.5, "gpu binding expected for big wins");
+    }
+
+    #[test]
+    fn empty_warm_start_is_byte_identical_to_cold() {
+        let mk = || {
+            let p = perfdojo_kernels::mul(16, 64);
+            Dojo::for_target(p, &Target::x86()).unwrap()
+        };
+        let mut d1 = mk();
+        let cold = optimize(&mut d1, &quick_cfg(), 5);
+        let mut d2 = mk();
+        let warm = optimize_warm(&mut d2, &quick_cfg(), 5, &[]);
+        assert_eq!(cold.best_runtime.to_bits(), warm.best_runtime.to_bits());
+        assert_eq!(cold.best_steps, warm.best_steps);
+        assert_eq!(cold.evaluations, warm.evaluations);
+    }
+
+    #[test]
+    fn warm_start_seeds_best_and_charges_the_evaluation() {
+        let p = perfdojo_kernels::mul(16, 64);
+        let mut d = Dojo::for_target(p.clone(), &Target::x86()).unwrap();
+        let donor = optimize(&mut d, &quick_cfg(), 11);
+        assert!(!donor.best_steps.is_empty());
+
+        let mut d = Dojo::for_target(p, &Target::x86()).unwrap();
+        let st = TrainState::start_warm(&mut d, &quick_cfg(), 5, &donor.best_steps);
+        assert!(st.best_runtime <= donor.best_runtime);
+        assert!(!st.best_steps.is_empty());
+        assert!(st.spent > 0, "warm evaluation must be charged");
+        assert!(d.history.steps.is_empty(), "episodes must still start from reset");
     }
 
     #[test]

@@ -64,13 +64,42 @@ impl AnnealState {
     /// and evaluate it. Charges the initial work to `spent` exactly as the
     /// historical loop did.
     pub fn start(dojo: &mut Dojo, space: &dyn SearchSpace, seed: u64) -> AnnealState {
+        AnnealState::start_with_warm(dojo, space, seed, &[])
+    }
+
+    /// Start a fresh run warm-started from a transferred schedule: after
+    /// evaluating the space's initial candidate, leniently replay `warm` and
+    /// adopt the applied sequence when it beats the initial cost. The extra
+    /// evaluation(s) are deterministic and charged to `spent`, so warm runs
+    /// checkpoint and resume exactly like cold ones. An empty `warm` is
+    /// byte-identical to [`AnnealState::start`].
+    pub fn start_with_warm(
+        dojo: &mut Dojo,
+        space: &dyn SearchSpace,
+        seed: u64,
+        warm: &[Action],
+    ) -> AnnealState {
         let rng = Rng::seed_from_u64(seed);
         let start_evals = dojo.evaluations();
-        let current = space.initial(dojo);
-        let current_cost = match dojo.load_sequence(&current) {
+        let mut current = space.initial(dojo);
+        let mut current_cost = match dojo.load_sequence(&current) {
             Ok(rt) => rt,
             Err(_) => dojo.initial_runtime(),
         };
+        if !warm.is_empty() {
+            match dojo.load_sequence(warm) {
+                Ok(rt) if rt < current_cost => {
+                    // adopt the *applied* sequence (lenient replay may have
+                    // skipped steps) so the dojo and `current` stay in sync
+                    current = dojo.history.steps.clone();
+                    current_cost = rt;
+                }
+                _ => {
+                    // reposition the dojo on the initial candidate
+                    let _ = dojo.load_sequence(&current);
+                }
+            }
+        }
         let spent = dojo.evaluations() - start_evals;
         AnnealState {
             rng,
@@ -193,11 +222,25 @@ pub fn simulated_annealing(
     budget: u64,
     seed: u64,
 ) -> SearchResult {
+    simulated_annealing_warm(dojo, space, budget, seed, &[])
+}
+
+/// [`simulated_annealing`] warm-started from a transferred schedule: the
+/// run begins from `warm` (when it replays and beats the space's initial
+/// candidate) instead of the empty program. Zero budget ignores `warm` —
+/// a no-op spends nothing, warm or cold.
+pub fn simulated_annealing_warm(
+    dojo: &mut Dojo,
+    space: &dyn SearchSpace,
+    budget: u64,
+    seed: u64,
+    warm: &[Action],
+) -> SearchResult {
     if budget == 0 {
         let rt = dojo.initial_runtime();
         return SearchResult { best_steps: Vec::new(), best_runtime: rt, trace: vec![(0, rt)] };
     }
-    let mut state = AnnealState::start(dojo, space, seed);
+    let mut state = AnnealState::start_with_warm(dojo, space, seed, warm);
     anneal_resume(dojo, space, budget, &mut state, None, None);
     state.into_result()
 }
@@ -278,6 +321,53 @@ mod tests {
         }
         assert_eq!(d.evaluations(), evals_before, "budget 0 must spend nothing");
         assert_eq!(d.current(), &p, "the dojo must be left untransformed");
+    }
+
+    #[test]
+    fn empty_warm_start_is_byte_identical_to_cold() {
+        let mk = || {
+            let p = perfdojo_kernels::softmax(8, 16);
+            Dojo::for_target(p, &Target::x86()).unwrap()
+        };
+        let (budget, seed) = (90, 13);
+        let mut d1 = mk();
+        let cold = simulated_annealing(&mut d1, &crate::EdgesSpace, budget, seed);
+        let mut d2 = mk();
+        let warm = simulated_annealing_warm(&mut d2, &crate::EdgesSpace, budget, seed, &[]);
+        assert_eq!(cold.best_runtime.to_bits(), warm.best_runtime.to_bits());
+        assert_eq!(cold.best_steps, warm.best_steps);
+        assert_eq!(cold.trace, warm.trace);
+        assert_eq!(d1.evaluations(), d2.evaluations());
+    }
+
+    #[test]
+    fn warm_start_adopts_better_sequence_and_charges_it() {
+        // Tune once to get a known-good sequence, then warm-start a fresh
+        // run from it: the state must begin at (or below) the warm cost.
+        let mk = || {
+            let p = perfdojo_kernels::softmax(16, 32);
+            Dojo::for_target(p, &Target::x86()).unwrap()
+        };
+        let mut d = mk();
+        let donor = anneal_heuristic(&mut d, 120, 5);
+        assert!(!donor.best_steps.is_empty());
+
+        let mut d = mk();
+        let st = AnnealState::start_with_warm(&mut d, &crate::HeuristicSpace, 5, &donor.best_steps);
+        assert!(
+            st.current_cost <= donor.best_runtime,
+            "warm start {} must not be worse than the donor {}",
+            st.current_cost,
+            donor.best_runtime
+        );
+        assert!(st.spent > 0, "warm evaluation must be charged");
+        // determinism: the same warm start twice is bit-identical
+        let mut d2 = mk();
+        let st2 =
+            AnnealState::start_with_warm(&mut d2, &crate::HeuristicSpace, 5, &donor.best_steps);
+        assert_eq!(st.current_cost.to_bits(), st2.current_cost.to_bits());
+        assert_eq!(st.current, st2.current);
+        assert_eq!(st.spent, st2.spent);
     }
 
     #[test]

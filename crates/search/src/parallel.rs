@@ -83,8 +83,29 @@ pub fn anneal_parallel(
     budget_per_chain: u64,
     seed: u64,
 ) -> SearchResult {
+    anneal_parallel_warm(dojo, space, chains, budget_per_chain, seed, &[])
+}
+
+/// [`anneal_parallel`] with every chain warm-started from the same
+/// transferred schedule (see
+/// [`crate::simulated_annealing_warm`]). An empty `warm` is byte-identical
+/// to the cold run.
+pub fn anneal_parallel_warm(
+    dojo: &mut Dojo,
+    space: &dyn SearchSpace,
+    chains: usize,
+    budget_per_chain: u64,
+    seed: u64,
+    warm: &[perfdojo_transform::Action],
+) -> SearchResult {
     parallel_search(dojo, chains, |chain_dojo, c| {
-        crate::simulated_annealing(chain_dojo, space, budget_per_chain, chain_seed(seed, c))
+        crate::simulated_annealing_warm(
+            chain_dojo,
+            space,
+            budget_per_chain,
+            chain_seed(seed, c),
+            warm,
+        )
     })
 }
 
@@ -128,11 +149,46 @@ pub fn anneal_parallel_resumable(
     completed: &mut Vec<SearchResult>,
     sink: Option<&mut TraceSink>,
 ) -> SearchResult {
+    anneal_parallel_resumable_warm(
+        dojo,
+        space,
+        chains,
+        budget_per_chain,
+        seed,
+        &[],
+        completed,
+        sink,
+    )
+}
+
+/// [`anneal_parallel_resumable`] with every freshly-run chain warm-started
+/// from the same transferred schedule. Chains restored from `completed`
+/// were warm-started (or not) by the process that ran them; as long as the
+/// same `warm` sequence is passed on every resume — it is part of the job's
+/// identity, like `seed` — interrupted and uninterrupted runs stay
+/// byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn anneal_parallel_resumable_warm(
+    dojo: &mut Dojo,
+    space: &dyn SearchSpace,
+    chains: usize,
+    budget_per_chain: u64,
+    seed: u64,
+    warm: &[perfdojo_transform::Action],
+    completed: &mut Vec<SearchResult>,
+    sink: Option<&mut TraceSink>,
+) -> SearchResult {
     let chains = chains.max(1);
     completed.truncate(chains);
     let start = completed.len();
     let fresh = map_chains(dojo, (start..chains).collect(), |chain_dojo, c| {
-        crate::simulated_annealing(chain_dojo, space, budget_per_chain, chain_seed(seed, c))
+        crate::simulated_annealing_warm(
+            chain_dojo,
+            space,
+            budget_per_chain,
+            chain_seed(seed, c),
+            warm,
+        )
     });
     let fresh_evals: u64 = fresh.iter().map(|r| r.trace.last().map_or(0, |t| t.0)).sum();
     dojo.charge_evaluations(fresh_evals);
